@@ -1,0 +1,179 @@
+// Ablations for the design choices called out in DESIGN.md §5, beyond
+// the paper's own Figure 10 study:
+//   A. kernel bandwidth ε (paper footnote 2 picks extent/100),
+//   B. locality truncation threshold (speed/quality trade),
+//   C. parallel sharding (extension: threads vs quality),
+//   D. incremental maintenance vs batch rebuild (extension),
+//   E. binned aggregation baseline vs sampling under deep zoom
+//      (the related-work §VII comparison).
+#include "bench_common.h"
+
+#include "core/incremental.h"
+#include "core/parallel.h"
+#include "index/uniform_grid.h"
+#include "render/binned_aggregation.h"
+#include "render/scatter_renderer.h"
+#include "util/stopwatch.h"
+
+namespace vas::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  FlagSet flags;
+  flags.Define("n", "100000", "dataset size");
+  flags.Define("k", "2000", "sample size");
+  if (!ParseBenchFlags(flags, argc, argv, "Design-choice ablations.")) {
+    return 0;
+  }
+  size_t n = static_cast<size_t>(flags.GetInt("n"));
+  size_t k = static_cast<size_t>(flags.GetInt("k"));
+  if (flags.GetBool("quick")) {
+    n = 30000;
+    k = 1000;
+  }
+  Dataset d = MakeGeolifeLike(n);
+  double default_eps = GaussianKernel::DefaultEpsilon(d.Bounds());
+  MonteCarloLossEstimator::Options lopt;
+  lopt.num_probes = 500;
+  MonteCarloLossEstimator estimator(d, lopt);
+
+  // ------------------------------------------------------------------
+  PrintHeader("Ablation A — kernel bandwidth ε (default = extent/100)");
+  std::printf("%-14s %12s %16s %12s\n", "epsilon/def", "epsilon",
+              "log-loss-ratio", "runtime(s)");
+  for (double mult : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    InterchangeSampler::Options opt;
+    opt.epsilon = default_eps * mult;
+    opt.max_passes = 2;
+    Stopwatch watch;
+    SampleSet s = InterchangeSampler(opt).Sample(d, k);
+    double secs = watch.ElapsedSeconds();
+    std::printf("%-14.2f %12.4f %16.2f %12.2f\n", mult, opt.epsilon,
+                estimator.LogLossRatioOf(s.MaterializePoints(d)), secs);
+  }
+  std::printf("(the loss metric itself uses the default ε; the paper's\n"
+              "extent/100 sits in the flat optimum region)\n");
+
+  // ------------------------------------------------------------------
+  PrintHeader("Ablation B — locality truncation threshold");
+  std::printf("%-14s %14s %16s %12s\n", "threshold", "radius/eps~",
+              "objective", "runtime(s)");
+  GaussianKernel pair = GaussianKernel::PairKernelFor(default_eps);
+  for (double threshold : {1e-3, 1e-5, 1.1e-7, 1e-10}) {
+    InterchangeSampler::Options opt;
+    opt.optimization =
+        InterchangeSampler::Optimization::kExpandShrinkLocality;
+    opt.locality_threshold = threshold;
+    opt.max_passes = 2;
+    Stopwatch watch;
+    auto result = InterchangeSampler(opt).Run(d, k);
+    double secs = watch.ElapsedSeconds();
+    std::printf("%-14.1e %14.2f %16.4f %12.2f\n", threshold,
+                pair.EffectiveRadius(threshold) / pair.epsilon(),
+                PairwiseObjective(result.sample.MaterializePoints(d), pair),
+                secs);
+  }
+  std::printf("(looser thresholds are faster; the paper's ~1e-7 loses\n"
+              "nothing measurable in the exact objective)\n");
+
+  // ------------------------------------------------------------------
+  PrintHeader("Ablation C — parallel sharding (extension)");
+  std::printf("%-10s %12s %16s %14s\n", "shards", "runtime(s)",
+              "objective", "vs 1-shard");
+  double single_obj = 0.0;
+  for (size_t shards : {1u, 2u, 4u, 8u}) {
+    ParallelInterchangeSampler::Options popt;
+    popt.num_shards = shards;
+    popt.base.max_passes = 2;
+    Stopwatch watch;
+    SampleSet s = ParallelInterchangeSampler(popt).Sample(d, k);
+    double secs = watch.ElapsedSeconds();
+    double obj = PairwiseObjective(s.MaterializePoints(d), pair);
+    if (shards == 1) single_obj = obj;
+    std::printf("%-10zu %12.2f %16.4f %13.2fx\n", shards, secs, obj,
+                single_obj > 0 ? obj / single_obj : 1.0);
+  }
+
+  // ------------------------------------------------------------------
+  PrintHeader("Ablation D — incremental maintenance vs batch rebuild");
+  {
+    // Stream the dataset in 10 batches; after each batch compare the
+    // maintained sample against a from-scratch rebuild.
+    size_t batch = d.size() / 10;
+    IncrementalVas::Options iopt;
+    iopt.epsilon = default_eps;
+    IncrementalVas stream(k, iopt);
+    Stopwatch inc_watch;
+    double inc_secs = 0.0;
+    std::printf("%-12s %16s %16s\n", "tuples", "stream obj.",
+                "rebuild obj.");
+    for (size_t b = 0; b < 10; ++b) {
+      Dataset slice;
+      for (size_t i = b * batch; i < (b + 1) * batch && i < d.size(); ++i) {
+        slice.Add(d.points[i], d.ValueAt(i));
+      }
+      inc_watch.Restart();
+      stream.ObserveDataset(slice);
+      inc_secs += inc_watch.ElapsedSeconds();
+      if (b % 3 == 2 || b == 9) {
+        Dataset seen;
+        for (size_t i = 0; i < (b + 1) * batch && i < d.size(); ++i) {
+          seen.Add(d.points[i], d.ValueAt(i));
+        }
+        InterchangeSampler::Options ropt;
+        ropt.epsilon = default_eps;
+        ropt.max_passes = 1;
+        auto rebuild = InterchangeSampler(ropt).Run(seen, k);
+        std::printf("%-12zu %16.4f %16.4f\n", seen.size(),
+                    PairwiseObjective(stream.SampleDataset().points, pair),
+                    PairwiseObjective(
+                        rebuild.sample.MaterializePoints(seen), pair));
+      }
+    }
+    std::printf("incremental total: %.2fs for %s tuples (never re-reads "
+                "old data)\n",
+                inc_secs,
+                FormatWithCommas(static_cast<int64_t>(d.size())).c_str());
+  }
+
+  // ------------------------------------------------------------------
+  PrintHeader("Ablation E — binned aggregation vs VAS sample under zoom");
+  {
+    BinnedPyramid::Options bopt;
+    bopt.max_level = 8;  // 256x256 finest: ~87K stored cells
+    BinnedPyramid pyramid(d, bopt);
+    InterchangeSampler vas_sampler;
+    SampleSet s = vas_sampler.Sample(d, k);
+    Dataset sample_data = s.Materialize(d);
+    std::printf("pyramid storage: %zu cells; sample storage: %zu tuples\n\n",
+                pyramid.TotalCells(), s.size());
+    std::printf("%-8s %14s %20s %20s\n", "zoom", "binned level",
+                "binned px/cell", "VAS pts in view");
+    Rect full = d.Bounds();
+    // Zoom toward a populated area (a mid-density cell), as a user would.
+    UniformGrid census(full, 16, 16);
+    census.Assign(d.points);
+    Point focus = census.CellBounds(census.DensestCell()).Center();
+    Viewport base(full, 512, 512);
+    for (double zoom : {1.0, 8.0, 64.0}) {
+      Rect view = base.ZoomedIn(focus, zoom).world();
+      size_t level = pyramid.LevelForViewport(view, 512);
+      double cells_across =
+          static_cast<double>(pyramid.level(level).cells_per_axis) / zoom;
+      std::printf("%-8.0f %14zu %20.1f %20zu\n", zoom, level,
+                  512.0 / std::max(cells_across, 1e-9),
+                  sample_data.Filter(view).size());
+    }
+    std::printf(
+        "\nAt 64x zoom the pyramid is exhausted (one stored cell covers\n"
+        "many pixels — the paper's §VII criticism), while the VAS sample\n"
+        "still provides individually positioned points at native\n"
+        "resolution, at a fraction of the storage.\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace vas::bench
+
+int main(int argc, char** argv) { return vas::bench::Run(argc, argv); }

@@ -1,0 +1,68 @@
+// Shared helpers for the experiment harnesses. Each bench binary
+// regenerates one table or figure of the paper; these utilities keep the
+// dataset construction and reporting consistent across them.
+#ifndef VAS_BENCH_BENCH_COMMON_H_
+#define VAS_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/vas.h"
+#include "util/flags.h"
+#include "util/strings.h"
+
+namespace vas::bench {
+
+/// The standard Geolife substitute used by most experiments.
+inline Dataset MakeGeolifeLike(size_t n, uint64_t seed = 7) {
+  GeolifeLikeGenerator::Options opt;
+  opt.num_points = n;
+  opt.seed = seed;
+  return GeolifeLikeGenerator(opt).Generate();
+}
+
+/// The SPLOM substitute (first two columns plotted, third as color).
+inline Dataset MakeSplom(size_t n, uint64_t seed = 11) {
+  SplomGenerator::Options opt;
+  opt.num_rows = n;
+  opt.seed = seed;
+  return SplomGenerator(opt).Generate();
+}
+
+/// Section header in the bench output.
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+/// One labeled row of numbers.
+inline void PrintRow(const std::string& label,
+                     const std::vector<double>& values, const char* fmt) {
+  std::printf("%-16s", label.c_str());
+  for (double v : values) std::printf(fmt, v);
+  std::printf("\n");
+}
+
+/// Standard flag prelude: defines --n (dataset size) and --quick, parses,
+/// and handles --help. Returns false if the program should exit.
+inline bool ParseBenchFlags(FlagSet& flags, int argc, char** argv,
+                            const char* description) {
+  flags.Define("quick", "false", "run a reduced-scale sweep");
+  Status s = flags.Parse(argc, argv);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n%s", s.ToString().c_str(),
+                 flags.Usage(argv[0]).c_str());
+    return false;
+  }
+  if (flags.help_requested()) {
+    std::printf("%s\n%s", description, flags.Usage(argv[0]).c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace vas::bench
+
+#endif  // VAS_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,80 @@
+// Figure 9: processing time vs sample quality. Interchange improves the
+// objective rapidly at first and then with diminishing returns; larger
+// samples converge more slowly. The paper traces 100K and 1M samples
+// over three hours; we trace a scaled ladder over a configurable budget
+// and report the normalized objective trajectory.
+#include "bench_common.h"
+
+namespace vas::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  FlagSet flags;
+  flags.Define("n", "400000", "dataset size");
+  flags.Define("seconds", "30", "processing budget per sample size");
+  flags.Define("k_small", "10000", "small sample size");
+  flags.Define("k_large", "50000", "large sample size");
+  if (!ParseBenchFlags(flags, argc, argv,
+                       "Figure 9: objective vs processing time.")) {
+    return 0;
+  }
+  size_t n = static_cast<size_t>(flags.GetInt("n"));
+  double seconds = flags.GetDouble("seconds");
+  std::vector<size_t> ks = {
+      static_cast<size_t>(flags.GetInt("k_small")),
+      static_cast<size_t>(flags.GetInt("k_large"))};
+  if (flags.GetBool("quick")) {
+    n = 100000;
+    seconds = 5;
+    ks = {2000, 10000};
+  }
+
+  Dataset d = MakeGeolifeLike(n);
+  PrintHeader("Figure 9 — processing time vs normalized objective");
+
+  for (size_t k : ks) {
+    std::printf("\nSample size K = %s (dataset %s, budget %.0fs)\n",
+                FormatWithCommas(static_cast<int64_t>(k)).c_str(),
+                FormatWithCommas(static_cast<int64_t>(n)).c_str(), seconds);
+    std::printf("%10s %18s %14s\n", "time (s)", "objective (norm.)",
+                "replacements");
+    struct Snap {
+      double t;
+      double obj;
+      size_t repl;
+    };
+    std::vector<Snap> snaps;
+    InterchangeSampler::Options opt;
+    opt.optimization =
+        InterchangeSampler::Optimization::kExpandShrinkLocality;
+    opt.max_passes = 1000;  // let the time budget be the limiter
+    opt.time_budget_seconds = seconds;
+    opt.progress_interval = std::max<size_t>(n / 50, 1);
+    opt.progress = [&](const InterchangeSampler::Progress& p) {
+      snaps.push_back({p.seconds, p.objective, p.replacements});
+    };
+    auto result = InterchangeSampler(opt).Run(d, k);
+    if (snaps.empty()) continue;
+    double first = snaps.front().obj;
+    double scale = first > 0 ? first : 1.0;
+    // Thin the trace to ~12 lines.
+    size_t stride = std::max<size_t>(1, snaps.size() / 12);
+    for (size_t i = 0; i < snaps.size(); i += stride) {
+      std::printf("%10.2f %18.4f %14zu\n", snaps[i].t,
+                  snaps[i].obj / scale, snaps[i].repl);
+    }
+    std::printf("final: %.2fs, %.4f normalized, %zu replacements, %s\n",
+                result.seconds, result.objective / scale,
+                result.replacements,
+                result.converged ? "converged" : "budget-limited");
+  }
+  std::printf(
+      "\nShape check: steep early improvement then a long flat tail — a\n"
+      "truncated run already yields a high-quality sample (paper §IV-B).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace vas::bench
+
+int main(int argc, char** argv) { return vas::bench::Run(argc, argv); }

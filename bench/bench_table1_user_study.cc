@@ -1,0 +1,145 @@
+// Table I: simulated-user success on the three visualization goals —
+// (a) regression, (b) density estimation, (c) clustering — for uniform,
+// stratified, VAS, and VAS+density samples across sample sizes.
+//
+// Paper values for reference (40 Mechanical-Turk users per question):
+//   (a) regression, avg:     uniform .319  stratified .378  VAS .734
+//   (b) density,    avg:     uniform .531  stratified .637  VAS .395  VAS+d .735
+//   (c) clustering, avg:     uniform .821  stratified .561  VAS .722  VAS+d .887
+#include "bench_common.h"
+
+#include "eval/tasks.h"
+
+namespace vas::bench {
+namespace {
+
+std::vector<size_t> SampleLadder(const FlagSet& flags) {
+  if (flags.GetBool("quick")) return {100, 1000};
+  return {100, 1000, 10000};
+}
+
+int Run(int argc, char** argv) {
+  FlagSet flags;
+  flags.Define("n", "200000", "dataset size (paper: 24.4M Geolife rows)");
+  flags.Define("users", "40", "simulated users per question");
+  if (!ParseBenchFlags(flags, argc, argv,
+                       "Table I: user success by sampling method.")) {
+    return 0;
+  }
+  size_t n = static_cast<size_t>(flags.GetInt("n"));
+  size_t users = static_cast<size_t>(flags.GetInt("users"));
+  if (flags.GetBool("quick")) n = std::min<size_t>(n, 50000);
+  std::vector<size_t> ladder = SampleLadder(flags);
+
+  Dataset d = MakeGeolifeLike(n);
+  UniformReservoirSampler uniform(3);
+  StratifiedSampler stratified;
+  InterchangeSampler::Options vopt;
+  vopt.max_passes = 2;
+  InterchangeSampler vas_sampler(vopt);
+
+  // ------------------------------------------------------------------
+  PrintHeader("Table I(a) — regression task success ratio");
+  RegressionStudy::Options ropt;
+  ropt.num_users = users;
+  RegressionStudy regression(d, ropt);
+  std::printf("%-10s %10s %12s %10s\n", "k", "uniform", "stratified",
+              "VAS");
+  std::vector<double> avg(3, 0.0);
+  for (size_t k : ladder) {
+    double u = regression.Evaluate(d, uniform.Sample(d, k));
+    double s = regression.Evaluate(d, stratified.Sample(d, k));
+    double v = regression.Evaluate(d, vas_sampler.Sample(d, k));
+    avg[0] += u;
+    avg[1] += s;
+    avg[2] += v;
+    std::printf("%-10zu %10.3f %12.3f %10.3f\n", k, u, s, v);
+  }
+  std::printf("%-10s %10.3f %12.3f %10.3f   (paper avg: .319 .378 .734)\n",
+              "average", avg[0] / ladder.size(), avg[1] / ladder.size(),
+              avg[2] / ladder.size());
+
+  // ------------------------------------------------------------------
+  PrintHeader("Table I(b) — density estimation task success ratio");
+  DensityStudy::Options dopt;
+  dopt.num_users = users;
+  DensityStudy density(d, dopt);
+  std::printf("%-10s %10s %12s %10s %12s\n", "k", "uniform", "stratified",
+              "VAS", "VAS+dens");
+  std::vector<double> avg_b(4, 0.0);
+  for (size_t k : ladder) {
+    double u = density.Evaluate(d, uniform.Sample(d, k));
+    double s = density.Evaluate(d, stratified.Sample(d, k));
+    SampleSet plain = vas_sampler.Sample(d, k);
+    double v = density.Evaluate(d, plain);
+    double vd = density.Evaluate(d, WithDensity(d, plain));
+    avg_b[0] += u;
+    avg_b[1] += s;
+    avg_b[2] += v;
+    avg_b[3] += vd;
+    std::printf("%-10zu %10.3f %12.3f %10.3f %12.3f\n", k, u, s, v, vd);
+  }
+  std::printf(
+      "%-10s %10.3f %12.3f %10.3f %12.3f   (paper avg: .531 .637 .395 "
+      ".735)\n",
+      "average", avg_b[0] / ladder.size(), avg_b[1] / ladder.size(),
+      avg_b[2] / ladder.size(), avg_b[3] / ladder.size());
+
+  // ------------------------------------------------------------------
+  PrintHeader("Table I(c) — clustering task success ratio");
+  ClusteringStudy::Options copt;
+  copt.num_users = users;
+  ClusteringStudy clustering(copt);
+  std::printf("%-10s %10s %12s %10s %12s\n", "k", "uniform", "stratified",
+              "VAS", "VAS+dens");
+  // The paper's 4 stimuli: {1 cluster, 2 clusters} x {2 variants}.
+  struct Stimulus {
+    Dataset data;
+    int truth;
+  };
+  std::vector<Stimulus> stimuli;
+  for (int nc : {1, 2}) {
+    for (int variant : {0, 1}) {
+      auto gopt = GaussianMixtureGenerator::ClusterStudyOptions(
+          nc, variant, std::min<size_t>(n, 50000), 9);
+      stimuli.push_back({GaussianMixtureGenerator(gopt).Generate(), nc});
+    }
+  }
+  std::vector<double> avg_c(4, 0.0);
+  for (size_t k : ladder) {
+    std::vector<double> score(4, 0.0);
+    for (const Stimulus& st : stimuli) {
+      score[0] += clustering.Evaluate(st.data, uniform.Sample(st.data, k),
+                                      st.truth);
+      score[1] += clustering.Evaluate(st.data,
+                                      stratified.Sample(st.data, k),
+                                      st.truth);
+      SampleSet plain = vas_sampler.Sample(st.data, k);
+      score[2] += clustering.Evaluate(st.data, plain, st.truth);
+      score[3] += clustering.Evaluate(st.data, WithDensity(st.data, plain),
+                                      st.truth);
+    }
+    for (size_t i = 0; i < 4; ++i) {
+      score[i] /= static_cast<double>(stimuli.size());
+      avg_c[i] += score[i];
+    }
+    std::printf("%-10zu %10.3f %12.3f %10.3f %12.3f\n", k, score[0],
+                score[1], score[2], score[3]);
+  }
+  std::printf(
+      "%-10s %10.3f %12.3f %10.3f %12.3f   (paper avg: .821 .561 .722 "
+      ".887)\n",
+      "average", avg_c[0] / ladder.size(), avg_c[1] / ladder.size(),
+      avg_c[2] / ladder.size(), avg_c[3] / ladder.size());
+
+  std::printf(
+      "\nShape check: (a) VAS dominates at every k; (b) plain VAS is the\n"
+      "worst method but VAS+density the best; (c) stratified is worst,\n"
+      "density embedding lifts VAS.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace vas::bench
+
+int main(int argc, char** argv) { return vas::bench::Run(argc, argv); }

@@ -1,0 +1,105 @@
+// Table II: exact solution (the paper uses a GLPK MIP; we use exact
+// branch-and-bound — see DESIGN.md) vs the Interchange approximation vs
+// random sampling, on tiny instances (N = 50..80, K = 10).
+//
+// Paper shape: the exact solver needs minutes-to-an-hour and its runtime
+// explodes with N; Interchange and random are instantaneous; Interchange
+// lands at or near the exact optimum while random is orders of magnitude
+// worse on both the objective and Loss(S).
+#include "bench_common.h"
+
+#include "util/stopwatch.h"
+
+namespace vas::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  FlagSet flags;
+  flags.Define("k", "10", "sample size (paper: 10)");
+  flags.Define("budget", "300", "exact-solver time budget per N, seconds");
+  // At N <= 80 the default extent/100 bandwidth leaves points so far
+  // apart that any spread 10-subset already has ~zero objective and the
+  // search is trivial. The paper's instances were contested (optima
+  // 0.04-0.16); scaling epsilon up makes every pair interact, matching
+  // that regime.
+  flags.Define("eps_scale", "8", "epsilon multiplier vs extent/100");
+  if (!ParseBenchFlags(flags, argc, argv,
+                       "Table II: exact vs approximate VAS.")) {
+    return 0;
+  }
+  size_t k = static_cast<size_t>(flags.GetInt("k"));
+  double budget = flags.GetDouble("budget");
+  std::vector<size_t> sizes = {50, 60, 70, 80};
+  if (flags.GetBool("quick")) {
+    sizes = {50, 60};
+    budget = std::min(budget, 30.0);
+  }
+
+  PrintHeader("Table II — loss and runtime: exact vs approx. VAS vs random");
+  std::printf("%-6s %-22s %12s %12s %12s\n", "N", "metric", "Exact(B&B)",
+              "Approx.VAS", "Random");
+
+  for (size_t n : sizes) {
+    Dataset d = MakeGeolifeLike(n, /*seed=*/21);
+    double epsilon = GaussianKernel::DefaultEpsilon(d.Bounds()) *
+                     flags.GetDouble("eps_scale");
+    GaussianKernel pair = GaussianKernel::PairKernelFor(epsilon);
+    // Loss(S) is always scored with the paper's standard metric
+    // bandwidth (extent/100), independent of the instance ε above.
+    MonteCarloLossEstimator::Options lopt;
+    lopt.num_probes = 500;
+    MonteCarloLossEstimator estimator(d, lopt);
+
+    // Exact branch and bound.
+    ExactSolver::Options eopt;
+    eopt.epsilon = epsilon;
+    eopt.time_budget_seconds = budget;
+    auto exact = ExactSolver(eopt).Solve(d, k);
+
+    // Interchange, run to convergence.
+    InterchangeSampler::Options iopt;
+    iopt.epsilon = epsilon;
+    iopt.optimization = InterchangeSampler::Optimization::kExpandShrink;
+    iopt.max_passes = 64;
+    Stopwatch watch;
+    auto approx = InterchangeSampler(iopt).Run(d, k);
+    double approx_secs = watch.ElapsedSeconds();
+
+    // Random baseline.
+    watch.Restart();
+    UniformReservoirSampler uniform(3);
+    SampleSet random_sample = uniform.Sample(d, k);
+    double random_secs = watch.ElapsedSeconds();
+
+    auto objective_of = [&](const std::vector<size_t>& ids) {
+      return PairwiseObjective(d.Gather(ids).points, pair);
+    };
+    auto loss_of = [&](const std::vector<size_t>& ids) {
+      return estimator.Estimate(d.Gather(ids).points).median_log10;
+    };
+
+    std::printf("%-6zu %-22s %12.2f %12.4f %12.6f\n", n,
+                "runtime (s)", exact.seconds, approx_secs, random_secs);
+    std::printf("%-6s %-22s %12.4f %12.4f %12.4f\n", "",
+                "opt. objective", exact.objective,
+                objective_of(approx.sample.ids),
+                objective_of(random_sample.ids));
+    std::printf("%-6s %-22s %12s %12s %12s\n", "", "Loss(S) (median)",
+                StrFormat("10^%.1f", loss_of(exact.ids)).c_str(),
+                StrFormat("10^%.1f", loss_of(approx.sample.ids)).c_str(),
+                StrFormat("10^%.1f", loss_of(random_sample.ids)).c_str());
+    std::printf("%-6s %-22s %12s\n", "", "proved optimal",
+                exact.proved_optimal ? "yes" : "no (budget)");
+  }
+  std::printf(
+      "\nShape check: exact runtime grows explosively with N while both\n"
+      "sampling runs stay ~0; Interchange's objective sits at or near the\n"
+      "optimum; random is orders of magnitude worse (paper: 3.7 vs 0.18\n"
+      "objective at N=50, Loss 2.5e29 vs 1.5e26).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace vas::bench
+
+int main(int argc, char** argv) { return vas::bench::Run(argc, argv); }

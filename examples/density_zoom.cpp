@@ -1,0 +1,74 @@
+// Figure 5/6 scenario: density-embedded VAS for density-estimation
+// tasks. Renders the same VAS sample with and without density-scaled
+// dots (the paper's Figure 6 stimulus), runs the simulated density study
+// on both, and prints the success gap — the §V extension's payoff.
+//
+// Outputs: density_plain.ppm, density_embedded.ppm
+#include <cstdio>
+
+#include "core/vas.h"
+#include "eval/tasks.h"
+#include "render/scatter_renderer.h"
+#include "util/flags.h"
+
+int main(int argc, char** argv) {
+  vas::FlagSet flags;
+  flags.Define("n", "200000", "dataset size");
+  flags.Define("k", "2000", "sample size");
+  if (!flags.Parse(argc, argv).ok() || flags.help_requested()) {
+    std::printf("%s", flags.Usage(argv[0]).c_str());
+    return 1;
+  }
+  size_t n = static_cast<size_t>(flags.GetInt("n"));
+  size_t k = static_cast<size_t>(flags.GetInt("k"));
+
+  vas::GeolifeLikeGenerator::Options gen;
+  gen.num_points = n;
+  vas::Dataset data = vas::GeolifeLikeGenerator(gen).Generate();
+
+  vas::InterchangeSampler sampler;
+  vas::SampleSet plain = sampler.Sample(data, k);
+  vas::SampleSet embedded = vas::WithDensity(data, plain);
+
+  // Render the paper's Figure 6-style stimulus pair.
+  vas::ScatterRenderer::Options ropt;
+  ropt.dot_radius_px = 1.0;
+  ropt.density_radius_scale = 0.6;
+  ropt.max_dot_radius_px = 7.0;
+  vas::ScatterRenderer renderer(ropt);
+  vas::Viewport overview(data.Bounds(), 512, 512);
+  (void)renderer.RenderSample(data, plain, overview)
+      .WritePpm("density_plain.ppm");
+  (void)renderer.RenderSample(data, embedded, overview)
+      .WritePpm("density_embedded.ppm");
+  // §V's other presentation: constant dots + jitter clouds.
+  (void)renderer.RenderSampleJittered(data, embedded, overview)
+      .WritePpm("density_jitter.ppm");
+  std::printf(
+      "wrote density_plain.ppm / density_embedded.ppm / "
+      "density_jitter.ppm\n");
+  std::printf("(same %zu points; only the density presentation differs)\n\n",
+              k);
+
+  // The measurable payoff: simulated users answering "densest/sparsest
+  // of these four marked areas".
+  vas::DensityStudy study(data, {});
+  double plain_score = study.Evaluate(data, plain);
+  double embedded_score = study.Evaluate(data, embedded);
+  std::printf("density-task success: plain VAS %.3f -> VAS+density %.3f\n",
+              plain_score, embedded_score);
+  std::printf(
+      "Plain VAS hides density on purpose (points are spread evenly);\n"
+      "the embedded counts put it back without changing the sample.\n");
+
+  // Show the largest counts — a handful of points stand in for most of
+  // the dataset.
+  std::vector<uint64_t> top = embedded.density;
+  std::sort(top.rbegin(), top.rend());
+  std::printf("\ntop density counts:");
+  for (size_t i = 0; i < std::min<size_t>(5, top.size()); ++i) {
+    std::printf(" %llu", static_cast<unsigned long long>(top[i]));
+  }
+  std::printf("  (dataset rows: %zu)\n", data.size());
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Figure 1 reproduction: overview vs zoom for stratified sampling and
+// VAS on a GPS-like map plot. Writes six PPM images:
+//
+//   map_{stratified,vas,uniform}_overview.ppm
+//   map_{stratified,vas,uniform}_zoom.ppm
+//
+// In the overviews all methods look similar; in the zoomed views only
+// VAS retains the road filaments and sparse structure (the paper's
+// Figure 1(b) vs 1(d) contrast). The program also prints an occupancy
+// metric making the contrast quantitative.
+#include <cstdio>
+
+#include "core/vas.h"
+#include "index/uniform_grid.h"
+#include "render/scatter_renderer.h"
+#include "util/flags.h"
+
+namespace {
+
+/// Fraction of 32x32 zoom-view cells that contain original data AND are
+/// hit by the sample — "how much of the visible structure survived".
+double StructureRetention(const vas::Dataset& data,
+                          const vas::SampleSet& sample,
+                          const vas::Rect& zoom) {
+  vas::UniformGrid grid(zoom, 32, 32);
+  vas::Dataset visible = data.Filter(zoom);
+  grid.Assign(visible.points);
+  size_t data_cells = 0, hit_cells = 0;
+  vas::Dataset sample_visible = sample.Materialize(data).Filter(zoom);
+  vas::UniformGrid sample_grid(zoom, 32, 32);
+  sample_grid.Assign(sample_visible.points);
+  for (size_t c = 0; c < grid.num_cells(); ++c) {
+    if (grid.CountInCell(c) == 0) continue;
+    ++data_cells;
+    if (sample_grid.CountInCell(c) > 0) ++hit_cells;
+  }
+  return data_cells == 0 ? 0.0
+                         : double(hit_cells) / double(data_cells);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  vas::FlagSet flags;
+  flags.Define("n", "300000", "dataset size");
+  flags.Define("k", "3000", "sample size per method");
+  flags.Define("zoom", "8", "zoom factor for the detail view");
+  if (!flags.Parse(argc, argv).ok() || flags.help_requested()) {
+    std::printf("%s", flags.Usage(argv[0]).c_str());
+    return 1;
+  }
+  size_t n = static_cast<size_t>(flags.GetInt("n"));
+  size_t k = static_cast<size_t>(flags.GetInt("k"));
+  double zoom_factor = flags.GetDouble("zoom");
+
+  vas::GeolifeLikeGenerator::Options gen;
+  gen.num_points = n;
+  vas::Dataset data = vas::GeolifeLikeGenerator(gen).Generate();
+
+  // The paper's Figure 1 stratified baseline: fine 316x316-like grid
+  // (scaled down to our dataset size).
+  vas::StratifiedSampler::Options sopt;
+  sopt.grid_nx = 64;
+  sopt.grid_ny = 64;
+  vas::StratifiedSampler stratified(sopt);
+  vas::UniformReservoirSampler uniform(1);
+  vas::InterchangeSampler vas_sampler;
+
+  vas::ScatterRenderer renderer;
+  vas::Viewport overview(data.Bounds(), 512, 512);
+  // Zoom where Figure 1(b) falls apart: an outskirt region. Take the
+  // occupied grid cell at the 25th density percentile — structure is
+  // there (roads, suburbs) but the big samplers starve it.
+  vas::UniformGrid census(data.Bounds(), 24, 24);
+  census.Assign(data.points);
+  std::vector<size_t> occupied;
+  for (size_t c = 0; c < census.num_cells(); ++c) {
+    if (census.CountInCell(c) > 0) occupied.push_back(c);
+  }
+  std::sort(occupied.begin(), occupied.end(), [&](size_t a, size_t b) {
+    return census.CountInCell(a) < census.CountInCell(b);
+  });
+  size_t focus_cell = occupied[occupied.size() / 4];
+  vas::Point focus = census.CellBounds(focus_cell).Center();
+  vas::Viewport zoom = overview.ZoomedIn(focus, zoom_factor);
+  std::printf("zoom focus (%.2f, %.2f): %zu of %zu tuples live there\n\n",
+              focus.x, focus.y, data.Filter(zoom.world()).size(),
+              data.size());
+
+  vas::Sampler* samplers[] = {&stratified, &vas_sampler, &uniform};
+  const char* names[] = {"stratified", "vas", "uniform"};
+
+  std::printf("%-12s %10s %22s\n", "method", "k", "zoom structure kept");
+  for (int m = 0; m < 3; ++m) {
+    vas::SampleSet sample = samplers[m]->Sample(data, k);
+    char path[128];
+    std::snprintf(path, sizeof(path), "map_%s_overview.ppm", names[m]);
+    (void)renderer.RenderSample(data, sample, overview).WritePpm(path);
+    std::snprintf(path, sizeof(path), "map_%s_zoom.ppm", names[m]);
+    (void)renderer.RenderSample(data, sample, zoom).WritePpm(path);
+    std::printf("%-12s %10zu %21.0f%%\n", names[m], sample.size(),
+                100.0 * StructureRetention(data, sample, zoom.world()));
+  }
+  std::printf(
+      "\nOpen the PPMs side by side: overviews look alike, but in the\n"
+      "zoomed view only VAS keeps the filament/outskirt structure.\n");
+  return 0;
+}

@@ -1,0 +1,26 @@
+#include "core/density.h"
+
+#include "index/kdtree.h"
+#include "util/logging.h"
+
+namespace vas {
+
+void EmbedDensity(const Dataset& dataset, SampleSet* sample) {
+  VAS_CHECK(sample != nullptr);
+  sample->density.assign(sample->ids.size(), 0);
+  if (sample->ids.empty()) return;
+  KdTree tree(sample->MaterializePoints(dataset));
+  for (const Point& p : dataset.points) {
+    size_t nearest = tree.Nearest(p);
+    VAS_DCHECK(nearest != KdTree::kNotFound);
+    ++sample->density[nearest];
+  }
+}
+
+SampleSet WithDensity(const Dataset& dataset, SampleSet sample) {
+  EmbedDensity(dataset, &sample);
+  sample.method += "+density";
+  return sample;
+}
+
+}  // namespace vas

@@ -1,0 +1,27 @@
+// VAS density embedding (paper §V). A plain VAS sample deliberately
+// spreads points out, which destroys the density signal humans read from
+// overplotting. The fix: a second pass over the dataset counts, for each
+// original tuple, its nearest sample point; the count attached to each
+// sample point then drives dot size (or jitter) at render time.
+#ifndef VAS_CORE_DENSITY_H_
+#define VAS_CORE_DENSITY_H_
+
+#include "data/dataset.h"
+#include "sampling/sample_set.h"
+
+namespace vas {
+
+/// Fills `sample->density` so that density[i] is the number of dataset
+/// tuples whose nearest sample point is sample->ids[i] (every tuple is
+/// counted exactly once; counts sum to dataset.size()). Uses a k-d tree
+/// over the sample, O(N log K) — the paper's suggested structure.
+/// No-op on an empty sample.
+void EmbedDensity(const Dataset& dataset, SampleSet* sample);
+
+/// Convenience: returns a copy of `sample` with density embedded and the
+/// method name suffixed with "+density".
+SampleSet WithDensity(const Dataset& dataset, SampleSet sample);
+
+}  // namespace vas
+
+#endif  // VAS_CORE_DENSITY_H_

@@ -1,0 +1,158 @@
+#include "core/exact_solver.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/interchange.h"
+#include "core/objective.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace vas {
+
+namespace {
+
+/// Greedy max-min-distance seed: start from the pair with the smallest
+/// kernel value (most separated), then repeatedly add the point whose
+/// kernel mass against the chosen set is minimal.
+std::vector<size_t> GreedySeed(const std::vector<std::vector<double>>& w,
+                               size_t n, size_t k) {
+  std::vector<size_t> chosen;
+  if (k == 0 || n == 0) return chosen;
+  if (k == 1) return {0};
+  size_t best_a = 0, best_b = 1;
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (w[i][j] < best) {
+        best = w[i][j];
+        best_a = i;
+        best_b = j;
+      }
+    }
+  }
+  chosen = {best_a, best_b};
+  std::vector<double> mass(n, 0.0);
+  std::vector<uint8_t> used(n, 0);
+  used[best_a] = used[best_b] = 1;
+  for (size_t i = 0; i < n; ++i) mass[i] = w[i][best_a] + w[i][best_b];
+  while (chosen.size() < k) {
+    size_t pick = n;
+    double pick_mass = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < n; ++i) {
+      if (!used[i] && mass[i] < pick_mass) {
+        pick_mass = mass[i];
+        pick = i;
+      }
+    }
+    VAS_CHECK(pick < n);
+    used[pick] = 1;
+    chosen.push_back(pick);
+    for (size_t i = 0; i < n; ++i) mass[i] += w[i][pick];
+  }
+  return chosen;
+}
+
+}  // namespace
+
+ExactSolver::Result ExactSolver::Solve(const Dataset& dataset,
+                                       size_t k) const {
+  size_t n = dataset.size();
+  VAS_CHECK_MSG(k <= n, "sample size exceeds dataset size");
+  Result result;
+  Stopwatch watch;
+  if (k == 0) {
+    result.proved_optimal = true;
+    return result;
+  }
+
+  double epsilon = options_.epsilon > 0.0
+                       ? options_.epsilon
+                       : GaussianKernel::DefaultEpsilon(dataset.Bounds());
+  GaussianKernel kernel = GaussianKernel::PairKernelFor(epsilon);
+
+  // Dense pairwise kernel matrix; N is small by contract.
+  std::vector<std::vector<double>> w(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double v = kernel(dataset.points[i], dataset.points[j]);
+      w[i][j] = v;
+      w[j][i] = v;
+    }
+  }
+  auto objective_of = [&](const std::vector<size_t>& ids) {
+    double total = 0.0;
+    for (size_t a = 0; a < ids.size(); ++a) {
+      for (size_t b = a + 1; b < ids.size(); ++b) {
+        total += w[ids[a]][ids[b]];
+      }
+    }
+    return total;
+  };
+
+  // Incumbent: greedy seed polished by Interchange.
+  std::vector<size_t> best_ids = GreedySeed(w, n, k);
+  double best_obj = objective_of(best_ids);
+  {
+    InterchangeSampler::Options opt;
+    opt.epsilon = epsilon;
+    opt.optimization = InterchangeSampler::Optimization::kExpandShrink;
+    opt.max_passes = 16;
+    opt.seed = options_.seed;
+    auto run = InterchangeSampler(opt).Run(dataset, k);
+    double obj = objective_of(run.sample.ids);
+    if (obj < best_obj) {
+      best_obj = obj;
+      best_ids = run.sample.ids;
+    }
+  }
+
+  // Depth-first branch and bound over index-ordered subsets.
+  std::vector<size_t> partial;
+  partial.reserve(k);
+  // mass_to_partial[i] = Σ_{c in partial} w[i][c], maintained on push/pop.
+  std::vector<double> mass_to_partial(n, 0.0);
+  bool out_of_time = false;
+
+  // Explicit stack DFS would obscure the push/pop symmetry; recursion
+  // depth is at most k (= tiny).
+  auto dfs = [&](auto&& self, size_t next, double partial_obj) -> void {
+    if (out_of_time) return;
+    if ((++result.nodes_explored & 4095) == 0 &&
+        options_.time_budget_seconds > 0.0 &&
+        watch.ElapsedSeconds() > options_.time_budget_seconds) {
+      out_of_time = true;
+      return;
+    }
+    if (partial.size() == k) {
+      if (partial_obj < best_obj) {
+        best_obj = partial_obj;
+        best_ids = partial;
+      }
+      return;
+    }
+    size_t remaining = k - partial.size();
+    for (size_t i = next; i + remaining <= n; ++i) {
+      double new_obj = partial_obj + mass_to_partial[i];
+      // Kernel mass is non-negative: new_obj lower-bounds every
+      // completion through i.
+      if (new_obj >= best_obj) continue;
+      partial.push_back(i);
+      for (size_t j = 0; j < n; ++j) mass_to_partial[j] += w[j][i];
+      self(self, i + 1, new_obj);
+      for (size_t j = 0; j < n; ++j) mass_to_partial[j] -= w[j][i];
+      partial.pop_back();
+      if (out_of_time) return;
+    }
+  };
+  dfs(dfs, 0, 0.0);
+
+  std::sort(best_ids.begin(), best_ids.end());
+  result.ids = std::move(best_ids);
+  result.objective = best_obj;
+  result.proved_optimal = !out_of_time;
+  result.seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace vas

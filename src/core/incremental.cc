@@ -1,0 +1,116 @@
+#include "core/incremental.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace vas {
+
+IncrementalVas::IncrementalVas(size_t k, Options options)
+    : k_(k),
+      options_(options),
+      kernel_(GaussianKernel::PairKernelFor(options.epsilon)),
+      radius_(kernel_.EffectiveRadius(options.locality_threshold)),
+      slots_(k),
+      heap_(k),
+      rng_(options.seed, /*seq=*/1111) {
+  VAS_CHECK_MSG(k_ > 0, "sample capacity must be positive");
+  VAS_CHECK_MSG(options_.epsilon > 0.0, "epsilon must be positive");
+}
+
+void IncrementalVas::Admit(size_t slot, Point p, double value) {
+  // Replace/insert `slot` with the new element, keeping heap and
+  // R-tree consistent.
+  if (slot < filled_) {
+    Point old = slots_[slot].point;
+    rtree_.RadiusQuery(old, radius_, [&](size_t other, Point q) {
+      if (other == slot) return;
+      heap_.Add(other, -kernel_(old, q));
+    });
+    VAS_CHECK(rtree_.Remove(old, slot));
+  }
+  double resp = 0.0;
+  rtree_.RadiusQuery(p, radius_, [&](size_t other, Point q) {
+    if (other == slot) return;
+    double v = kernel_(p, q);
+    heap_.Add(other, v);
+    resp += v;
+  });
+  heap_.Update(slot, resp);
+  rtree_.Insert(p, slot);
+  slots_[slot] = Element{tuples_seen_, p, value};
+}
+
+void IncrementalVas::Observe(Point p, double value) {
+  if (filled_ < k_) {
+    // Filling phase: take the first K stream tuples verbatim (the
+    // random-start role of Interchange's initialization; the stream
+    // order provides the randomness, and every slot will be contested
+    // from tuple K+1 on anyway).
+    Admit(filled_, p, value);
+    ++filled_;
+    ++tuples_seen_;
+    return;
+  }
+  // Expand: add the candidate's kernel mass to its neighborhood.
+  double cand_resp = 0.0;
+  std::vector<std::pair<size_t, double>> touched;
+  rtree_.RadiusQuery(p, radius_, [&](size_t slot, Point q) {
+    double v = kernel_(p, q);
+    touched.emplace_back(slot, v);
+    cand_resp += v;
+  });
+  for (const auto& [slot, v] : touched) heap_.Add(slot, v);
+  // Shrink: evict the max-responsibility element of the K+1 set.
+  if (heap_.TopKey() <= cand_resp) {
+    for (const auto& [slot, v] : touched) heap_.Add(slot, -v);  // revert
+  } else {
+    size_t victim = heap_.Top();
+    Point old = slots_[victim].point;
+    rtree_.RadiusQuery(old, radius_, [&](size_t slot, Point q) {
+      if (slot == victim) return;
+      heap_.Add(slot, -kernel_(old, q));
+    });
+    double d2 = SquaredDistance(p, old);
+    if (d2 <= radius_ * radius_) {
+      cand_resp -= kernel_.FromSquaredDistance(d2);
+    }
+    VAS_CHECK(rtree_.Remove(old, victim));
+    rtree_.Insert(p, victim);
+    heap_.Update(victim, cand_resp);
+    slots_[victim] = Element{tuples_seen_, p, value};
+  }
+  ++tuples_seen_;
+}
+
+void IncrementalVas::ObserveDataset(const Dataset& batch) {
+  for (size_t i = 0; i < batch.size(); ++i) {
+    Observe(batch.points[i], batch.ValueAt(i));
+  }
+}
+
+std::vector<IncrementalVas::Element> IncrementalVas::Sample() const {
+  std::vector<Element> out(slots_.begin(),
+                           slots_.begin() + static_cast<long>(filled_));
+  std::sort(out.begin(), out.end(), [](const Element& a, const Element& b) {
+    return a.stream_id < b.stream_id;
+  });
+  return out;
+}
+
+Dataset IncrementalVas::SampleDataset() const {
+  Dataset out;
+  out.name = "incremental_vas";
+  for (const Element& e : Sample()) {
+    out.Add(e.point, e.value);
+  }
+  return out;
+}
+
+double IncrementalVas::objective() const {
+  double total = 0.0;
+  for (size_t i = 0; i < filled_; ++i) total += heap_.KeyOf(i);
+  return total / 2.0;
+}
+
+}  // namespace vas

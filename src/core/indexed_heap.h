@@ -1,0 +1,100 @@
+// Addressable binary max-heap over a fixed slot range. The locality-
+// optimized Interchange touches only the O(neighborhood) responsibilities
+// per tuple, so finding the max responsibility by scanning all K slots
+// would dominate; this heap makes the max query O(1) and each
+// responsibility update O(log K).
+#ifndef VAS_CORE_INDEXED_HEAP_H_
+#define VAS_CORE_INDEXED_HEAP_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace vas {
+
+/// Max-heap keyed by double, addressable by slot id in [0, capacity).
+/// Every slot is always present; keys change via Update().
+class IndexedMaxHeap {
+ public:
+  /// Initializes all `capacity` slots with key 0.
+  explicit IndexedMaxHeap(size_t capacity)
+      : keys_(capacity, 0.0), heap_(capacity), pos_(capacity) {
+    for (size_t i = 0; i < capacity; ++i) {
+      heap_[i] = i;
+      pos_[i] = i;
+    }
+  }
+
+  size_t capacity() const { return keys_.size(); }
+
+  double KeyOf(size_t slot) const {
+    VAS_DCHECK(slot < keys_.size());
+    return keys_[slot];
+  }
+
+  /// Sets the key of `slot`, restoring heap order.
+  void Update(size_t slot, double key) {
+    VAS_DCHECK(slot < keys_.size());
+    double old = keys_[slot];
+    keys_[slot] = key;
+    if (key > old) {
+      SiftUp(pos_[slot]);
+    } else if (key < old) {
+      SiftDown(pos_[slot]);
+    }
+  }
+
+  /// Adds `delta` to the key of `slot`.
+  void Add(size_t slot, double delta) { Update(slot, keys_[slot] + delta); }
+
+  /// Slot holding the maximum key.
+  size_t Top() const {
+    VAS_CHECK(!heap_.empty());
+    return heap_[0];
+  }
+
+  double TopKey() const { return keys_[Top()]; }
+
+ private:
+  void Swap(size_t a, size_t b) {
+    std::swap(heap_[a], heap_[b]);
+    pos_[heap_[a]] = a;
+    pos_[heap_[b]] = b;
+  }
+
+  void SiftUp(size_t i) {
+    while (i > 0) {
+      size_t parent = (i - 1) / 2;
+      if (keys_[heap_[parent]] >= keys_[heap_[i]]) break;
+      Swap(i, parent);
+      i = parent;
+    }
+  }
+
+  void SiftDown(size_t i) {
+    size_t n = heap_.size();
+    while (true) {
+      size_t left = 2 * i + 1;
+      size_t right = 2 * i + 2;
+      size_t largest = i;
+      if (left < n && keys_[heap_[left]] > keys_[heap_[largest]]) {
+        largest = left;
+      }
+      if (right < n && keys_[heap_[right]] > keys_[heap_[largest]]) {
+        largest = right;
+      }
+      if (largest == i) break;
+      Swap(i, largest);
+      i = largest;
+    }
+  }
+
+  std::vector<double> keys_;
+  std::vector<size_t> heap_;  // heap positions -> slot ids
+  std::vector<size_t> pos_;   // slot ids -> heap positions
+};
+
+}  // namespace vas
+
+#endif  // VAS_CORE_INDEXED_HEAP_H_

@@ -1,0 +1,112 @@
+#include "core/loss.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace vas {
+
+namespace {
+constexpr double kLog10E = 0.43429448190325176;  // log10(e)
+/// Terms more than e^-20 below the dominant kernel term are dropped;
+/// their combined contribution is below double noise for any plausible
+/// sample size.
+constexpr double kExponentWindow = 20.0;
+}  // namespace
+
+MonteCarloLossEstimator::MonteCarloLossEstimator(const Dataset& dataset,
+                                                 Options options)
+    : options_(options) {
+  VAS_CHECK_MSG(!dataset.empty(), "loss is undefined for an empty dataset");
+  VAS_CHECK(options_.num_probes > 0);
+  Rect bounds = dataset.Bounds();
+  epsilon_ = options_.epsilon > 0.0 ? options_.epsilon
+                                    : GaussianKernel::DefaultEpsilon(bounds);
+  double diag = std::sqrt(bounds.width() * bounds.width() +
+                          bounds.height() * bounds.height());
+  double filter = options_.domain_filter_radius > 0.0
+                      ? options_.domain_filter_radius
+                      : std::max(diag / 100.0, 1e-12);
+
+  dataset_tree_ = std::make_unique<KdTree>(dataset.points);
+
+  // Rejection-sample probes: uniform in the bounding box, kept when a
+  // dataset point lies within the filter radius (paper §VI-B.2). A
+  // pathological dataset could starve this; cap attempts and keep what
+  // we found.
+  Rng rng(options_.seed, /*seq=*/808);
+  double filter2 = filter * filter;
+  size_t attempts = 0;
+  size_t max_attempts = options_.num_probes * 1000 + 1000;
+  while (probes_.size() < options_.num_probes && attempts < max_attempts) {
+    ++attempts;
+    Point x{rng.Uniform(bounds.min_x, bounds.max_x),
+            rng.Uniform(bounds.min_y, bounds.max_y)};
+    size_t nn = dataset_tree_->Nearest(x);
+    if (SquaredDistance(x, dataset.points[nn]) <= filter2) {
+      probes_.push_back(x);
+    }
+  }
+  VAS_CHECK_MSG(!probes_.empty(), "probe generation found no in-domain point");
+  dataset_loss_ = EstimateWithTree(*dataset_tree_);
+}
+
+double MonteCarloLossEstimator::LogKernelSum(const KdTree& tree,
+                                             Point x) const {
+  const std::vector<Point>& pts = tree.points();
+  size_t nn = tree.Nearest(x);
+  VAS_CHECK(nn != KdTree::kNotFound);
+  double two_eps2 = 2.0 * epsilon_ * epsilon_;
+  double d2_min = SquaredDistance(x, pts[nn]);
+  double max_exponent = -d2_min / two_eps2;
+  // Exponents within kExponentWindow of the max satisfy
+  // d² <= d²_min + window·2ε².
+  double gather_radius = std::sqrt(d2_min + kExponentWindow * two_eps2);
+  double sum = 0.0;
+  for (size_t id : tree.RadiusQuery(x, gather_radius)) {
+    double e = -SquaredDistance(x, pts[id]) / two_eps2;
+    sum += std::exp(e - max_exponent);
+  }
+  VAS_DCHECK(sum >= 1.0);  // the nearest point contributes exactly 1
+  return max_exponent + std::log(sum);
+}
+
+LossEstimate MonteCarloLossEstimator::EstimateWithTree(
+    const KdTree& tree) const {
+  VAS_CHECK_MSG(!tree.empty(), "cannot score an empty sample");
+  // log10 point losses: point-loss(x) = 1 / Σκ, so
+  // log10 point-loss = -log Σκ · log10(e).
+  std::vector<double> log10_losses;
+  log10_losses.reserve(probes_.size());
+  for (Point x : probes_) {
+    log10_losses.push_back(-LogKernelSum(tree, x) * kLog10E);
+  }
+
+  LossEstimate out;
+  out.num_probes = log10_losses.size();
+
+  std::vector<double> sorted = log10_losses;
+  size_t mid = sorted.size() / 2;
+  std::nth_element(sorted.begin(), sorted.begin() + mid, sorted.end());
+  out.median_log10 = sorted[mid];
+
+  // Mean of the (non-log) losses via logsumexp over log-losses.
+  double m = *std::max_element(log10_losses.begin(), log10_losses.end());
+  double acc = 0.0;
+  for (double l : log10_losses) acc += std::pow(10.0, l - m);
+  out.mean_log10 =
+      m + std::log10(acc) -
+      std::log10(static_cast<double>(log10_losses.size()));
+  return out;
+}
+
+LossEstimate MonteCarloLossEstimator::Estimate(
+    const std::vector<Point>& sample_points) const {
+  KdTree tree(sample_points);
+  return EstimateWithTree(tree);
+}
+
+}  // namespace vas

@@ -1,0 +1,34 @@
+#include "core/objective.h"
+
+namespace vas {
+
+double PairwiseObjective(const std::vector<Point>& sample,
+                         const GaussianKernel& pair_kernel) {
+  double total = 0.0;
+  for (size_t i = 0; i < sample.size(); ++i) {
+    for (size_t j = i + 1; j < sample.size(); ++j) {
+      total += pair_kernel(sample[i], sample[j]);
+    }
+  }
+  return total;
+}
+
+std::vector<double> Responsibilities(const std::vector<Point>& sample,
+                                     const GaussianKernel& pair_kernel) {
+  std::vector<double> rsp(sample.size(), 0.0);
+  for (size_t i = 0; i < sample.size(); ++i) {
+    for (size_t j = i + 1; j < sample.size(); ++j) {
+      double v = pair_kernel(sample[i], sample[j]);
+      rsp[i] += 0.5 * v;
+      rsp[j] += 0.5 * v;
+    }
+  }
+  return rsp;
+}
+
+double AveragedObjective(double objective, size_t k) {
+  if (k < 2) return 0.0;
+  return objective / (static_cast<double>(k) * static_cast<double>(k - 1));
+}
+
+}  // namespace vas

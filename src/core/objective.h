@@ -1,0 +1,32 @@
+// The VAS optimization objective (paper Definition 1):
+//
+//   Obj(S) = Σ_{i<j} κ̃(s_i, s_j)
+//
+// plus the per-element responsibilities (Definition 2) used by the
+// Interchange algorithm and by the exact solver's bounds.
+#ifndef VAS_CORE_OBJECTIVE_H_
+#define VAS_CORE_OBJECTIVE_H_
+
+#include <vector>
+
+#include "core/kernel.h"
+#include "geom/point.h"
+
+namespace vas {
+
+/// Exact pairwise objective; O(K²). Fine for verification and small K.
+double PairwiseObjective(const std::vector<Point>& sample,
+                         const GaussianKernel& pair_kernel);
+
+/// Responsibility of each element: rsp(i) = ½ Σ_{j≠i} κ̃(s_i, s_j).
+/// Responsibilities sum to the objective.
+std::vector<double> Responsibilities(const std::vector<Point>& sample,
+                                     const GaussianKernel& pair_kernel);
+
+/// Averaged objective used by the paper's Theorem 3 bound:
+/// Obj(S) / (K(K-1)). Returns 0 for K < 2.
+double AveragedObjective(double objective, size_t k);
+
+}  // namespace vas
+
+#endif  // VAS_CORE_OBJECTIVE_H_

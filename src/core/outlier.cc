@@ -1,0 +1,80 @@
+#include "core/outlier.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "index/kdtree.h"
+#include "util/logging.h"
+
+namespace vas {
+
+std::vector<double> OutlierAugmentedSampler::OutlierScores(
+    const Dataset& dataset, size_t knn) {
+  KdTree tree(dataset.points);
+  std::vector<double> scores(dataset.size(), 0.0);
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    // +1 because the point itself is its own nearest neighbor.
+    auto nn = tree.KNearest(dataset.points[i], knn + 1);
+    if (nn.size() <= 1) continue;
+    scores[i] = Distance(dataset.points[i], dataset.points[nn.back()]);
+  }
+  return scores;
+}
+
+SampleSet OutlierAugmentedSampler::Sample(const Dataset& dataset,
+                                          size_t k) {
+  VAS_CHECK_MSG(options_.outlier_fraction >= 0.0 &&
+                    options_.outlier_fraction <= 1.0,
+                "outlier_fraction must be in [0, 1]");
+  SampleSet out;
+  out.method = name();
+  if (dataset.empty() || k == 0) return out;
+  if (k >= dataset.size()) {
+    out.ids.resize(dataset.size());
+    std::iota(out.ids.begin(), out.ids.end(), size_t{0});
+    return out;
+  }
+
+  // 1. Reserve the top-scoring outliers.
+  size_t num_outliers = static_cast<size_t>(
+      options_.outlier_fraction * static_cast<double>(k));
+  std::vector<size_t> outlier_ids;
+  if (num_outliers > 0) {
+    std::vector<double> scores = OutlierScores(dataset, options_.knn);
+    std::vector<size_t> order(dataset.size());
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::nth_element(order.begin(),
+                     order.begin() + static_cast<long>(num_outliers),
+                     order.end(), [&](size_t a, size_t b) {
+                       return scores[a] > scores[b];
+                     });
+    outlier_ids.assign(order.begin(),
+                       order.begin() + static_cast<long>(num_outliers));
+  }
+
+  // 2. VAS over everything else for the remaining budget. (The outliers
+  //    are also excluded from the VAS candidate pool so they are not
+  //    picked twice.)
+  std::vector<uint8_t> reserved(dataset.size(), 0);
+  for (size_t id : outlier_ids) reserved[id] = 1;
+  std::vector<size_t> rest_ids;
+  rest_ids.reserve(dataset.size() - outlier_ids.size());
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    if (!reserved[i]) rest_ids.push_back(i);
+  }
+  Dataset rest = dataset.Gather(rest_ids);
+  InterchangeSampler::Options base = options_.base;
+  if (base.epsilon <= 0.0) {
+    // Kernel from the full dataset, not the outlier-stripped one.
+    base.epsilon = GaussianKernel::DefaultEpsilon(dataset.Bounds());
+  }
+  InterchangeSampler vas_sampler(base);
+  SampleSet vas_part = vas_sampler.Sample(rest, k - outlier_ids.size());
+
+  out.ids = std::move(outlier_ids);
+  for (size_t local : vas_part.ids) out.ids.push_back(rest_ids[local]);
+  std::sort(out.ids.begin(), out.ids.end());
+  return out;
+}
+
+}  // namespace vas

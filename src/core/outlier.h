@@ -1,0 +1,44 @@
+// Outlier-preserving VAS — the paper's future work §VIII ("techniques
+// for rapidly generating visualizations for other user goals (including
+// outlier detection)"). Plain VAS can drop isolated extreme points when
+// the budget is tight, and uniform sampling almost surely does; this
+// sampler reserves part of the budget for the strongest outliers (by
+// k-NN distance, the standard density-based score) and spends the rest
+// on a regular VAS sample.
+#ifndef VAS_CORE_OUTLIER_H_
+#define VAS_CORE_OUTLIER_H_
+
+#include "core/interchange.h"
+
+namespace vas {
+
+/// VAS sample augmented with guaranteed outlier retention.
+class OutlierAugmentedSampler : public Sampler {
+ public:
+  struct Options {
+    /// Underlying VAS configuration for the non-outlier budget.
+    InterchangeSampler::Options base;
+    /// Fraction of the budget reserved for outliers (0..1).
+    double outlier_fraction = 0.1;
+    /// Outlier score = distance to the knn-th nearest neighbor.
+    size_t knn = 5;
+  };
+
+  explicit OutlierAugmentedSampler(Options options) : options_(options) {}
+  OutlierAugmentedSampler() : OutlierAugmentedSampler(Options{}) {}
+
+  SampleSet Sample(const Dataset& dataset, size_t k) override;
+  std::string name() const override { return "vas-outlier"; }
+
+  /// k-NN-distance outlier scores for every tuple (exposed for tests
+  /// and for building score-ranked reports).
+  static std::vector<double> OutlierScores(const Dataset& dataset,
+                                           size_t knn);
+
+ private:
+  Options options_;
+};
+
+}  // namespace vas
+
+#endif  // VAS_CORE_OUTLIER_H_

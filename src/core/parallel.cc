@@ -1,0 +1,135 @@
+#include "core/parallel.h"
+
+#include <algorithm>
+#include <numeric>
+#include <thread>
+
+#include "index/uniform_grid.h"
+#include "util/logging.h"
+
+namespace vas {
+
+std::vector<size_t> ParallelInterchangeSampler::SplitBudget(
+    const std::vector<size_t>& support_cells,
+    const std::vector<size_t>& available, size_t k) {
+  VAS_CHECK(support_cells.size() == available.size());
+  size_t shards = support_cells.size();
+  size_t total_support = std::accumulate(support_cells.begin(),
+                                         support_cells.end(), size_t{0});
+  size_t total_available =
+      std::accumulate(available.begin(), available.end(), size_t{0});
+  size_t budget = std::min(k, total_available);
+  std::vector<size_t> quota(shards, 0);
+  if (budget == 0 || total_support == 0) return quota;
+
+  // Largest-remainder apportionment by support share, clamped to
+  // availability.
+  std::vector<double> exact(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    exact[i] = static_cast<double>(budget) *
+               static_cast<double>(support_cells[i]) /
+               static_cast<double>(total_support);
+    quota[i] = std::min(static_cast<size_t>(exact[i]), available[i]);
+  }
+  size_t assigned = std::accumulate(quota.begin(), quota.end(), size_t{0});
+  // Hand out the remainder to shards with headroom, largest fractional
+  // part first.
+  std::vector<size_t> order(shards);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return exact[a] - std::floor(exact[a]) >
+           exact[b] - std::floor(exact[b]);
+  });
+  while (assigned < budget) {
+    bool progressed = false;
+    for (size_t i : order) {
+      if (assigned == budget) break;
+      if (quota[i] < available[i]) {
+        ++quota[i];
+        ++assigned;
+        progressed = true;
+      }
+    }
+    VAS_CHECK_MSG(progressed, "budget split failed to make progress");
+  }
+  return quota;
+}
+
+SampleSet ParallelInterchangeSampler::Sample(const Dataset& dataset,
+                                             size_t k) {
+  SampleSet out;
+  out.method = name();
+  if (dataset.empty() || k == 0) return out;
+  if (k >= dataset.size()) {
+    out.ids.resize(dataset.size());
+    std::iota(out.ids.begin(), out.ids.end(), size_t{0});
+    return out;
+  }
+
+  size_t shards = options_.num_shards > 0
+                      ? options_.num_shards
+                      : std::max(1u, std::thread::hardware_concurrency());
+  shards = std::min(shards, k);  // no point in empty-budget shards
+
+  Rect bounds = dataset.Bounds();
+  // Resolve epsilon globally so every shard shares one kernel.
+  InterchangeSampler::Options base = options_.base;
+  if (base.epsilon <= 0.0) {
+    base.epsilon = GaussianKernel::DefaultEpsilon(bounds);
+  }
+
+  // Partition tuples into vertical strips.
+  std::vector<std::vector<size_t>> strip_ids(shards);
+  double width = std::max(bounds.width(), 1e-300);
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    double f = (dataset.points[i].x - bounds.min_x) / width;
+    size_t s = std::min(shards - 1,
+                        static_cast<size_t>(f * static_cast<double>(shards)));
+    strip_ids[s].push_back(i);
+  }
+
+  // Census: occupied support cells per strip.
+  UniformGrid census(bounds, options_.census_cells_per_axis,
+                     options_.census_cells_per_axis);
+  census.Assign(dataset.points);
+  std::vector<size_t> support(shards, 0);
+  for (size_t c = 0; c < census.num_cells(); ++c) {
+    if (census.CountInCell(c) == 0) continue;
+    Point center = census.CellBounds(c).Center();
+    double f = (center.x - bounds.min_x) / width;
+    size_t s = std::min(shards - 1,
+                        static_cast<size_t>(f * static_cast<double>(shards)));
+    ++support[s];
+  }
+  std::vector<size_t> available(shards);
+  for (size_t s = 0; s < shards; ++s) available[s] = strip_ids[s].size();
+  std::vector<size_t> quota = SplitBudget(support, available, k);
+
+  // Run one Interchange per strip, each on its own thread.
+  std::vector<std::vector<size_t>> picked(shards);
+  std::vector<std::thread> workers;
+  workers.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    workers.emplace_back([&, s]() {
+      if (quota[s] == 0) return;
+      Dataset shard = dataset.Gather(strip_ids[s]);
+      InterchangeSampler::Options opt = base;
+      opt.seed = base.seed + s * 7919;
+      InterchangeSampler sampler(opt);
+      SampleSet local = sampler.Sample(shard, quota[s]);
+      picked[s].reserve(local.size());
+      for (size_t local_id : local.ids) {
+        picked[s].push_back(strip_ids[s][local_id]);
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+
+  for (const auto& ids : picked) {
+    out.ids.insert(out.ids.end(), ids.begin(), ids.end());
+  }
+  std::sort(out.ids.begin(), out.ids.end());
+  return out;
+}
+
+}  // namespace vas

@@ -1,0 +1,30 @@
+// Umbrella header: the VAS public API. Including this gives you the
+// sampler (InterchangeSampler), the baselines, density embedding, and
+// the loss metric — everything needed to reproduce the paper's pipeline:
+//
+//   vas::Dataset data = ...;                       // your table
+//   vas::InterchangeSampler vas_sampler;
+//   vas::SampleSet s = vas_sampler.Sample(data, 10000);
+//   vas::EmbedDensity(data, &s);                   // optional, §V
+//   vas::Dataset plot = s.Materialize(data);       // feed your renderer
+#ifndef VAS_CORE_VAS_H_
+#define VAS_CORE_VAS_H_
+
+#include "core/density.h"
+#include "core/exact_solver.h"
+#include "core/incremental.h"
+#include "core/interchange.h"
+#include "core/kernel.h"
+#include "core/loss.h"
+#include "core/objective.h"
+#include "core/outlier.h"
+#include "core/parallel.h"
+#include "data/dataset.h"
+#include "data/generators.h"
+#include "sampling/sample_io.h"
+#include "sampling/sample_set.h"
+#include "sampling/sampler.h"
+#include "sampling/stratified_sampler.h"
+#include "sampling/uniform_sampler.h"
+
+#endif  // VAS_CORE_VAS_H_

@@ -1,0 +1,49 @@
+#include "data/dataset.h"
+
+#include <cmath>
+
+namespace vas {
+
+Status Dataset::Validate() const {
+  if (has_values() && values.size() != points.size()) {
+    return Status::FailedPrecondition(
+        "values column length does not match points");
+  }
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (!std::isfinite(points[i].x) || !std::isfinite(points[i].y)) {
+      return Status::FailedPrecondition("non-finite coordinate at row " +
+                                        std::to_string(i));
+    }
+    if (has_values() && !std::isfinite(values[i])) {
+      return Status::FailedPrecondition("non-finite value at row " +
+                                        std::to_string(i));
+    }
+  }
+  return Status::OK();
+}
+
+Dataset Dataset::Filter(const Rect& rect) const {
+  Dataset out;
+  out.name = name;
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (rect.Contains(points[i])) {
+      out.points.push_back(points[i]);
+      if (has_values()) out.values.push_back(values[i]);
+    }
+  }
+  return out;
+}
+
+Dataset Dataset::Gather(const std::vector<size_t>& ids) const {
+  Dataset out;
+  out.name = name;
+  out.points.reserve(ids.size());
+  if (has_values()) out.values.reserve(ids.size());
+  for (size_t id : ids) {
+    out.points.push_back(points[id]);
+    if (has_values()) out.values.push_back(values[id]);
+  }
+  return out;
+}
+
+}  // namespace vas

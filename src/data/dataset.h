@@ -1,0 +1,57 @@
+// In-memory dataset of plot tuples. Each tuple is a 2-D coordinate (the
+// scatter-plot axes) plus one numeric value column (color encoding, e.g.
+// altitude in the paper's Geolife map plots).
+#ifndef VAS_DATA_DATASET_H_
+#define VAS_DATA_DATASET_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "util/status.h"
+
+namespace vas {
+
+/// Column-oriented container: points[i] plots at coordinates points[i]
+/// with color value values[i]. `values` may be empty when the plot has no
+/// color encoding; otherwise it must be parallel to `points`.
+struct Dataset {
+  std::string name;
+  std::vector<Point> points;
+  std::vector<double> values;
+
+  size_t size() const { return points.size(); }
+  bool empty() const { return points.empty(); }
+  bool has_values() const { return !values.empty(); }
+
+  /// Value of tuple i, or 0 when the dataset has no value column.
+  double ValueAt(size_t i) const {
+    return has_values() ? values[i] : 0.0;
+  }
+
+  /// Bounding box of all points (cached nowhere; O(n)).
+  Rect Bounds() const { return Rect::BoundingBox(points); }
+
+  /// Appends one tuple.
+  void Add(Point p, double value) {
+    points.push_back(p);
+    values.push_back(value);
+  }
+
+  /// Checks structural invariants (parallel arrays, finite coordinates).
+  Status Validate() const;
+
+  /// Returns the subset of tuples whose point lies in `rect`,
+  /// preserving order — the relational "WHERE x BETWEEN … AND y
+  /// BETWEEN …" a visualization tool issues when zooming.
+  Dataset Filter(const Rect& rect) const;
+
+  /// Materializes the tuples at `ids` (e.g. a sample) as a new Dataset.
+  Dataset Gather(const std::vector<size_t>& ids) const;
+};
+
+}  // namespace vas
+
+#endif  // VAS_DATA_DATASET_H_

@@ -1,0 +1,27 @@
+// Dataset persistence: CSV for interchange with plotting tools, and a
+// simple length-prefixed binary format for fast reload of large
+// generated corpora between experiment runs.
+#ifndef VAS_DATA_DATASET_IO_H_
+#define VAS_DATA_DATASET_IO_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace vas {
+
+/// Writes "x,y,value" rows with a header line.
+Status WriteCsv(const Dataset& dataset, const std::string& path);
+
+/// Reads a CSV produced by WriteCsv (or any x,y[,value] file with a
+/// header). Rows failing to parse produce an error, not a skip.
+StatusOr<Dataset> ReadCsv(const std::string& path);
+
+/// Binary format: magic, row count, then packed doubles.
+Status WriteBinary(const Dataset& dataset, const std::string& path);
+StatusOr<Dataset> ReadBinary(const std::string& path);
+
+}  // namespace vas
+
+#endif  // VAS_DATA_DATASET_IO_H_

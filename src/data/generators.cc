@@ -1,0 +1,234 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace vas {
+
+GeolifeLikeGenerator::GeolifeLikeGenerator(Options options)
+    : options_(options) {
+  VAS_CHECK(options_.num_hotspots > 0);
+  VAS_CHECK(!options_.domain.empty());
+  Rng rng(options_.seed, /*seq=*/101);
+
+  // Hot spots: positions biased toward the domain center (an urban
+  // core), weights Zipf-like so a few spots dominate — matching the
+  // extreme density skew of real GPS corpora.
+  Point center = options_.domain.Center();
+  double span = std::min(options_.domain.width(), options_.domain.height());
+  for (size_t i = 0; i < options_.num_hotspots; ++i) {
+    Hotspot h;
+    double radial = 0.08 * span * std::abs(rng.Gaussian()) +
+                    0.30 * span * rng.NextDouble();
+    double angle = rng.Uniform(0.0, 2.0 * M_PI);
+    h.center = {center.x + radial * std::cos(angle),
+                center.y + radial * std::sin(angle)};
+    h.sigma = span * rng.Uniform(0.004, 0.03);
+    h.weight = 1.0 / std::pow(static_cast<double>(i + 1), 1.2);
+    hotspots_.push_back(h);
+  }
+
+  // Altitude surface: a handful of broad hills; smooth so that nearby
+  // sample points predict the altitude at a probe location.
+  size_t num_hills = 6;
+  for (size_t i = 0; i < num_hills; ++i) {
+    hill_centers_.push_back({rng.Uniform(options_.domain.min_x,
+                                         options_.domain.max_x),
+                             rng.Uniform(options_.domain.min_y,
+                                         options_.domain.max_y)});
+    hill_sigmas_.push_back(span * rng.Uniform(0.15, 0.45));
+    hill_heights_.push_back(rng.Uniform(50.0, 500.0));
+  }
+}
+
+double GeolifeLikeGenerator::AltitudeAt(Point p) const {
+  double alt = 20.0;
+  for (size_t i = 0; i < hill_centers_.size(); ++i) {
+    double d2 = SquaredDistance(p, hill_centers_[i]);
+    alt += hill_heights_[i] *
+           std::exp(-d2 / (2.0 * hill_sigmas_[i] * hill_sigmas_[i]));
+  }
+  return alt;
+}
+
+Dataset GeolifeLikeGenerator::Generate() const {
+  Rng rng(options_.seed, /*seq=*/202);
+  Dataset out;
+  out.name = "geolife_like";
+  out.points.reserve(options_.num_points);
+  out.values.reserve(options_.num_points);
+
+  std::vector<double> weights;
+  weights.reserve(hotspots_.size());
+  for (const Hotspot& h : hotspots_) weights.push_back(h.weight);
+
+  auto clamp_into_domain = [&](Point p) {
+    p.x = std::clamp(p.x, options_.domain.min_x, options_.domain.max_x);
+    p.y = std::clamp(p.y, options_.domain.min_y, options_.domain.max_y);
+    return p;
+  };
+  auto emit = [&](Point p) {
+    p = clamp_into_domain(p);
+    out.Add(p, AltitudeAt(p) + rng.Gaussian(0.0, 2.0));
+  };
+
+  size_t n = options_.num_points;
+  size_t n_background = static_cast<size_t>(
+      static_cast<double>(n) * options_.background_fraction);
+  size_t n_trajectory = static_cast<size_t>(
+      static_cast<double>(n) * options_.trajectory_fraction);
+  size_t n_cluster = n - n_background - n_trajectory;
+
+  // 1. In-cluster wander: short correlated random walks inside a hot
+  //    spot, mimicking pedestrian GPS jitter.
+  while (out.size() < n_cluster) {
+    const Hotspot& h = hotspots_[rng.Categorical(weights)];
+    Point p = {rng.Gaussian(h.center.x, h.sigma),
+               rng.Gaussian(h.center.y, h.sigma)};
+    size_t walk_len = 1 + rng.Below(16);
+    for (size_t s = 0; s < walk_len && out.size() < n_cluster; ++s) {
+      emit(p);
+      p.x += rng.Gaussian(0.0, h.sigma * 0.15);
+      p.y += rng.Gaussian(0.0, h.sigma * 0.15);
+    }
+  }
+
+  // 2. Trajectories: noisy line segments between two hot spots —
+  //    the thin "road" filaments that uniform sampling starves.
+  while (out.size() < n_cluster + n_trajectory) {
+    const Hotspot& a = hotspots_[rng.Categorical(weights)];
+    const Hotspot& b = hotspots_[rng.Categorical(weights)];
+    size_t steps = 8 + rng.Below(40);
+    double road_noise =
+        0.002 * std::min(options_.domain.width(), options_.domain.height());
+    for (size_t s = 0;
+         s < steps && out.size() < n_cluster + n_trajectory; ++s) {
+      double t = static_cast<double>(s) / static_cast<double>(steps);
+      Point p = a.center * (1.0 - t) + b.center * t;
+      // Slight arc so roads are not perfectly straight.
+      double bulge = std::sin(t * M_PI) * road_noise * 8.0;
+      p.x += rng.Gaussian(0.0, road_noise) + bulge;
+      p.y += rng.Gaussian(0.0, road_noise) - bulge;
+      emit(p);
+    }
+  }
+
+  // 3. Sparse rural background.
+  while (out.size() < n) {
+    emit({rng.Uniform(options_.domain.min_x, options_.domain.max_x),
+          rng.Uniform(options_.domain.min_y, options_.domain.max_y)});
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> SplomGenerator::GenerateColumns() const {
+  VAS_CHECK(options_.num_columns >= 2);
+  Rng rng(options_.seed, /*seq=*/303);
+  std::vector<std::vector<double>> cols(
+      options_.num_columns, std::vector<double>(options_.num_rows));
+  double rho = options_.correlation;
+  double noise = std::sqrt(std::max(0.0, 1.0 - rho * rho));
+  for (size_t r = 0; r < options_.num_rows; ++r) {
+    cols[0][r] = rng.Gaussian();
+    for (size_t c = 1; c < options_.num_columns; ++c) {
+      cols[c][r] = rho * cols[c - 1][r] + noise * rng.Gaussian();
+    }
+  }
+  return cols;
+}
+
+Dataset SplomGenerator::Generate(size_t cx, size_t cy, size_t cvalue) const {
+  VAS_CHECK(cx < options_.num_columns && cy < options_.num_columns);
+  auto cols = GenerateColumns();
+  Dataset out;
+  out.name = "splom";
+  out.points.reserve(options_.num_rows);
+  out.values.reserve(options_.num_rows);
+  bool has_value_col = cvalue < options_.num_columns;
+  for (size_t r = 0; r < options_.num_rows; ++r) {
+    out.Add({cols[cx][r], cols[cy][r]},
+            has_value_col ? cols[cvalue][r] : 0.0);
+  }
+  return out;
+}
+
+GaussianMixtureGenerator::GaussianMixtureGenerator(Options options)
+    : options_(std::move(options)) {
+  VAS_CHECK_MSG(!options_.clusters.empty(),
+                "mixture needs at least one cluster");
+}
+
+Dataset GaussianMixtureGenerator::Generate() const {
+  Rng rng(options_.seed, /*seq=*/404);
+  std::vector<double> weights;
+  weights.reserve(options_.clusters.size());
+  for (const Cluster& c : options_.clusters) weights.push_back(c.weight);
+
+  Dataset out;
+  out.name = "gaussian_mixture";
+  out.points.reserve(options_.num_points);
+  out.values.reserve(options_.num_points);
+  for (size_t i = 0; i < options_.num_points; ++i) {
+    size_t k = rng.Categorical(weights);
+    const Cluster& c = options_.clusters[k];
+    double u = rng.Gaussian();
+    double v = rng.Gaussian();
+    // Cholesky of [[sx², rho·sx·sy], [rho·sx·sy, sy²]].
+    double x = c.mean.x + c.sigma_x * u;
+    double y = c.mean.y +
+               c.sigma_y * (c.rho * u + std::sqrt(1.0 - c.rho * c.rho) * v);
+    out.Add({x, y}, static_cast<double>(k));
+  }
+  return out;
+}
+
+GaussianMixtureGenerator::Options
+GaussianMixtureGenerator::ClusterStudyOptions(int num_clusters, int variant,
+                                              size_t num_points,
+                                              uint64_t seed) {
+  VAS_CHECK(num_clusters == 1 || num_clusters == 2);
+  Options opt;
+  opt.num_points = num_points;
+  opt.seed = seed + static_cast<uint64_t>(variant) * 97;
+  if (num_clusters == 1) {
+    Cluster c;
+    c.mean = {0.0, 0.0};
+    c.sigma_x = variant % 2 == 0 ? 1.0 : 1.6;
+    c.sigma_y = variant % 2 == 0 ? 1.0 : 0.7;
+    c.rho = variant % 2 == 0 ? 0.0 : 0.4;
+    opt.clusters.push_back(c);
+  } else {
+    Cluster a;
+    a.mean = {-2.2, 0.0};
+    a.sigma_x = 0.8;
+    a.sigma_y = variant % 2 == 0 ? 0.8 : 1.2;
+    Cluster b;
+    b.mean = {2.2, variant % 2 == 0 ? 0.0 : 1.0};
+    b.sigma_x = variant % 2 == 0 ? 0.8 : 0.6;
+    b.sigma_y = 0.8;
+    b.weight = variant % 2 == 0 ? 1.0 : 0.7;
+    opt.clusters.push_back(a);
+    opt.clusters.push_back(b);
+  }
+  return opt;
+}
+
+Dataset GenerateUniform(const Rect& domain, size_t num_points,
+                        uint64_t seed) {
+  VAS_CHECK(!domain.empty());
+  Rng rng(seed, /*seq=*/505);
+  Dataset out;
+  out.name = "uniform";
+  out.points.reserve(num_points);
+  out.values.reserve(num_points);
+  for (size_t i = 0; i < num_points; ++i) {
+    out.Add({rng.Uniform(domain.min_x, domain.max_x),
+             rng.Uniform(domain.min_y, domain.max_y)},
+            0.0);
+  }
+  return out;
+}
+
+}  // namespace vas

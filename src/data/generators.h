@@ -1,0 +1,127 @@
+// Synthetic workload generators standing in for the paper's datasets.
+//
+// The paper evaluates on (1) Geolife — 24.4M GPS (lat, lon, altitude)
+// tuples around Beijing, and (2) SPLOM — a 5-column, 1B-row Gaussian
+// synthetic from the immens/Profiler projects — plus small Gaussian
+// mixtures for the clustering user study. We do not ship Geolife, so
+// GeolifeLikeGenerator synthesizes a GPS-trace workload with the same
+// statistical character: a heavy-tailed mixture of urban hot spots,
+// road-like filaments between them, and sparse rural tails, with an
+// altitude field that varies smoothly over space. Every property VAS and
+// its baselines are sensitive to — extreme density skew, thin structures
+// that uniform sampling misses, a regressable value surface — is present.
+#ifndef VAS_DATA_GENERATORS_H_
+#define VAS_DATA_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "geom/rect.h"
+#include "util/random.h"
+
+namespace vas {
+
+/// GPS-trace-like map-plot workload (Geolife substitute).
+class GeolifeLikeGenerator {
+ public:
+  struct Options {
+    size_t num_points = 100000;
+    /// Gaussian "city" hot spots with Zipf-distributed popularity.
+    size_t num_hotspots = 24;
+    /// Fraction of points emitted as road-like trajectories between
+    /// hot spots (the rest are in-cluster wander).
+    double trajectory_fraction = 0.35;
+    /// Fraction of points scattered as sparse rural background.
+    double background_fraction = 0.02;
+    Rect domain = Rect::Of(0.0, 0.0, 10.0, 10.0);
+    uint64_t seed = 7;
+  };
+
+  explicit GeolifeLikeGenerator(Options options);
+
+  /// Generates the dataset; deterministic in Options::seed.
+  Dataset Generate() const;
+
+  /// Ground-truth altitude surface (sum of smooth hills); exposed so the
+  /// evaluation harness can grade regression answers exactly.
+  double AltitudeAt(Point p) const;
+
+ private:
+  struct Hotspot {
+    Point center;
+    double sigma;
+    double weight;
+  };
+
+  Options options_;
+  std::vector<Hotspot> hotspots_;
+  // Altitude hills (fixed by seed): centers, radii, heights.
+  std::vector<Point> hill_centers_;
+  std::vector<double> hill_sigmas_;
+  std::vector<double> hill_heights_;
+};
+
+/// SPLOM synthetic: `num_columns` correlated Gaussian columns (immens /
+/// Profiler construction). Column c is a noisy linear function of column
+/// c-1, so every scatter pair shows an elongated Gaussian cloud.
+class SplomGenerator {
+ public:
+  struct Options {
+    size_t num_rows = 100000;
+    size_t num_columns = 5;
+    double correlation = 0.8;
+    uint64_t seed = 11;
+  };
+
+  explicit SplomGenerator(Options options) : options_(options) {}
+
+  /// All columns, column-major.
+  std::vector<std::vector<double>> GenerateColumns() const;
+
+  /// Dataset plotting column `cx` against `cy`, colored by `cvalue`.
+  Dataset Generate(size_t cx = 0, size_t cy = 1, size_t cvalue = 2) const;
+
+ private:
+  Options options_;
+};
+
+/// Mixture of 2-D Gaussian clusters; used for the clustering user study
+/// (the paper generated 4 datasets from 1 or 2 Gaussians).
+class GaussianMixtureGenerator {
+ public:
+  struct Cluster {
+    Point mean;
+    double sigma_x = 1.0;
+    double sigma_y = 1.0;
+    /// Correlation in [-1, 1] tilting the cluster.
+    double rho = 0.0;
+    double weight = 1.0;
+  };
+
+  struct Options {
+    std::vector<Cluster> clusters;
+    size_t num_points = 10000;
+    uint64_t seed = 13;
+  };
+
+  explicit GaussianMixtureGenerator(Options options);
+
+  Dataset Generate() const;
+
+  /// The paper's clustering stimuli: `num_clusters` in {1, 2}, spread
+  /// controls overlap; variant picks among a few covariance shapes.
+  static Options ClusterStudyOptions(int num_clusters, int variant,
+                                     size_t num_points, uint64_t seed);
+
+ private:
+  Options options_;
+};
+
+/// Uniform points in a rectangle; the degenerate no-skew baseline used by
+/// tests and micro-benchmarks.
+Dataset GenerateUniform(const Rect& domain, size_t num_points, uint64_t seed);
+
+}  // namespace vas
+
+#endif  // VAS_DATA_GENERATORS_H_

@@ -1,0 +1,42 @@
+#include "engine/sample_catalog.h"
+
+#include <algorithm>
+
+#include "core/density.h"
+#include "util/logging.h"
+
+namespace vas {
+
+SampleCatalog::SampleCatalog(const Dataset& dataset, Sampler& sampler,
+                             Options options) {
+  VAS_CHECK_MSG(!options.ladder.empty(), "catalog needs at least one rung");
+  std::vector<size_t> ladder = options.ladder;
+  std::sort(ladder.begin(), ladder.end());
+  for (size_t& k : ladder) k = std::min(k, dataset.size());
+  ladder.erase(std::unique(ladder.begin(), ladder.end()), ladder.end());
+
+  for (size_t k : ladder) {
+    SampleSet s = sampler.Sample(dataset, k);
+    if (options.embed_density) EmbedDensity(dataset, &s);
+    samples_.push_back(std::move(s));
+  }
+}
+
+const SampleSet& SampleCatalog::ChooseForTimeBudget(
+    double seconds, const VizTimeModel& model) const {
+  const SampleSet* best = &samples_.front();
+  for (const SampleSet& s : samples_) {
+    if (model.SecondsFor(s.size()) <= seconds) best = &s;
+  }
+  return *best;
+}
+
+const SampleSet& SampleCatalog::ChooseBySize(size_t max_points) const {
+  const SampleSet* best = &samples_.front();
+  for (const SampleSet& s : samples_) {
+    if (s.size() <= max_points) best = &s;
+  }
+  return *best;
+}
+
+}  // namespace vas

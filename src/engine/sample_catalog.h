@@ -1,0 +1,52 @@
+// Offline sample catalog (paper §II-B, §II-D). VAS is "a specialized
+// index designed for visualization workloads": for each frequently
+// visualized column pair, a ladder of pre-built samples of increasing
+// size is materialized offline; at query time the largest sample whose
+// estimated visualization latency fits the interactivity budget is
+// served.
+#ifndef VAS_ENGINE_SAMPLE_CATALOG_H_
+#define VAS_ENGINE_SAMPLE_CATALOG_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "render/scatter_renderer.h"
+#include "sampling/sample_set.h"
+#include "sampling/sampler.h"
+#include "util/status.h"
+
+namespace vas {
+
+/// A ladder of pre-generated samples over one dataset (one indexed
+/// column pair).
+class SampleCatalog {
+ public:
+  struct Options {
+    /// Sample sizes to materialize, ascending.
+    std::vector<size_t> ladder = {100, 1000, 10000, 100000};
+    /// Also run the density-embedding pass on every sample (§V).
+    bool embed_density = true;
+  };
+
+  /// Builds every ladder rung with `sampler` (the offline, expensive
+  /// step). Rungs larger than the dataset are clamped and deduplicated.
+  SampleCatalog(const Dataset& dataset, Sampler& sampler, Options options);
+
+  const std::vector<SampleSet>& samples() const { return samples_; }
+
+  /// Largest sample whose estimated viz time fits `seconds` under
+  /// `model`. Falls back to the smallest rung when none fits (serving
+  /// nothing would be worse than serving slightly late).
+  const SampleSet& ChooseForTimeBudget(double seconds,
+                                       const VizTimeModel& model) const;
+
+  /// Largest sample with at most `max_points` points (same fallback).
+  const SampleSet& ChooseBySize(size_t max_points) const;
+
+ private:
+  std::vector<SampleSet> samples_;  // ascending by size
+};
+
+}  // namespace vas
+
+#endif  // VAS_ENGINE_SAMPLE_CATALOG_H_

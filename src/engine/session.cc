@@ -1,0 +1,51 @@
+#include "engine/session.h"
+
+#include "util/logging.h"
+
+namespace vas {
+
+InteractiveSession::InteractiveSession(Dataset dataset,
+                                       std::unique_ptr<SampleCatalog> catalog,
+                                       VizTimeModel model)
+    : dataset_(std::move(dataset)),
+      catalog_(std::move(catalog)),
+      model_(model) {
+  VAS_CHECK(catalog_ != nullptr);
+}
+
+InteractiveSession::PlotResult InteractiveSession::RequestPlot(
+    const PlotRequest& request) const {
+  const SampleSet& sample =
+      catalog_->ChooseForTimeBudget(request.time_budget_seconds, model_);
+
+  PlotResult result;
+  result.catalog_sample_size = sample.size();
+
+  bool whole_domain = request.viewport.empty();
+  size_t full_matches = 0;
+  result.tuples.name = dataset_.name + "/plot";
+  for (size_t i = 0; i < sample.ids.size(); ++i) {
+    size_t id = sample.ids[i];
+    if (whole_domain || request.viewport.Contains(dataset_.points[id])) {
+      result.tuples.points.push_back(dataset_.points[id]);
+      if (dataset_.has_values()) {
+        result.tuples.values.push_back(dataset_.values[id]);
+      }
+      if (sample.has_density()) {
+        result.density.push_back(sample.density[i]);
+      }
+    }
+  }
+  if (whole_domain) {
+    full_matches = dataset_.size();
+  } else {
+    for (const Point& p : dataset_.points) {
+      if (request.viewport.Contains(p)) ++full_matches;
+    }
+  }
+  result.estimated_viz_seconds = model_.SecondsFor(result.tuples.size());
+  result.estimated_full_viz_seconds = model_.SecondsFor(full_matches);
+  return result;
+}
+
+}  // namespace vas

@@ -1,0 +1,58 @@
+// Interactive visualization session: the ScalaR-style dynamic-reduction
+// layer between a visualization tool and the table (paper §II-A,
+// Figure 3). The tool submits a viewport (zoom rectangle) and a latency
+// budget; the session converts the budget into a sample size, fetches
+// the sampled tuples under the viewport predicate, and reports what an
+// external renderer would have cost with and without sampling.
+#ifndef VAS_ENGINE_SESSION_H_
+#define VAS_ENGINE_SESSION_H_
+
+#include <memory>
+
+#include "engine/sample_catalog.h"
+#include "engine/table.h"
+#include "geom/rect.h"
+
+namespace vas {
+
+/// One user's interactive exploration of one plotted column pair.
+class InteractiveSession {
+ public:
+  struct PlotRequest {
+    /// Zoom viewport in data coordinates; an empty rect means "all".
+    Rect viewport;
+    /// Interactivity budget (HCI guidance: 0.5–2 s).
+    double time_budget_seconds = 2.0;
+  };
+
+  struct PlotResult {
+    /// Tuples to hand to the renderer (already viewport-filtered).
+    Dataset tuples;
+    /// Density counts aligned with `tuples` rows (empty when the chosen
+    /// sample has none).
+    std::vector<uint64_t> density;
+    size_t catalog_sample_size = 0;
+    double estimated_viz_seconds = 0.0;
+    /// What rendering the *unsampled* viewport contents would cost.
+    double estimated_full_viz_seconds = 0.0;
+  };
+
+  /// Takes ownership of the plotted dataset and its catalog. `model`
+  /// converts point counts to viz latency (calibrated Tableau/MathGL).
+  InteractiveSession(Dataset dataset, std::unique_ptr<SampleCatalog> catalog,
+                     VizTimeModel model);
+
+  /// Serves one plot request from the catalog.
+  PlotResult RequestPlot(const PlotRequest& request) const;
+
+  const Dataset& dataset() const { return dataset_; }
+
+ private:
+  Dataset dataset_;
+  std::unique_ptr<SampleCatalog> catalog_;
+  VizTimeModel model_;
+};
+
+}  // namespace vas
+
+#endif  // VAS_ENGINE_SESSION_H_

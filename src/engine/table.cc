@@ -1,0 +1,116 @@
+#include "engine/table.h"
+
+#include "util/logging.h"
+
+namespace vas {
+
+Status Table::AddColumn(const std::string& column_name,
+                        std::vector<double> values) {
+  if (HasColumn(column_name)) {
+    return Status::InvalidArgument("duplicate column: " + column_name);
+  }
+  if (!columns_.empty() && values.size() != num_rows_) {
+    return Status::InvalidArgument(
+        "column " + column_name + " has " + std::to_string(values.size()) +
+        " rows, table has " + std::to_string(num_rows_));
+  }
+  num_rows_ = values.size();
+  columns_.push_back(NamedColumn{column_name, std::move(values)});
+  return Status::OK();
+}
+
+const Table::NamedColumn* Table::FindColumn(
+    const std::string& column_name) const {
+  for (const NamedColumn& c : columns_) {
+    if (c.name == column_name) return &c;
+  }
+  return nullptr;
+}
+
+StatusOr<const std::vector<double>*> Table::Column(
+    const std::string& column_name) const {
+  const NamedColumn* c = FindColumn(column_name);
+  if (c == nullptr) {
+    return Status::NotFound("no such column: " + column_name);
+  }
+  return &c->values;
+}
+
+bool Table::HasColumn(const std::string& column_name) const {
+  return FindColumn(column_name) != nullptr;
+}
+
+std::vector<std::string> Table::ColumnNames() const {
+  std::vector<std::string> names;
+  names.reserve(columns_.size());
+  for (const NamedColumn& c : columns_) names.push_back(c.name);
+  return names;
+}
+
+StatusOr<std::vector<size_t>> Table::Scan(
+    const std::vector<RangePredicate>& predicates) const {
+  std::vector<const std::vector<double>*> cols;
+  cols.reserve(predicates.size());
+  for (const RangePredicate& p : predicates) {
+    const NamedColumn* c = FindColumn(p.column);
+    if (c == nullptr) {
+      return Status::NotFound("no such column: " + p.column);
+    }
+    cols.push_back(&c->values);
+  }
+  std::vector<size_t> out;
+  for (size_t row = 0; row < num_rows_; ++row) {
+    bool pass = true;
+    for (size_t p = 0; p < predicates.size(); ++p) {
+      double v = (*cols[p])[row];
+      if (v < predicates[p].lo || v > predicates[p].hi) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) out.push_back(row);
+  }
+  return out;
+}
+
+StatusOr<Dataset> Table::Project(const std::string& x, const std::string& y,
+                                 const std::string& value) const {
+  auto xcol = Column(x);
+  if (!xcol.ok()) return xcol.status();
+  auto ycol = Column(y);
+  if (!ycol.ok()) return ycol.status();
+  const std::vector<double>* vcol = nullptr;
+  if (!value.empty()) {
+    auto v = Column(value);
+    if (!v.ok()) return v.status();
+    vcol = *v;
+  }
+  Dataset out;
+  out.name = name_;
+  out.points.reserve(num_rows_);
+  for (size_t row = 0; row < num_rows_; ++row) {
+    out.points.push_back({(**xcol)[row], (**ycol)[row]});
+    if (vcol != nullptr) out.values.push_back((*vcol)[row]);
+  }
+  return out;
+}
+
+Table Table::FromDataset(const Dataset& dataset,
+                         const std::string& table_name) {
+  Table t(table_name);
+  std::vector<double> x, y;
+  x.reserve(dataset.size());
+  y.reserve(dataset.size());
+  for (Point p : dataset.points) {
+    x.push_back(p.x);
+    y.push_back(p.y);
+  }
+  VAS_CHECK(t.AddColumn("x", std::move(x)).ok());
+  VAS_CHECK(t.AddColumn("y", std::move(y)).ok());
+  if (dataset.has_values()) {
+    VAS_CHECK(t.AddColumn("value", dataset.values).ok());
+  }
+  return t;
+}
+
+}  // namespace vas

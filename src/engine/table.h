@@ -1,0 +1,73 @@
+// Minimal in-memory column store. This is the "RDBMS" of the paper's
+// architecture diagram (§II-A): the visualization tool asks it for two
+// columns (the plot axes) under range predicates (the zoom viewport),
+// and the sampling layer sits between the two. Only what the VAS
+// pipeline needs is implemented — numeric columns, appends, range scans
+// — but with real relational error handling.
+#ifndef VAS_ENGINE_TABLE_H_
+#define VAS_ENGINE_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace vas {
+
+/// A conjunctive range predicate on one column: lo <= value <= hi.
+struct RangePredicate {
+  std::string column;
+  double lo;
+  double hi;
+};
+
+/// Append-only numeric column store.
+class Table {
+ public:
+  explicit Table(std::string name = "table") : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Adds a column; all columns must have equal length.
+  Status AddColumn(const std::string& column_name,
+                   std::vector<double> values);
+
+  /// Column accessor; NotFound when absent.
+  StatusOr<const std::vector<double>*> Column(
+      const std::string& column_name) const;
+
+  bool HasColumn(const std::string& column_name) const;
+  std::vector<std::string> ColumnNames() const;
+
+  /// Row ids satisfying every predicate (full scan — the table is the
+  /// substrate, not the contribution).
+  StatusOr<std::vector<size_t>> Scan(
+      const std::vector<RangePredicate>& predicates) const;
+
+  /// Projects (x, y[, value]) columns into a plot-ready Dataset.
+  StatusOr<Dataset> Project(const std::string& x, const std::string& y,
+                            const std::string& value = "") const;
+
+  /// Imports a Dataset as a three-column table (x, y, value).
+  static Table FromDataset(const Dataset& dataset,
+                           const std::string& table_name = "dataset");
+
+ private:
+  struct NamedColumn {
+    std::string name;
+    std::vector<double> values;
+  };
+
+  const NamedColumn* FindColumn(const std::string& column_name) const;
+
+  std::string name_;
+  size_t num_rows_ = 0;
+  std::vector<NamedColumn> columns_;
+};
+
+}  // namespace vas
+
+#endif  // VAS_ENGINE_TABLE_H_

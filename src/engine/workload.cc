@@ -1,0 +1,121 @@
+#include "engine/workload.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace vas {
+
+void WorkloadLog::Record(VisualizationQuery query) {
+  queries_.push_back(std::move(query));
+}
+
+Status WorkloadLog::SaveCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out << "x,y,min_x,min_y,max_x,max_y,budget\n";
+  for (const VisualizationQuery& q : queries_) {
+    out << StrFormat("%s,%s,%.17g,%.17g,%.17g,%.17g,%.17g\n",
+                     q.x_column.c_str(), q.y_column.c_str(),
+                     q.viewport.min_x, q.viewport.min_y, q.viewport.max_x,
+                     q.viewport.max_y, q.time_budget_seconds);
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<WorkloadLog> WorkloadLog::LoadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  WorkloadLog log;
+  std::string line;
+  bool header = true;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty()) continue;
+    if (header) {
+      header = false;
+      continue;
+    }
+    auto fields = Split(stripped, ',');
+    if (fields.size() != 7) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%zu: expected 7 fields, got %zu", path.c_str(),
+                    line_no, fields.size()));
+    }
+    VisualizationQuery q;
+    q.x_column = fields[0];
+    q.y_column = fields[1];
+    double coords[4];
+    for (int i = 0; i < 4; ++i) {
+      auto v = ParseDouble(fields[2 + i]);
+      if (!v.ok()) return v.status();
+      coords[i] = *v;
+    }
+    q.viewport = Rect::Of(coords[0], coords[1], coords[2], coords[3]);
+    auto budget = ParseDouble(fields[6]);
+    if (!budget.ok()) return budget.status();
+    q.time_budget_seconds = *budget;
+    log.Record(std::move(q));
+  }
+  return log;
+}
+
+std::vector<IndexRecommendation> IndexAdvisor::RankPairs(
+    const WorkloadLog& log) {
+  // Unordered pair key: lexicographically smaller column first.
+  std::map<std::pair<std::string, std::string>, size_t> freq;
+  for (const VisualizationQuery& q : log.queries()) {
+    auto key = q.x_column <= q.y_column
+                   ? std::make_pair(q.x_column, q.y_column)
+                   : std::make_pair(q.y_column, q.x_column);
+    ++freq[key];
+  }
+  std::vector<IndexRecommendation> out;
+  out.reserve(freq.size());
+  for (const auto& [key, count] : freq) {
+    IndexRecommendation rec;
+    rec.x_column = key.first;
+    rec.y_column = key.second;
+    rec.frequency = count;
+    out.push_back(std::move(rec));
+  }
+  // Most frequent first; ties by name for determinism.
+  std::sort(out.begin(), out.end(),
+            [](const IndexRecommendation& a, const IndexRecommendation& b) {
+              if (a.frequency != b.frequency) {
+                return a.frequency > b.frequency;
+              }
+              return std::tie(a.x_column, a.y_column) <
+                     std::tie(b.x_column, b.y_column);
+            });
+  size_t running = 0;
+  for (IndexRecommendation& rec : out) {
+    running += rec.frequency;
+    rec.cumulative_coverage =
+        log.size() == 0 ? 0.0
+                        : static_cast<double>(running) /
+                              static_cast<double>(log.size());
+  }
+  return out;
+}
+
+std::vector<IndexRecommendation> IndexAdvisor::Recommend(
+    const WorkloadLog& log, double coverage_target) {
+  VAS_CHECK_MSG(coverage_target > 0.0 && coverage_target <= 1.0,
+                "coverage_target must be in (0, 1]");
+  std::vector<IndexRecommendation> ranked = RankPairs(log);
+  std::vector<IndexRecommendation> out;
+  for (IndexRecommendation& rec : ranked) {
+    out.push_back(rec);
+    if (rec.cumulative_coverage >= coverage_target) break;
+  }
+  return out;
+}
+
+}  // namespace vas

@@ -1,0 +1,73 @@
+// Workload-driven index selection (paper §II-D). VAS samples are
+// per-column-pair indexes; the paper recommends choosing indexed pairs
+// "based on the most frequently visualized columns", citing Facebook /
+// Conviva traces where 80-90% of exploratory queries touch 5-10% of the
+// column combinations. WorkloadLog records the tool-generated queries;
+// IndexAdvisor turns the log into a build list.
+#ifndef VAS_ENGINE_WORKLOAD_H_
+#define VAS_ENGINE_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/rect.h"
+#include "util/status.h"
+
+namespace vas {
+
+/// One visualization request observed at the engine boundary.
+struct VisualizationQuery {
+  std::string x_column;
+  std::string y_column;
+  /// Viewport predicate; empty = full-domain plot.
+  Rect viewport;
+  double time_budget_seconds = 2.0;
+};
+
+/// Append-only log of visualization queries.
+class WorkloadLog {
+ public:
+  void Record(VisualizationQuery query);
+  size_t size() const { return queries_.size(); }
+  const std::vector<VisualizationQuery>& queries() const {
+    return queries_;
+  }
+
+  /// Persists/restores the log as CSV (x,y,min_x,min_y,max_x,max_y,
+  /// budget) so advisor decisions survive restarts.
+  Status SaveCsv(const std::string& path) const;
+  static StatusOr<WorkloadLog> LoadCsv(const std::string& path);
+
+ private:
+  std::vector<VisualizationQuery> queries_;
+};
+
+/// A recommended column pair with its workload statistics.
+struct IndexRecommendation {
+  std::string x_column;
+  std::string y_column;
+  size_t frequency = 0;
+  /// Fraction of all logged queries covered by this pair and every
+  /// higher-ranked pair together.
+  double cumulative_coverage = 0.0;
+};
+
+/// Ranks column pairs by query frequency. Pair identity is unordered:
+/// (x, y) and (y, x) count together, since one sample serves both (a
+/// scatter plot transposes for free).
+class IndexAdvisor {
+ public:
+  /// All pairs, most frequent first.
+  static std::vector<IndexRecommendation> RankPairs(
+      const WorkloadLog& log);
+
+  /// The shortest prefix of RankPairs() covering at least
+  /// `coverage_target` (0..1] of the logged queries.
+  static std::vector<IndexRecommendation> Recommend(
+      const WorkloadLog& log, double coverage_target);
+};
+
+}  // namespace vas
+
+#endif  // VAS_ENGINE_WORKLOAD_H_

@@ -1,0 +1,82 @@
+#include "eval/spearman.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace vas {
+
+std::vector<double> AverageRanks(const std::vector<double>& values) {
+  size_t n = values.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return values[a] < values[b]; });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    // Ties share the average of their would-be ranks (1-based).
+    double avg = (static_cast<double>(i + 1) + static_cast<double>(j + 1)) /
+                 2.0;
+    for (size_t t = i; t <= j; ++t) ranks[order[t]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+namespace {
+
+double Pearson(const std::vector<double>& x, const std::vector<double>& y) {
+  size_t n = x.size();
+  double mx = std::accumulate(x.begin(), x.end(), 0.0) /
+              static_cast<double>(n);
+  double my = std::accumulate(y.begin(), y.end(), 0.0) /
+              static_cast<double>(n);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double dx = x[i] - mx;
+    double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace
+
+double SpearmanCorrelation(const std::vector<double>& x,
+                           const std::vector<double>& y) {
+  VAS_CHECK_MSG(x.size() == y.size(), "series must have equal length");
+  VAS_CHECK_MSG(x.size() >= 2, "need at least two observations");
+  return Pearson(AverageRanks(x), AverageRanks(y));
+}
+
+double SpearmanPermutationPValue(const std::vector<double>& x,
+                                 const std::vector<double>& y,
+                                 size_t permutations, uint64_t seed) {
+  VAS_CHECK(permutations > 0);
+  double observed = std::abs(SpearmanCorrelation(x, y));
+  std::vector<double> rx = AverageRanks(x);
+  std::vector<double> ry = AverageRanks(y);
+  Rng rng(seed, /*seq=*/909);
+  size_t at_least_as_extreme = 0;
+  std::vector<double> shuffled = ry;
+  for (size_t p = 0; p < permutations; ++p) {
+    rng.Shuffle(shuffled);
+    if (std::abs(Pearson(rx, shuffled)) >= observed - 1e-12) {
+      ++at_least_as_extreme;
+    }
+  }
+  // +1 correction keeps the estimate away from an impossible exact 0.
+  return static_cast<double>(at_least_as_extreme + 1) /
+         static_cast<double>(permutations + 1);
+}
+
+}  // namespace vas

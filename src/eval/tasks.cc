@@ -1,0 +1,396 @@
+#include "eval/tasks.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "index/kdtree.h"
+#include "render/scatter_renderer.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace vas {
+
+namespace {
+
+/// Zoom rectangle of 1/factor the world extent, slid (not clipped) to
+/// stay inside the world — same policy as Viewport::ZoomedIn.
+Rect ZoomRectAround(const Rect& world, Point center, double factor) {
+  double w = world.width() / factor;
+  double h = world.height() / factor;
+  Rect zoom = Rect::Of(center.x - w / 2.0, center.y - h / 2.0,
+                       center.x + w / 2.0, center.y + h / 2.0);
+  if (zoom.min_x < world.min_x) {
+    zoom.max_x += world.min_x - zoom.min_x;
+    zoom.min_x = world.min_x;
+  }
+  if (zoom.max_x > world.max_x) {
+    zoom.min_x -= zoom.max_x - world.max_x;
+    zoom.max_x = world.max_x;
+  }
+  if (zoom.min_y < world.min_y) {
+    zoom.max_y += world.min_y - zoom.min_y;
+    zoom.min_y = world.min_y;
+  }
+  if (zoom.max_y > world.max_y) {
+    zoom.min_y -= zoom.max_y - world.max_y;
+    zoom.max_y = world.max_y;
+  }
+  return zoom;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Regression.
+
+RegressionStudy::RegressionStudy(const Dataset& dataset, Options options)
+    : options_(options) {
+  VAS_CHECK_MSG(dataset.has_values(),
+                "regression task needs a value column");
+  VAS_CHECK(!dataset.empty());
+  Rect world = dataset.Bounds();
+  auto [lo_it, hi_it] =
+      std::minmax_element(dataset.values.begin(), dataset.values.end());
+  value_range_ = std::max(*hi_it - *lo_it, 1e-12);
+
+  Rng rng(options_.seed, /*seq=*/1001);
+  KdTree tree(dataset.points);
+  questions_.reserve(options_.num_questions);
+  size_t attempts = 0;
+  while (questions_.size() < options_.num_questions &&
+         attempts < options_.num_questions * 1000) {
+    ++attempts;
+    // The paper zooms into randomly chosen *regions* (not tuples), so
+    // sparse outskirts are probed as often as dense cores — exactly
+    // where uniform sampling starves. The region must contain data for
+    // the question to have a ground truth.
+    Point center{rng.Uniform(world.min_x, world.max_x),
+                 rng.Uniform(world.min_y, world.max_y)};
+    Rect zoom = ZoomRectAround(world, center, options_.zoom_factor);
+    auto in_region = tree.RangeQuery(zoom);
+    if (in_region.empty()) continue;
+    size_t id = in_region[rng.Below(static_cast<uint32_t>(
+        in_region.size()))];
+    RegressionQuestion question;
+    question.probe = dataset.points[id];
+    question.zoom = zoom;
+    question.true_value = dataset.values[id];
+    question.choices.push_back(question.true_value);
+    // Two distractors, offset by 25-55% of the global value range in
+    // random directions (kept distinct from the truth).
+    for (int d = 0; d < 2; ++d) {
+      double magnitude = value_range_ * rng.Uniform(0.25, 0.55);
+      double sign = rng.Bernoulli(0.5) ? 1.0 : -1.0;
+      question.choices.push_back(question.true_value + sign * magnitude);
+    }
+    questions_.push_back(std::move(question));
+  }
+  VAS_CHECK_MSG(!questions_.empty(), "no regression question found data");
+}
+
+double RegressionStudy::Evaluate(const Dataset& dataset,
+                                 const SampleSet& sample) const {
+  Dataset plotted = sample.Materialize(dataset);
+  KdTree tree(plotted.points);
+  double successes = 0.0;
+  double trials = 0.0;
+  for (size_t q = 0; q < questions_.size(); ++q) {
+    const RegressionQuestion& question = questions_[q];
+    // The user can read any dot plotted inside the zoomed viewport and
+    // interpolates from the few nearest to the 'X'. An empty viewport
+    // forces "I'm not sure".
+    std::vector<size_t> in_view;
+    for (size_t id : tree.RangeQuery(question.zoom)) in_view.push_back(id);
+    if (in_view.empty()) {
+      // Nothing legible near the probe: every user answers "I'm not
+      // sure", which the study scores as incorrect.
+      trials += static_cast<double>(options_.num_users);
+      continue;
+    }
+    std::sort(in_view.begin(), in_view.end(), [&](size_t a, size_t b) {
+      return SquaredDistance(plotted.points[a], question.probe) <
+             SquaredDistance(plotted.points[b], question.probe);
+    });
+    size_t use = std::min<size_t>(3, in_view.size());
+    // Inverse-distance-weighted read of the nearest visible values.
+    double wsum = 0.0;
+    double acc = 0.0;
+    for (size_t i = 0; i < use; ++i) {
+      size_t id = in_view[i];
+      double d = Distance(plotted.points[id], question.probe);
+      double w = 1.0 / (d + 1e-9);
+      wsum += w;
+      acc += w * plotted.values[id];
+    }
+    double base_estimate = acc / wsum;
+    // Reading accuracy degrades as the nearest legible dot recedes from
+    // the probe (relative to the viewport scale).
+    double zoom_diag = std::sqrt(question.zoom.width() * question.zoom.width() +
+                                 question.zoom.height() *
+                                     question.zoom.height());
+    double nearest_d = Distance(plotted.points[in_view[0]], question.probe);
+    double noise_scale = 1.0 + 4.0 * nearest_d / std::max(zoom_diag, 1e-300);
+    for (size_t u = 0; u < options_.num_users; ++u) {
+      Rng rng(options_.seed + 7919 * (u + 1) + q, /*seq=*/1002);
+      double estimate =
+          base_estimate +
+          rng.Gaussian(0.0, options_.user.value_noise_frac * value_range_ *
+                                noise_scale);
+      size_t pick = 0;
+      double best = std::numeric_limits<double>::infinity();
+      for (size_t c = 0; c < question.choices.size(); ++c) {
+        double err = std::abs(question.choices[c] - estimate);
+        if (err < best) {
+          best = err;
+          pick = c;
+        }
+      }
+      if (pick == 0) successes += 1.0;
+      trials += 1.0;
+    }
+  }
+  return successes / std::max(trials, 1.0);
+}
+
+// ---------------------------------------------------------------------
+// Density estimation.
+
+DensityStudy::DensityStudy(const Dataset& dataset, Options options)
+    : options_(options) {
+  VAS_CHECK(!dataset.empty());
+  Rect world = dataset.Bounds();
+  KdTree tree(dataset.points);
+  Rng rng(options_.seed, /*seq=*/1003);
+
+  size_t attempts = 0;
+  while (questions_.size() < options_.num_questions &&
+         attempts < options_.num_questions * 500) {
+    ++attempts;
+    // Regions are chosen uniformly over the domain (mirroring the
+    // regression study): sparse outskirts get asked about as often as
+    // dense cores, which is where the methods differ.
+    Point center{rng.Uniform(world.min_x, world.max_x),
+                 rng.Uniform(world.min_y, world.max_y)};
+    Rect zoom = ZoomRectAround(world, center, options_.zoom_factor);
+    double side = options_.marker_frac *
+                  std::min(zoom.width(), zoom.height());
+    // Four markers at random positions, rejecting heavy overlap.
+    std::vector<Rect> markers;
+    size_t marker_tries = 0;
+    while (markers.size() < 4 && marker_tries < 200) {
+      ++marker_tries;
+      Point c{rng.Uniform(zoom.min_x + side / 2, zoom.max_x - side / 2),
+              rng.Uniform(zoom.min_y + side / 2, zoom.max_y - side / 2)};
+      Rect m = Rect::Of(c.x - side / 2, c.y - side / 2, c.x + side / 2,
+                        c.y + side / 2);
+      bool overlaps = false;
+      for (const Rect& other : markers) {
+        if (m.Intersects(other)) {
+          overlaps = true;
+          break;
+        }
+      }
+      if (!overlaps) markers.push_back(m);
+    }
+    if (markers.size() < 4) continue;
+
+    std::vector<size_t> counts;
+    counts.reserve(4);
+    for (const Rect& m : markers) counts.push_back(tree.CountInRect(m));
+    size_t densest = static_cast<size_t>(
+        std::max_element(counts.begin(), counts.end()) - counts.begin());
+    size_t sparsest = static_cast<size_t>(
+        std::min_element(counts.begin(), counts.end()) - counts.begin());
+    // A usable question has a unique densest and a unique sparsest.
+    size_t max_ties = std::count(counts.begin(), counts.end(),
+                                 counts[densest]);
+    size_t min_ties = std::count(counts.begin(), counts.end(),
+                                 counts[sparsest]);
+    if (max_ties != 1 || min_ties != 1) continue;
+
+    DensityQuestion question;
+    question.zoom = zoom;
+    question.markers = std::move(markers);
+    question.densest = densest;
+    question.sparsest = sparsest;
+    questions_.push_back(std::move(question));
+  }
+  VAS_CHECK_MSG(!questions_.empty(),
+                "could not build any density question; dataset too uniform?");
+}
+
+double DensityStudy::Evaluate(const Dataset& dataset,
+                              const SampleSet& sample) const {
+  std::vector<Point> pts = sample.MaterializePoints(dataset);
+  KdTree tree(pts);
+  double successes = 0.0;
+  double trials = 0.0;
+  for (size_t q = 0; q < questions_.size(); ++q) {
+    const DensityQuestion& question = questions_[q];
+    // Perceived visual mass in each marker: plotted dot count, or
+    // represented-tuple count for density-embedded samples (bigger dots
+    // read as more mass).
+    std::vector<double> mass(4, 0.0);
+    for (size_t m = 0; m < 4; ++m) {
+      for (size_t id : tree.RangeQuery(question.markers[m])) {
+        mass[m] += sample.has_density()
+                       ? static_cast<double>(sample.density[id])
+                       : 1.0;
+      }
+    }
+    for (size_t u = 0; u < options_.num_users; ++u) {
+      Rng rng(options_.seed + 104729 * (u + 1) + q, /*seq=*/1004);
+      std::vector<double> perceived(4);
+      for (size_t m = 0; m < 4; ++m) {
+        perceived[m] =
+            mass[m] *
+            std::max(0.0,
+                     1.0 + rng.Gaussian(0.0, options_.user.count_noise_frac));
+      }
+      // Ties (typically several empty markers) resolve by fair coin.
+      auto pick_extreme = [&](bool want_max) {
+        double extreme = want_max
+                             ? *std::max_element(perceived.begin(),
+                                                 perceived.end())
+                             : *std::min_element(perceived.begin(),
+                                                 perceived.end());
+        std::vector<size_t> tied;
+        for (size_t m = 0; m < 4; ++m) {
+          if (perceived[m] == extreme) tied.push_back(m);
+        }
+        return tied[rng.Below(static_cast<uint32_t>(tied.size()))];
+      };
+      double score = 0.0;
+      if (pick_extreme(true) == question.densest) score += 0.5;
+      if (pick_extreme(false) == question.sparsest) score += 0.5;
+      successes += score;
+      trials += 1.0;
+    }
+  }
+  return successes / std::max(trials, 1.0);
+}
+
+// ---------------------------------------------------------------------
+// Clustering.
+
+int ClusteringStudy::CountBlobs(const Dataset& dataset,
+                                const SampleSet& sample,
+                                double threshold_jitter) const {
+  size_t g = options_.grid_px;
+  ScatterRenderer::Options ropt;
+  ropt.width_px = g;
+  ropt.height_px = g;
+  ScatterRenderer renderer(ropt);
+  Viewport viewport(dataset.Bounds(), g, g);
+  std::vector<uint32_t> counts = renderer.RenderCounts(
+      sample.MaterializePoints(dataset), sample.density, viewport);
+
+  auto blobs_at_blur = [&](size_t blur_cells) -> int {
+    // Box blur: the eye merges nearby dots into a mass.
+    long r = static_cast<long>(blur_cells);
+    std::vector<double> blurred(g * g, 0.0);
+    for (long y = 0; y < static_cast<long>(g); ++y) {
+      for (long x = 0; x < static_cast<long>(g); ++x) {
+        double acc = 0.0;
+        for (long dy = -r; dy <= r; ++dy) {
+          for (long dx = -r; dx <= r; ++dx) {
+            long nx = x + dx;
+            long ny = y + dy;
+            if (nx < 0 || ny < 0 || nx >= static_cast<long>(g) ||
+                ny >= static_cast<long>(g)) {
+              continue;
+            }
+            acc += counts[static_cast<size_t>(ny) * g +
+                          static_cast<size_t>(nx)];
+          }
+        }
+        blurred[static_cast<size_t>(y) * g + static_cast<size_t>(x)] = acc;
+      }
+    }
+    double max_mass = *std::max_element(blurred.begin(), blurred.end());
+    if (max_mass <= 0.0) return 0;
+    double tau = options_.threshold_frac * max_mass *
+                 std::max(0.05, 1.0 + threshold_jitter);
+
+    // Connected components (8-connectivity) over above-threshold cells.
+    std::vector<int> label(g * g, -1);
+    double total_mass =
+        std::accumulate(blurred.begin(), blurred.end(), 0.0);
+    int blobs = 0;
+    std::vector<size_t> stack;
+    for (size_t start = 0; start < g * g; ++start) {
+      if (label[start] >= 0 || blurred[start] < tau) continue;
+      double component_mass = 0.0;
+      stack.push_back(start);
+      label[start] = blobs;
+      while (!stack.empty()) {
+        size_t cell = stack.back();
+        stack.pop_back();
+        component_mass += blurred[cell];
+        long cx = static_cast<long>(cell % g);
+        long cy = static_cast<long>(cell / g);
+        for (long dy = -1; dy <= 1; ++dy) {
+          for (long dx = -1; dx <= 1; ++dx) {
+            long nx = cx + dx;
+            long ny = cy + dy;
+            if (nx < 0 || ny < 0 || nx >= static_cast<long>(g) ||
+                ny >= static_cast<long>(g)) {
+              continue;
+            }
+            size_t n =
+                static_cast<size_t>(ny) * g + static_cast<size_t>(nx);
+            if (label[n] < 0 && blurred[n] >= tau) {
+              label[n] = blobs;
+              stack.push_back(n);
+            }
+          }
+        }
+      }
+      // Stray specks are not clusters.
+      if (component_mass >= options_.significance_frac * total_mass) {
+        ++blobs;
+      }
+    }
+    return blobs;
+  };
+
+  // Squint escalation: when the base blur shows nothing coherent (a
+  // tiny sample renders as isolated specks) or an implausible shotgun
+  // of groups, the user widens the blur until a small number of
+  // clusters emerges — people answer "2", not "0" or "19", when asked
+  // to count clusters in a dot plot.
+  int last = 0;
+  for (size_t blur = options_.blur_radius_cells; blur <= g / 4; blur *= 2) {
+    int blobs = blobs_at_blur(blur);
+    if (blobs >= 1 && blobs <= 4) return blobs;
+    if (blobs > 0) last = blobs;
+  }
+  return last;
+}
+
+double ClusteringStudy::Evaluate(const Dataset& dataset,
+                                 const SampleSet& sample,
+                                 int true_clusters) const {
+  // Confidence scales with evidence: with only a handful of dots on
+  // screen, real users guess (the paper's success drops sharply at
+  // k = 100 for every method). Model this as a lapse probability that
+  // decays with the number of visible points.
+  double lapse =
+      std::exp(-static_cast<double>(sample.size()) / 150.0);
+  double successes = 0.0;
+  for (size_t u = 0; u < options_.num_users; ++u) {
+    Rng rng(options_.seed + 15485863 * (u + 1), /*seq=*/1005);
+    int answer;
+    if (rng.Bernoulli(lapse)) {
+      answer = 1 + static_cast<int>(rng.Below(4));  // guess 1..4
+    } else {
+      double jitter = rng.Gaussian(0.0, options_.user.count_noise_frac);
+      answer = CountBlobs(dataset, sample, jitter);
+    }
+    if (answer == true_clusters) successes += 1.0;
+  }
+  return successes / static_cast<double>(options_.num_users);
+}
+
+}  // namespace vas

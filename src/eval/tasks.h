@@ -1,0 +1,162 @@
+// Simulated-user evaluation of sample visualizations — the stand-in for
+// the paper's Mechanical Turk study (§VI-B, Table I). Each study poses
+// the *same* multiple-choice questions the paper posed, and a noisy
+// ideal-observer answers them from the sampled visualization alone:
+//
+//  * Regression: "what is the value (altitude) at location X?" — the
+//    user reads nearby rendered sample points; no point within the
+//    perception radius means "I'm not sure" (scored wrong, as in the
+//    paper's answer set).
+//  * Density: "which of these 4 marked areas is densest / sparsest?" —
+//    the user compares the visual mass of each marked area (dot count,
+//    or density-scaled dot area for density-embedded samples).
+//  * Clustering: "how many clusters do you see?" — the user counts blobs
+//    on the rasterized plot (connected components after thresholding).
+//
+// The substitution preserves what the study measures: whether the sample
+// retains enough information, where the user looks, to answer correctly.
+// Perception noise makes users imperfect; averaging over many simulated
+// users mirrors the paper's 40 Turkers per question.
+#ifndef VAS_EVAL_TASKS_H_
+#define VAS_EVAL_TASKS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "geom/rect.h"
+#include "sampling/sample_set.h"
+
+namespace vas {
+
+/// Shared perception model of a simulated user.
+struct UserModel {
+  /// Relative noise when reading a value (color) off the plot; the
+  /// regression observer additionally scales this with the distance of
+  /// the nearest legible dot from the probe.
+  double value_noise_frac = 0.08;
+  /// Relative noise on perceived visual mass (density comparisons and
+  /// the clustering observer's threshold jitter).
+  double count_noise_frac = 0.20;
+};
+
+// ---------------------------------------------------------------------
+// Regression task (Table I(a)).
+
+struct RegressionQuestion {
+  Rect zoom;           // the zoomed-in viewport shown to the user
+  Point probe;         // the 'X' marker
+  double true_value;   // ground-truth value at the probe
+  /// Multiple choice: [0] = correct, rest = distractors ("I'm not sure"
+  /// is modeled as answering nothing).
+  std::vector<double> choices;
+};
+
+class RegressionStudy {
+ public:
+  struct Options {
+    size_t num_questions = 18;
+    double zoom_factor = 8.0;
+    size_t num_users = 40;
+    UserModel user;
+    uint64_t seed = 29;
+  };
+
+  /// Builds the fixed question set from the full dataset (ground truth
+  /// comes from the data itself, like the paper's use of true Geolife
+  /// altitudes).
+  RegressionStudy(const Dataset& dataset, Options options);
+
+  /// Mean success ratio of `options.num_users` simulated users answering
+  /// every question from the sampled plot.
+  double Evaluate(const Dataset& dataset, const SampleSet& sample) const;
+
+  const std::vector<RegressionQuestion>& questions() const {
+    return questions_;
+  }
+
+ private:
+  Options options_;
+  std::vector<RegressionQuestion> questions_;
+  double value_range_ = 1.0;
+};
+
+// ---------------------------------------------------------------------
+// Density estimation task (Table I(b)).
+
+struct DensityQuestion {
+  Rect zoom;
+  /// Four marked areas; the user picks the densest and the sparsest.
+  std::vector<Rect> markers;
+  size_t densest = 0;   // ground-truth indices
+  size_t sparsest = 0;
+};
+
+class DensityStudy {
+ public:
+  struct Options {
+    size_t num_questions = 15;
+    double zoom_factor = 4.0;
+    /// Marker square side, as a fraction of the zoom region side.
+    double marker_frac = 0.22;
+    size_t num_users = 40;
+    UserModel user;
+    uint64_t seed = 31;
+  };
+
+  DensityStudy(const Dataset& dataset, Options options);
+
+  /// Mean of (densest correct + sparsest correct) / 2 over users and
+  /// questions.
+  double Evaluate(const Dataset& dataset, const SampleSet& sample) const;
+
+  const std::vector<DensityQuestion>& questions() const {
+    return questions_;
+  }
+
+ private:
+  Options options_;
+  std::vector<DensityQuestion> questions_;
+};
+
+// ---------------------------------------------------------------------
+// Clustering task (Table I(c)).
+
+class ClusteringStudy {
+ public:
+  struct Options {
+    /// Raster the user "sees" when counting blobs.
+    size_t grid_px = 72;
+    /// Visual blur half-width in cells (box blur), modeling the eye's
+    /// merging of nearby dots into a mass.
+    size_t blur_radius_cells = 2;
+    /// A cell reads as "ink" when its blurred mass exceeds this fraction
+    /// of the brightest cell.
+    double threshold_frac = 0.08;
+    /// Blobs carrying less than this fraction of total mass are
+    /// dismissed as stray specks.
+    double significance_frac = 0.05;
+    size_t num_users = 40;
+    UserModel user;
+    uint64_t seed = 37;
+  };
+
+  explicit ClusteringStudy(Options options) : options_(options) {}
+  ClusteringStudy() : ClusteringStudy(Options{}) {}
+
+  /// Fraction of simulated users that report exactly `true_clusters`
+  /// after looking at the sampled plot of `dataset`.
+  double Evaluate(const Dataset& dataset, const SampleSet& sample,
+                  int true_clusters) const;
+
+  /// The blob count one noiseless user would report; exposed for tests.
+  int CountBlobs(const Dataset& dataset, const SampleSet& sample,
+                 double threshold_jitter) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace vas
+
+#endif  // VAS_EVAL_TASKS_H_

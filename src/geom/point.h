@@ -1,0 +1,39 @@
+// 2-D point type used throughout the library. Scatter/map plots are 2-D,
+// so VAS, the spatial indexes, and the renderer all operate on Point.
+#ifndef VAS_GEOM_POINT_H_
+#define VAS_GEOM_POINT_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace vas {
+
+/// A point in the plot plane (e.g. longitude/latitude for a map plot,
+/// or any two numeric columns for a scatter plot).
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend Point operator+(Point a, Point b) { return {a.x + b.x, a.y + b.y}; }
+  friend Point operator-(Point a, Point b) { return {a.x - b.x, a.y - b.y}; }
+  friend Point operator*(Point a, double s) { return {a.x * s, a.y * s}; }
+  friend Point operator*(double s, Point a) { return a * s; }
+  friend bool operator==(Point a, Point b) { return a.x == b.x && a.y == b.y; }
+};
+
+/// Squared Euclidean distance — the hot-path primitive of the proximity
+/// kernel; kept separate so callers can defer the sqrt.
+inline double SquaredDistance(Point a, Point b) {
+  double dx = a.x - b.x;
+  double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Euclidean distance.
+inline double Distance(Point a, Point b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+}  // namespace vas
+
+#endif  // VAS_GEOM_POINT_H_

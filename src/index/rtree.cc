@@ -1,0 +1,380 @@
+#include "index/rtree.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace vas {
+
+namespace {
+
+Rect PointBox(Point p) { return Rect::Of(p.x, p.y, p.x, p.y); }
+
+double Enlargement(const Rect& box, const Rect& add) {
+  Rect merged = box;
+  merged.Extend(add);
+  return merged.Area() - box.Area();
+}
+
+}  // namespace
+
+RTree::RTree(size_t max_entries) : max_entries_(max_entries) {
+  VAS_CHECK_MSG(max_entries_ >= 4, "RTree needs max_entries >= 4");
+  min_entries_ = std::max<size_t>(1, max_entries_ / 2 - 1);
+  root_ = NewNode(/*is_leaf=*/true);
+}
+
+int RTree::NewNode(bool is_leaf) {
+  int id;
+  if (!free_list_.empty()) {
+    id = free_list_.back();
+    free_list_.pop_back();
+    nodes_[id] = Node{};
+  } else {
+    id = static_cast<int>(nodes_.size());
+    nodes_.emplace_back();
+  }
+  nodes_[id].is_leaf = is_leaf;
+  return id;
+}
+
+void RTree::FreeNode(int id) { free_list_.push_back(id); }
+
+Rect RTree::NodeBox(int id) const {
+  Rect box;
+  for (const Entry& e : nodes_[id].entries) box.Extend(e.box);
+  return box;
+}
+
+int RTree::ChooseLeaf(Point p) const {
+  Rect pbox = PointBox(p);
+  int node_id = root_;
+  while (!nodes_[node_id].is_leaf) {
+    const Node& node = nodes_[node_id];
+    int best = -1;
+    double best_enlarge = std::numeric_limits<double>::infinity();
+    double best_area = std::numeric_limits<double>::infinity();
+    for (const Entry& e : node.entries) {
+      double enlarge = Enlargement(e.box, pbox);
+      double area = e.box.Area();
+      if (enlarge < best_enlarge ||
+          (enlarge == best_enlarge && area < best_area)) {
+        best_enlarge = enlarge;
+        best_area = area;
+        best = e.child;
+      }
+    }
+    VAS_CHECK(best >= 0);
+    node_id = best;
+  }
+  return node_id;
+}
+
+int RTree::SplitNode(int node_id) {
+  Node& node = nodes_[node_id];
+  std::vector<Entry> entries = std::move(node.entries);
+  node.entries.clear();
+  int sibling_id = NewNode(node.is_leaf);
+  // NewNode may reallocate nodes_; re-take the reference.
+  Node& left = nodes_[node_id];
+  Node& right = nodes_[sibling_id];
+  right.parent = left.parent;
+
+  // Quadratic seed pick: the pair wasting the most area.
+  size_t seed_a = 0, seed_b = 1;
+  double worst = -1.0;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    for (size_t j = i + 1; j < entries.size(); ++j) {
+      Rect merged = entries[i].box;
+      merged.Extend(entries[j].box);
+      double waste =
+          merged.Area() - entries[i].box.Area() - entries[j].box.Area();
+      if (waste > worst) {
+        worst = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  std::vector<bool> assigned(entries.size(), false);
+  left.entries.push_back(entries[seed_a]);
+  right.entries.push_back(entries[seed_b]);
+  assigned[seed_a] = assigned[seed_b] = true;
+  Rect left_box = entries[seed_a].box;
+  Rect right_box = entries[seed_b].box;
+  size_t remaining = entries.size() - 2;
+
+  while (remaining > 0) {
+    // Force assignment when one side must take all leftovers to reach
+    // the minimum fill.
+    if (left.entries.size() + remaining == min_entries_) {
+      for (size_t i = 0; i < entries.size(); ++i) {
+        if (!assigned[i]) {
+          left.entries.push_back(entries[i]);
+          left_box.Extend(entries[i].box);
+          assigned[i] = true;
+        }
+      }
+      remaining = 0;
+      break;
+    }
+    if (right.entries.size() + remaining == min_entries_) {
+      for (size_t i = 0; i < entries.size(); ++i) {
+        if (!assigned[i]) {
+          right.entries.push_back(entries[i]);
+          right_box.Extend(entries[i].box);
+          assigned[i] = true;
+        }
+      }
+      remaining = 0;
+      break;
+    }
+    // PickNext: entry with the largest preference difference.
+    size_t pick = 0;
+    double best_diff = -1.0;
+    for (size_t i = 0; i < entries.size(); ++i) {
+      if (assigned[i]) continue;
+      double d_left = Enlargement(left_box, entries[i].box);
+      double d_right = Enlargement(right_box, entries[i].box);
+      double diff = std::abs(d_left - d_right);
+      if (diff > best_diff) {
+        best_diff = diff;
+        pick = i;
+      }
+    }
+    double d_left = Enlargement(left_box, entries[pick].box);
+    double d_right = Enlargement(right_box, entries[pick].box);
+    bool to_left = d_left < d_right ||
+                   (d_left == d_right &&
+                    left.entries.size() <= right.entries.size());
+    if (to_left) {
+      left.entries.push_back(entries[pick]);
+      left_box.Extend(entries[pick].box);
+    } else {
+      right.entries.push_back(entries[pick]);
+      right_box.Extend(entries[pick].box);
+    }
+    assigned[pick] = true;
+    --remaining;
+  }
+
+  // Fix parent links of children moved into the sibling.
+  if (!right.is_leaf) {
+    for (const Entry& e : right.entries) nodes_[e.child].parent = sibling_id;
+  }
+  return sibling_id;
+}
+
+void RTree::AdjustTree(int node_id, int split_id) {
+  while (true) {
+    int parent = nodes_[node_id].parent;
+    if (parent < 0) {
+      // At the root. If it split, grow the tree by one level.
+      if (split_id >= 0) {
+        int new_root = NewNode(/*is_leaf=*/false);
+        nodes_[new_root].entries.push_back(
+            Entry{NodeBox(node_id), node_id, 0, {}});
+        nodes_[new_root].entries.push_back(
+            Entry{NodeBox(split_id), split_id, 0, {}});
+        nodes_[node_id].parent = new_root;
+        nodes_[split_id].parent = new_root;
+        root_ = new_root;
+      }
+      return;
+    }
+    // Refresh this node's box in its parent.
+    for (Entry& e : nodes_[parent].entries) {
+      if (e.child == node_id) {
+        e.box = NodeBox(node_id);
+        break;
+      }
+    }
+    int parent_split = -1;
+    if (split_id >= 0) {
+      nodes_[parent].entries.push_back(
+          Entry{NodeBox(split_id), split_id, 0, {}});
+      nodes_[split_id].parent = parent;
+      if (nodes_[parent].entries.size() > max_entries_) {
+        parent_split = SplitNode(parent);
+      }
+    }
+    node_id = parent;
+    split_id = parent_split;
+  }
+}
+
+void RTree::Insert(Point p, size_t payload) {
+  int leaf = ChooseLeaf(p);
+  nodes_[leaf].entries.push_back(Entry{PointBox(p), -1, payload, p});
+  int split = -1;
+  if (nodes_[leaf].entries.size() > max_entries_) split = SplitNode(leaf);
+  AdjustTree(leaf, split);
+  ++size_;
+}
+
+int RTree::FindLeaf(int node_id, Point p, size_t payload) const {
+  const Node& node = nodes_[node_id];
+  if (node.is_leaf) {
+    for (const Entry& e : node.entries) {
+      if (e.payload == payload && e.point == p) return node_id;
+    }
+    return -1;
+  }
+  for (const Entry& e : node.entries) {
+    if (e.box.Contains(p)) {
+      int found = FindLeaf(e.child, p, payload);
+      if (found >= 0) return found;
+    }
+  }
+  return -1;
+}
+
+void RTree::CollectLeafEntries(int node_id, std::vector<Entry>& out) {
+  Node& node = nodes_[node_id];
+  if (node.is_leaf) {
+    out.insert(out.end(), node.entries.begin(), node.entries.end());
+  } else {
+    for (const Entry& e : node.entries) CollectLeafEntries(e.child, out);
+  }
+  FreeNode(node_id);
+}
+
+void RTree::CondenseTree(int leaf_id) {
+  std::vector<Entry> orphans;
+  int node_id = leaf_id;
+  while (nodes_[node_id].parent >= 0) {
+    int parent = nodes_[node_id].parent;
+    if (nodes_[node_id].entries.size() < min_entries_) {
+      // Detach the underfull node; its leaf entries get reinserted.
+      auto& pe = nodes_[parent].entries;
+      for (size_t i = 0; i < pe.size(); ++i) {
+        if (pe[i].child == node_id) {
+          pe.erase(pe.begin() + i);
+          break;
+        }
+      }
+      CollectLeafEntries(node_id, orphans);
+    } else {
+      for (Entry& e : nodes_[parent].entries) {
+        if (e.child == node_id) {
+          e.box = NodeBox(node_id);
+          break;
+        }
+      }
+    }
+    node_id = parent;
+  }
+  // Shrink the tree if the root became a trivial internal node.
+  while (!nodes_[root_].is_leaf && nodes_[root_].entries.size() == 1) {
+    int old_root = root_;
+    root_ = nodes_[root_].entries[0].child;
+    nodes_[root_].parent = -1;
+    FreeNode(old_root);
+  }
+  if (!nodes_[root_].is_leaf && nodes_[root_].entries.empty()) {
+    nodes_[root_].is_leaf = true;
+  }
+  // Reinsert orphaned points without touching size_ (they were already
+  // counted).
+  for (const Entry& e : orphans) {
+    int leaf = ChooseLeaf(e.point);
+    nodes_[leaf].entries.push_back(e);
+    int split = -1;
+    if (nodes_[leaf].entries.size() > max_entries_) split = SplitNode(leaf);
+    AdjustTree(leaf, split);
+  }
+}
+
+bool RTree::Remove(Point p, size_t payload) {
+  int leaf = FindLeaf(root_, p, payload);
+  if (leaf < 0) return false;
+  auto& entries = nodes_[leaf].entries;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].payload == payload && entries[i].point == p) {
+      entries.erase(entries.begin() + i);
+      break;
+    }
+  }
+  --size_;
+  CondenseTree(leaf);
+  return true;
+}
+
+void RTree::RadiusQuery(
+    Point q, double radius,
+    const std::function<void(size_t, Point)>& visit) const {
+  VAS_CHECK(radius >= 0.0);
+  double r2 = radius * radius;
+  std::vector<int> stack = {root_};
+  while (!stack.empty()) {
+    int node_id = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[node_id];
+    for (const Entry& e : node.entries) {
+      if (e.box.SquaredDistanceTo(q) > r2) continue;
+      if (node.is_leaf) {
+        if (SquaredDistance(e.point, q) <= r2) visit(e.payload, e.point);
+      } else {
+        stack.push_back(e.child);
+      }
+    }
+  }
+}
+
+std::vector<size_t> RTree::RadiusQueryIds(Point q, double radius) const {
+  std::vector<size_t> out;
+  RadiusQuery(q, radius, [&](size_t id, Point) { out.push_back(id); });
+  return out;
+}
+
+std::vector<size_t> RTree::RangeQuery(const Rect& rect) const {
+  std::vector<size_t> out;
+  std::vector<int> stack = {root_};
+  while (!stack.empty()) {
+    int node_id = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[node_id];
+    for (const Entry& e : node.entries) {
+      if (!rect.Intersects(e.box)) continue;
+      if (node.is_leaf) {
+        if (rect.Contains(e.point)) out.push_back(e.payload);
+      } else {
+        stack.push_back(e.child);
+      }
+    }
+  }
+  return out;
+}
+
+Rect RTree::bounds() const { return NodeBox(root_); }
+
+void RTree::CheckNode(int node_id, int expected_parent,
+                      size_t& counted) const {
+  const Node& node = nodes_[node_id];
+  VAS_CHECK(node.parent == expected_parent);
+  if (node_id != root_) {
+    VAS_CHECK_MSG(node.entries.size() >= min_entries_,
+                  "underfull non-root node");
+  }
+  VAS_CHECK(node.entries.size() <= max_entries_);
+  if (node.is_leaf) {
+    counted += node.entries.size();
+    return;
+  }
+  for (const Entry& e : node.entries) {
+    Rect child_box;
+    for (const Entry& ce : nodes_[e.child].entries) child_box.Extend(ce.box);
+    VAS_CHECK_MSG(child_box == e.box, "stale bounding box");
+    CheckNode(e.child, node_id, counted);
+  }
+}
+
+void RTree::CheckInvariants() const {
+  size_t counted = 0;
+  CheckNode(root_, -1, counted);
+  VAS_CHECK_MSG(counted == size_, "size mismatch");
+}
+
+}  // namespace vas

@@ -1,0 +1,92 @@
+// Dynamic R-tree (Guttman 1984, quadratic split). The Interchange
+// algorithm's locality optimization (paper §IV-B "Speed-Up using the
+// Locality of Proximity function") keeps the current sample S in an
+// R-tree so that, when a candidate tuple arrives, only the sample points
+// within the kernel's effective radius are touched. Because Interchange
+// continuously swaps points in and out of S, the index must support both
+// Insert and Remove.
+#ifndef VAS_INDEX_RTREE_H_
+#define VAS_INDEX_RTREE_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace vas {
+
+/// R-tree over points with opaque size_t payloads. Payloads need not be
+/// unique, but Remove() erases a single (point, payload) pair.
+class RTree {
+ public:
+  /// `max_entries` is Guttman's M (node capacity); min fill is M/2 - 1,
+  /// clamped to >= 1.
+  explicit RTree(size_t max_entries = 8);
+
+  /// Inserts one point with its payload. O(log n) expected.
+  void Insert(Point p, size_t payload);
+
+  /// Removes one entry matching (point, payload) exactly. Returns false
+  /// if no such entry exists.
+  bool Remove(Point p, size_t payload);
+
+  /// Calls `visit(payload, point)` for every entry within Euclidean
+  /// distance `radius` of `q`.
+  void RadiusQuery(Point q, double radius,
+                   const std::function<void(size_t, Point)>& visit) const;
+
+  /// Payloads of all entries within `radius` of `q`.
+  std::vector<size_t> RadiusQueryIds(Point q, double radius) const;
+
+  /// Payloads of all entries inside `rect`.
+  std::vector<size_t> RangeQuery(const Rect& rect) const;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Bounding box of the whole tree (empty rect when empty).
+  Rect bounds() const;
+
+  /// Validates tree invariants (box containment, fill factors, parent
+  /// links); used by tests. Aborts on violation.
+  void CheckInvariants() const;
+
+ private:
+  struct Entry {
+    Rect box;
+    int child = -1;      // internal: node id; leaf: -1
+    size_t payload = 0;  // leaf only
+    Point point;         // leaf only
+  };
+
+  struct Node {
+    bool is_leaf = true;
+    int parent = -1;
+    std::vector<Entry> entries;
+  };
+
+  int NewNode(bool is_leaf);
+  void FreeNode(int id);
+  Rect NodeBox(int id) const;
+  int ChooseLeaf(Point p) const;
+  /// Splits an overfull node; returns the id of the newly created sibling.
+  int SplitNode(int node_id);
+  void AdjustTree(int node_id, int split_id);
+  int FindLeaf(int node_id, Point p, size_t payload) const;
+  void CondenseTree(int leaf_id);
+  void CollectLeafEntries(int node_id, std::vector<Entry>& out);
+  void CheckNode(int node_id, int expected_parent, size_t& counted) const;
+
+  size_t max_entries_;
+  size_t min_entries_;
+  std::vector<Node> nodes_;
+  std::vector<int> free_list_;
+  int root_ = -1;
+  size_t size_ = 0;
+};
+
+}  // namespace vas
+
+#endif  // VAS_INDEX_RTREE_H_

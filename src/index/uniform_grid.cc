@@ -1,0 +1,74 @@
+#include "index/uniform_grid.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace vas {
+
+UniformGrid::UniformGrid(const Rect& domain, size_t nx, size_t ny)
+    : domain_(domain), nx_(nx), ny_(ny) {
+  VAS_CHECK_MSG(nx_ > 0 && ny_ > 0, "grid needs at least one cell per axis");
+  VAS_CHECK_MSG(!domain.empty(), "grid domain must be non-empty");
+}
+
+size_t UniformGrid::CellOf(Point p) const {
+  double fx = (p.x - domain_.min_x) / std::max(domain_.width(), 1e-300);
+  double fy = (p.y - domain_.min_y) / std::max(domain_.height(), 1e-300);
+  auto clamp_cell = [](double f, size_t n) {
+    long idx = static_cast<long>(f * static_cast<double>(n));
+    if (idx < 0) idx = 0;
+    if (idx >= static_cast<long>(n)) idx = static_cast<long>(n) - 1;
+    return static_cast<size_t>(idx);
+  };
+  return clamp_cell(fy, ny_) * nx_ + clamp_cell(fx, nx_);
+}
+
+Rect UniformGrid::CellBounds(size_t cell) const {
+  VAS_CHECK(cell < num_cells());
+  size_t cy = cell / nx_;
+  size_t cx = cell % nx_;
+  double w = domain_.width() / static_cast<double>(nx_);
+  double h = domain_.height() / static_cast<double>(ny_);
+  return Rect::Of(domain_.min_x + static_cast<double>(cx) * w,
+                  domain_.min_y + static_cast<double>(cy) * h,
+                  domain_.min_x + static_cast<double>(cx + 1) * w,
+                  domain_.min_y + static_cast<double>(cy + 1) * h);
+}
+
+void UniformGrid::Assign(const std::vector<Point>& points) {
+  cells_.assign(num_cells(), {});
+  for (size_t i = 0; i < points.size(); ++i) {
+    cells_[CellOf(points[i])].push_back(i);
+  }
+}
+
+const std::vector<size_t>& UniformGrid::PointsInCell(size_t cell) const {
+  VAS_CHECK_MSG(!cells_.empty(), "Assign() not called");
+  VAS_CHECK(cell < cells_.size());
+  return cells_[cell];
+}
+
+size_t UniformGrid::CountInCell(size_t cell) const {
+  return PointsInCell(cell).size();
+}
+
+size_t UniformGrid::NumOccupiedCells() const {
+  VAS_CHECK_MSG(!cells_.empty(), "Assign() not called");
+  size_t n = 0;
+  for (const auto& c : cells_) {
+    if (!c.empty()) ++n;
+  }
+  return n;
+}
+
+size_t UniformGrid::DensestCell() const {
+  VAS_CHECK_MSG(!cells_.empty(), "Assign() not called");
+  size_t best = 0;
+  for (size_t i = 1; i < cells_.size(); ++i) {
+    if (cells_[i].size() > cells_[best].size()) best = i;
+  }
+  return best;
+}
+
+}  // namespace vas

@@ -1,0 +1,59 @@
+// Uniform grid over a rectangular domain. Serves three roles:
+//  * the strata of StratifiedSampler (the paper stratifies Geolife into a
+//    316x316 grid / 100 bins);
+//  * fast point-in-cell counting for density questions in the simulated
+//    user study;
+//  * a density raster for dataset diagnostics.
+#ifndef VAS_INDEX_UNIFORM_GRID_H_
+#define VAS_INDEX_UNIFORM_GRID_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace vas {
+
+/// Fixed nx-by-ny grid over `domain`. Points outside the domain are
+/// clamped into the border cells, so every point maps to exactly one cell.
+class UniformGrid {
+ public:
+  UniformGrid(const Rect& domain, size_t nx, size_t ny);
+
+  size_t nx() const { return nx_; }
+  size_t ny() const { return ny_; }
+  size_t num_cells() const { return nx_ * ny_; }
+  const Rect& domain() const { return domain_; }
+
+  /// Flat cell id of `p` in [0, num_cells()).
+  size_t CellOf(Point p) const;
+
+  /// Geometric bounds of cell `cell`.
+  Rect CellBounds(size_t cell) const;
+
+  /// Builds the id lists: cell -> indices of `points` falling in it.
+  void Assign(const std::vector<Point>& points);
+
+  /// After Assign(): point ids in `cell`.
+  const std::vector<size_t>& PointsInCell(size_t cell) const;
+
+  /// After Assign(): number of points in `cell`.
+  size_t CountInCell(size_t cell) const;
+
+  /// After Assign(): number of non-empty cells.
+  size_t NumOccupiedCells() const;
+
+  /// After Assign(): cell id with the most points (ties: lowest id).
+  size_t DensestCell() const;
+
+ private:
+  Rect domain_;
+  size_t nx_;
+  size_t ny_;
+  std::vector<std::vector<size_t>> cells_;
+};
+
+}  // namespace vas
+
+#endif  // VAS_INDEX_UNIFORM_GRID_H_

@@ -1,0 +1,153 @@
+#include "render/binned_aggregation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "render/colormap.h"
+#include "util/logging.h"
+
+namespace vas {
+
+namespace {
+
+size_t ClampCell(double f, size_t n) {
+  long idx = static_cast<long>(f * static_cast<double>(n));
+  if (idx < 0) idx = 0;
+  if (idx >= static_cast<long>(n)) idx = static_cast<long>(n) - 1;
+  return static_cast<size_t>(idx);
+}
+
+}  // namespace
+
+BinnedPyramid::BinnedPyramid(const Dataset& dataset, Options options) {
+  VAS_CHECK_MSG(!dataset.empty(), "cannot aggregate an empty dataset");
+  VAS_CHECK_MSG(options.max_level <= 14,
+                "max_level > 14 would allocate > 268M cells per level");
+  domain_ = dataset.Bounds();
+
+  // Finest level from the data, coarser levels by 2x2 rollup.
+  levels_.resize(options.max_level + 1);
+  for (size_t l = 0; l <= options.max_level; ++l) {
+    levels_[l].level = l;
+    levels_[l].cells_per_axis = size_t{1} << l;
+    levels_[l].counts.assign(levels_[l].cells_per_axis *
+                                 levels_[l].cells_per_axis,
+                             0);
+    levels_[l].value_sums.assign(levels_[l].counts.size(), 0.0);
+  }
+  BinnedLevel& finest = levels_[options.max_level];
+  size_t n = finest.cells_per_axis;
+  double w = std::max(domain_.width(), 1e-300);
+  double h = std::max(domain_.height(), 1e-300);
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    size_t cx = ClampCell((dataset.points[i].x - domain_.min_x) / w, n);
+    size_t cy = ClampCell((dataset.points[i].y - domain_.min_y) / h, n);
+    size_t cell = cy * n + cx;
+    ++finest.counts[cell];
+    finest.value_sums[cell] += dataset.ValueAt(i);
+  }
+  for (size_t l = options.max_level; l-- > 0;) {
+    BinnedLevel& coarse = levels_[l];
+    const BinnedLevel& fine = levels_[l + 1];
+    size_t cn = coarse.cells_per_axis;
+    for (size_t y = 0; y < fine.cells_per_axis; ++y) {
+      for (size_t x = 0; x < fine.cells_per_axis; ++x) {
+        size_t cc = (y / 2) * cn + (x / 2);
+        size_t fc = y * fine.cells_per_axis + x;
+        coarse.counts[cc] += fine.counts[fc];
+        coarse.value_sums[cc] += fine.value_sums[fc];
+      }
+    }
+  }
+}
+
+const BinnedLevel& BinnedPyramid::level(size_t l) const {
+  VAS_CHECK(l < levels_.size());
+  return levels_[l];
+}
+
+size_t BinnedPyramid::TotalCells() const {
+  size_t total = 0;
+  for (const BinnedLevel& l : levels_) total += l.counts.size();
+  return total;
+}
+
+size_t BinnedPyramid::LevelForViewport(const Rect& viewport_world,
+                                       size_t pixels_per_axis) const {
+  // Cells in view at level l: cells_per_axis * viewport/domain. Pick
+  // the coarsest level that still gives >= pixels_per_axis cells across
+  // the viewport (cell <= pixel); cap at the finest stored level.
+  double frac = std::max(
+      1e-9, std::min(1.0, viewport_world.width() /
+                              std::max(domain_.width(), 1e-300)));
+  for (size_t l = 0; l < levels_.size(); ++l) {
+    double cells_in_view =
+        static_cast<double>(levels_[l].cells_per_axis) * frac;
+    if (cells_in_view >= static_cast<double>(pixels_per_axis)) return l;
+  }
+  return levels_.size() - 1;  // zoomed past the pyramid: low-res output
+}
+
+uint64_t BinnedPyramid::CountAtLevel(const Rect& query, size_t level) const {
+  const BinnedLevel& lev = this->level(level);
+  size_t n = lev.cells_per_axis;
+  double w = std::max(domain_.width(), 1e-300);
+  double h = std::max(domain_.height(), 1e-300);
+  size_t x0 = ClampCell((query.min_x - domain_.min_x) / w, n);
+  size_t x1 = ClampCell((query.max_x - domain_.min_x) / w, n);
+  size_t y0 = ClampCell((query.min_y - domain_.min_y) / h, n);
+  size_t y1 = ClampCell((query.max_y - domain_.min_y) / h, n);
+  uint64_t total = 0;
+  for (size_t y = y0; y <= y1; ++y) {
+    for (size_t x = x0; x <= x1; ++x) {
+      total += lev.counts[y * n + x];
+    }
+  }
+  return total;
+}
+
+uint64_t BinnedPyramid::ApproxCount(const Rect& query) const {
+  return CountAtLevel(query, levels_.size() - 1);
+}
+
+Image BinnedPyramid::Render(const Rect& viewport_world, size_t width_px,
+                            size_t height_px, size_t* out_level) const {
+  size_t l = LevelForViewport(viewport_world, std::max(width_px, height_px));
+  if (out_level != nullptr) *out_level = l;
+  const BinnedLevel& lev = levels_[l];
+  size_t n = lev.cells_per_axis;
+
+  // Log-scaled density shading (standard for count heat maps).
+  double max_count = 0.0;
+  for (uint64_t c : lev.counts) {
+    max_count = std::max(max_count, static_cast<double>(c));
+  }
+  double log_max = std::log1p(max_count);
+
+  Image img(width_px, height_px, {255, 255, 255});
+  double w = std::max(domain_.width(), 1e-300);
+  double h = std::max(domain_.height(), 1e-300);
+  for (size_t py = 0; py < height_px; ++py) {
+    for (size_t px = 0; px < width_px; ++px) {
+      // Pixel center -> world -> cell.
+      double fx = (static_cast<double>(px) + 0.5) /
+                  static_cast<double>(width_px);
+      double fy = 1.0 - (static_cast<double>(py) + 0.5) /
+                            static_cast<double>(height_px);
+      Point world{viewport_world.min_x + fx * viewport_world.width(),
+                  viewport_world.min_y + fy * viewport_world.height()};
+      if (!domain_.Contains(world)) continue;
+      size_t cx = ClampCell((world.x - domain_.min_x) / w, n);
+      size_t cy = ClampCell((world.y - domain_.min_y) / h, n);
+      uint64_t count = lev.counts[cy * n + cx];
+      if (count == 0) continue;
+      double t = log_max > 0.0
+                     ? std::log1p(static_cast<double>(count)) / log_max
+                     : 1.0;
+      img.Set(px, py, MapColor(ColormapKind::kViridis, t));
+    }
+  }
+  return img;
+}
+
+}  // namespace vas

@@ -1,0 +1,80 @@
+// Binned aggregation baseline (paper §VII related work: immens [4],
+// nanocubes [5], bin-summarise-smooth [3]). Instead of sampling tuples,
+// the dataset is pre-aggregated into a multi-resolution tile pyramid of
+// per-cell counts and value means; at plot time the right level is
+// selected for the viewport and cells are rendered as shaded tiles.
+//
+// The paper's criticism, which bench_ablation demonstrates: "the exact
+// bins are chosen ahead of time, and certain operations — such as
+// zooming — entail either choosing a very small bin size (and thus
+// worse performance) or living with low-resolution results." The
+// pyramid makes the storage/zoom-fidelity trade-off concrete.
+#ifndef VAS_RENDER_BINNED_AGGREGATION_H_
+#define VAS_RENDER_BINNED_AGGREGATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "geom/rect.h"
+#include "render/image.h"
+
+namespace vas {
+
+/// One resolution level: a 2^level x 2^level grid of aggregates over
+/// the dataset's bounding box.
+struct BinnedLevel {
+  size_t level = 0;
+  size_t cells_per_axis = 1;
+  /// Row-major per-cell tuple counts.
+  std::vector<uint64_t> counts;
+  /// Row-major per-cell value sums (means = sums / counts).
+  std::vector<double> value_sums;
+};
+
+/// Multi-resolution count/mean pyramid over a dataset.
+class BinnedPyramid {
+ public:
+  struct Options {
+    /// Finest level: 2^max_level cells per axis (paper-scale systems use
+    /// 8..12; storage is 4^max_level cells).
+    size_t max_level = 8;
+  };
+
+  /// Builds all levels in one pass over the data plus pyramid rollups.
+  BinnedPyramid(const Dataset& dataset, Options options);
+
+  size_t num_levels() const { return levels_.size(); }
+  const BinnedLevel& level(size_t l) const;
+  const Rect& domain() const { return domain_; }
+
+  /// Total cells stored across levels (the storage cost knob).
+  size_t TotalCells() const;
+
+  /// The level whose cell size best matches rendering `viewport_world`
+  /// at `pixels_per_axis` (finest level whose cells are no larger than
+  /// a pixel, else the finest available — the paper's "low-resolution
+  /// results" case).
+  size_t LevelForViewport(const Rect& viewport_world,
+                          size_t pixels_per_axis) const;
+
+  /// Aggregate count over `query` at the chosen level (cells partially
+  /// covered count fully — bin-edge error is inherent to the approach).
+  uint64_t ApproxCount(const Rect& query) const;
+
+  /// Exact aggregate from the finest level's cell containment.
+  uint64_t CountAtLevel(const Rect& query, size_t level) const;
+
+  /// Renders the viewport as shaded density tiles at the auto-selected
+  /// level. `out_level` (optional) reports the level used.
+  Image Render(const Rect& viewport_world, size_t width_px,
+               size_t height_px, size_t* out_level = nullptr) const;
+
+ private:
+  Rect domain_;
+  std::vector<BinnedLevel> levels_;
+};
+
+}  // namespace vas
+
+#endif  // VAS_RENDER_BINNED_AGGREGATION_H_

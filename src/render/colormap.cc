@@ -1,0 +1,42 @@
+#include "render/colormap.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vas {
+
+namespace {
+
+// Eight control points sampled from matplotlib's viridis.
+constexpr uint8_t kViridis[8][3] = {
+    {68, 1, 84},   {70, 50, 127},  {54, 92, 141},  {39, 127, 142},
+    {31, 161, 135}, {74, 194, 109}, {159, 218, 58}, {253, 231, 37},
+};
+
+}  // namespace
+
+double NormalizeValue(double v, double lo, double hi) {
+  if (!(hi > lo)) return 0.5;
+  return std::clamp((v - lo) / (hi - lo), 0.0, 1.0);
+}
+
+Rgb MapColor(ColormapKind kind, double t) {
+  t = std::clamp(t, 0.0, 1.0);
+  if (kind == ColormapKind::kGrayscale) {
+    auto g = static_cast<uint8_t>(std::lround(t * 255.0));
+    return {g, g, g};
+  }
+  double scaled = t * 7.0;
+  size_t i = std::min<size_t>(6, static_cast<size_t>(scaled));
+  double f = scaled - static_cast<double>(i);
+  auto lerp = [f](uint8_t a, uint8_t b) {
+    return static_cast<uint8_t>(std::lround(
+        static_cast<double>(a) + f * (static_cast<double>(b) -
+                                      static_cast<double>(a))));
+  };
+  return {lerp(kViridis[i][0], kViridis[i + 1][0]),
+          lerp(kViridis[i][1], kViridis[i + 1][1]),
+          lerp(kViridis[i][2], kViridis[i + 1][2])};
+}
+
+}  // namespace vas

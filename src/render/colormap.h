@@ -1,0 +1,24 @@
+// Value -> color mapping for map plots (the paper's Figure 1 encodes
+// altitude as color). A compact viridis approximation plus a grayscale
+// map; both interpolate a small control-point table.
+#ifndef VAS_RENDER_COLORMAP_H_
+#define VAS_RENDER_COLORMAP_H_
+
+#include "render/image.h"
+
+namespace vas {
+
+enum class ColormapKind {
+  kViridis,
+  kGrayscale,
+};
+
+/// Maps t in [0, 1] (clamped) to a color.
+Rgb MapColor(ColormapKind kind, double t);
+
+/// Normalizes v from [lo, hi] to [0, 1]; degenerate ranges map to 0.5.
+double NormalizeValue(double v, double lo, double hi);
+
+}  // namespace vas
+
+#endif  // VAS_RENDER_COLORMAP_H_

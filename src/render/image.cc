@@ -1,0 +1,32 @@
+#include "render/image.h"
+
+#include <fstream>
+
+#include "util/logging.h"
+
+namespace vas {
+
+Image::Image(size_t width, size_t height, Rgb fill)
+    : width_(width), height_(height), pixels_(width * height, fill) {
+  VAS_CHECK_MSG(width > 0 && height > 0, "image must have positive size");
+}
+
+double Image::InkFraction(Rgb background) const {
+  size_t ink = 0;
+  for (const Rgb& p : pixels_) {
+    if (!(p == background)) ++ink;
+  }
+  return static_cast<double>(ink) / static_cast<double>(pixels_.size());
+}
+
+Status Image::WritePpm(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out << "P6\n" << width_ << " " << height_ << "\n255\n";
+  out.write(reinterpret_cast<const char*>(pixels_.data()),
+            static_cast<std::streamsize>(pixels_.size() * sizeof(Rgb)));
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace vas

@@ -1,0 +1,60 @@
+// Minimal RGB8 raster image with PPM output. The renderer draws scatter
+// plots into it; the evaluation harness also reads pixels back (the
+// simulated clustering user counts blobs on the rendered bitmap).
+#ifndef VAS_RENDER_IMAGE_H_
+#define VAS_RENDER_IMAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace vas {
+
+struct Rgb {
+  uint8_t r = 0;
+  uint8_t g = 0;
+  uint8_t b = 0;
+  friend bool operator==(Rgb a, Rgb b) {
+    return a.r == b.r && a.g == b.g && a.b == b.b;
+  }
+};
+
+/// Fixed-size RGB raster. Pixel (0,0) is the top-left corner.
+class Image {
+ public:
+  Image(size_t width, size_t height, Rgb fill = {255, 255, 255});
+
+  size_t width() const { return width_; }
+  size_t height() const { return height_; }
+
+  /// Unchecked fast path for hot loops; (x, y) must be in range.
+  void Set(size_t x, size_t y, Rgb c) { pixels_[y * width_ + x] = c; }
+  Rgb Get(size_t x, size_t y) const { return pixels_[y * width_ + x]; }
+
+  /// Bounds-checked variant; out-of-range writes are ignored.
+  void SetClipped(long x, long y, Rgb c) {
+    if (x < 0 || y < 0 || x >= static_cast<long>(width_) ||
+        y >= static_cast<long>(height_)) {
+      return;
+    }
+    Set(static_cast<size_t>(x), static_cast<size_t>(y), c);
+  }
+
+  /// Fraction of pixels that differ from the background color — a crude
+  /// ink metric used in tests.
+  double InkFraction(Rgb background) const;
+
+  /// Binary PPM (P6).
+  Status WritePpm(const std::string& path) const;
+
+ private:
+  size_t width_;
+  size_t height_;
+  std::vector<Rgb> pixels_;
+};
+
+}  // namespace vas
+
+#endif  // VAS_RENDER_IMAGE_H_

@@ -1,0 +1,174 @@
+#include "render/scatter_renderer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace vas {
+
+Viewport::Viewport(const Rect& world, size_t width_px, size_t height_px)
+    : world_(world), width_px_(width_px), height_px_(height_px) {
+  VAS_CHECK_MSG(!world.empty(), "viewport world rect must be non-empty");
+  VAS_CHECK(width_px > 0 && height_px > 0);
+}
+
+std::pair<long, long> Viewport::ToPixel(Point p) const {
+  double fx = (p.x - world_.min_x) / std::max(world_.width(), 1e-300);
+  double fy = (p.y - world_.min_y) / std::max(world_.height(), 1e-300);
+  long px = static_cast<long>(fx * static_cast<double>(width_px_));
+  long py = static_cast<long>((1.0 - fy) * static_cast<double>(height_px_));
+  return {px, py};
+}
+
+Viewport Viewport::ZoomedIn(Point center, double factor) const {
+  VAS_CHECK_MSG(factor >= 1.0, "zoom factor must be >= 1");
+  double w = world_.width() / factor;
+  double h = world_.height() / factor;
+  Rect zoom = Rect::Of(center.x - w / 2.0, center.y - h / 2.0,
+                       center.x + w / 2.0, center.y + h / 2.0);
+  // Slide into the world rect instead of clipping so aspect is kept.
+  if (zoom.min_x < world_.min_x) {
+    zoom.max_x += world_.min_x - zoom.min_x;
+    zoom.min_x = world_.min_x;
+  }
+  if (zoom.max_x > world_.max_x) {
+    zoom.min_x -= zoom.max_x - world_.max_x;
+    zoom.max_x = world_.max_x;
+  }
+  if (zoom.min_y < world_.min_y) {
+    zoom.max_y += world_.min_y - zoom.min_y;
+    zoom.min_y = world_.min_y;
+  }
+  if (zoom.max_y > world_.max_y) {
+    zoom.min_y -= zoom.max_y - world_.max_y;
+    zoom.max_y = world_.max_y;
+  }
+  return Viewport(zoom, width_px_, height_px_);
+}
+
+void ScatterRenderer::DrawDot(Image& img, long cx, long cy, double radius,
+                              Rgb color) const {
+  long r = std::max<long>(0, static_cast<long>(std::ceil(radius)));
+  if (r == 0) {
+    img.SetClipped(cx, cy, color);
+    return;
+  }
+  double r2 = radius * radius;
+  for (long dy = -r; dy <= r; ++dy) {
+    for (long dx = -r; dx <= r; ++dx) {
+      if (static_cast<double>(dx * dx + dy * dy) <= r2) {
+        img.SetClipped(cx + dx, cy + dy, color);
+      }
+    }
+  }
+}
+
+Image ScatterRenderer::Render(const Dataset& dataset,
+                              const Viewport& viewport) const {
+  SampleSet all;
+  all.ids.resize(dataset.size());
+  for (size_t i = 0; i < all.ids.size(); ++i) all.ids[i] = i;
+  return RenderSample(dataset, all, viewport);
+}
+
+Image ScatterRenderer::RenderSample(const Dataset& dataset,
+                                    const SampleSet& sample,
+                                    const Viewport& viewport) const {
+  Image img(options_.width_px, options_.height_px, options_.background);
+  double lo = options_.value_lo;
+  double hi = options_.value_hi;
+  if (!(hi > lo) && dataset.has_values()) {
+    lo = std::numeric_limits<double>::infinity();
+    hi = -lo;
+    for (size_t id : sample.ids) {
+      lo = std::min(lo, dataset.values[id]);
+      hi = std::max(hi, dataset.values[id]);
+    }
+  }
+  for (size_t i = 0; i < sample.ids.size(); ++i) {
+    size_t id = sample.ids[i];
+    Point p = dataset.points[id];
+    if (!viewport.world().Contains(p)) continue;
+    auto [px, py] = viewport.ToPixel(p);
+    double radius = options_.dot_radius_px;
+    if (sample.has_density()) {
+      radius = std::min(
+          options_.max_dot_radius_px,
+          options_.dot_radius_px +
+              options_.density_radius_scale *
+                  std::log1p(static_cast<double>(sample.density[i])));
+    }
+    Rgb color = dataset.has_values()
+                    ? MapColor(options_.colormap,
+                               NormalizeValue(dataset.values[id], lo, hi))
+                    : Rgb{31, 119, 180};
+    DrawDot(img, px, py, radius, color);
+  }
+  return img;
+}
+
+Image ScatterRenderer::RenderSampleJittered(const Dataset& dataset,
+                                            const SampleSet& sample,
+                                            const Viewport& viewport,
+                                            uint64_t seed) const {
+  Image img(options_.width_px, options_.height_px, options_.background);
+  double lo = options_.value_lo;
+  double hi = options_.value_hi;
+  if (!(hi > lo) && dataset.has_values()) {
+    lo = std::numeric_limits<double>::infinity();
+    hi = -lo;
+    for (size_t id : sample.ids) {
+      lo = std::min(lo, dataset.values[id]);
+      hi = std::max(hi, dataset.values[id]);
+    }
+  }
+  Rng rng(seed, /*seq=*/1212);
+  for (size_t i = 0; i < sample.ids.size(); ++i) {
+    size_t id = sample.ids[i];
+    Point p = dataset.points[id];
+    if (!viewport.world().Contains(p)) continue;
+    auto [px, py] = viewport.ToPixel(p);
+    Rgb color = dataset.has_values()
+                    ? MapColor(options_.colormap,
+                               NormalizeValue(dataset.values[id], lo, hi))
+                    : Rgb{31, 119, 180};
+    DrawDot(img, px, py, options_.dot_radius_px, color);
+    if (!sample.has_density()) continue;
+    // Companion dots: log-proportional to the represented tuple count,
+    // uniformly jittered inside the jitter disc.
+    double decades = std::log10(1.0 + static_cast<double>(sample.density[i]));
+    auto companions =
+        static_cast<size_t>(options_.jitter_dots_per_decade * decades);
+    for (size_t c = 0; c < companions; ++c) {
+      double angle = rng.Uniform(0.0, 2.0 * M_PI);
+      double r = options_.jitter_radius_px * std::sqrt(rng.NextDouble());
+      long jx = px + static_cast<long>(std::lround(r * std::cos(angle)));
+      long jy = py + static_cast<long>(std::lround(r * std::sin(angle)));
+      DrawDot(img, jx, jy, options_.dot_radius_px, color);
+    }
+  }
+  return img;
+}
+
+std::vector<uint32_t> ScatterRenderer::RenderCounts(
+    const std::vector<Point>& points, const std::vector<uint64_t>& weights,
+    const Viewport& viewport) const {
+  VAS_CHECK(weights.empty() || weights.size() == points.size());
+  std::vector<uint32_t> counts(options_.width_px * options_.height_px, 0);
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (!viewport.world().Contains(points[i])) continue;
+    auto [px, py] = viewport.ToPixel(points[i]);
+    if (px < 0 || py < 0 || px >= static_cast<long>(options_.width_px) ||
+        py >= static_cast<long>(options_.height_px)) {
+      continue;
+    }
+    uint64_t w = weights.empty() ? 1 : weights[i];
+    counts[static_cast<size_t>(py) * options_.width_px +
+           static_cast<size_t>(px)] += static_cast<uint32_t>(w);
+  }
+  return counts;
+}
+
+}  // namespace vas

@@ -1,0 +1,88 @@
+#include "sampling/sample_io.h"
+
+#include <cstdint>
+#include <fstream>
+
+namespace vas {
+
+namespace {
+constexpr uint64_t kSampleMagic = 0x5641530053414d50ULL;  // "VAS\0SAMP"
+}  // namespace
+
+Status WriteSampleSet(const SampleSet& sample, const std::string& path) {
+  if (sample.has_density() && sample.density.size() != sample.ids.size()) {
+    return Status::FailedPrecondition(
+        "density column length does not match ids");
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  uint64_t magic = kSampleMagic;
+  uint64_t method_len = sample.method.size();
+  uint64_t n = sample.ids.size();
+  uint64_t has_density = sample.has_density() ? 1 : 0;
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&method_len), sizeof(method_len));
+  out.write(sample.method.data(),
+            static_cast<std::streamsize>(method_len));
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(reinterpret_cast<const char*>(&has_density),
+            sizeof(has_density));
+  static_assert(sizeof(size_t) == sizeof(uint64_t),
+                "sample format assumes 64-bit size_t");
+  out.write(reinterpret_cast<const char*>(sample.ids.data()),
+            static_cast<std::streamsize>(n * sizeof(uint64_t)));
+  if (has_density) {
+    out.write(reinterpret_cast<const char*>(sample.density.data()),
+              static_cast<std::streamsize>(n * sizeof(uint64_t)));
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<SampleSet> ReadSampleSet(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  uint64_t magic = 0, method_len = 0, n = 0, has_density = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (!in || magic != kSampleMagic) {
+    return Status::InvalidArgument("not a VAS sample file: " + path);
+  }
+  in.read(reinterpret_cast<char*>(&method_len), sizeof(method_len));
+  if (!in || method_len > 4096) {
+    return Status::InvalidArgument("corrupt method field: " + path);
+  }
+  SampleSet sample;
+  sample.method.resize(method_len);
+  in.read(sample.method.data(), static_cast<std::streamsize>(method_len));
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  in.read(reinterpret_cast<char*>(&has_density), sizeof(has_density));
+  if (!in || has_density > 1) {
+    return Status::InvalidArgument("corrupt sample header: " + path);
+  }
+  sample.ids.resize(n);
+  in.read(reinterpret_cast<char*>(sample.ids.data()),
+          static_cast<std::streamsize>(n * sizeof(uint64_t)));
+  if (has_density) {
+    sample.density.resize(n);
+    in.read(reinterpret_cast<char*>(sample.density.data()),
+            static_cast<std::streamsize>(n * sizeof(uint64_t)));
+  }
+  if (!in) return Status::IoError("truncated sample file: " + path);
+  return sample;
+}
+
+Status ValidateSampleAgainst(const SampleSet& sample, size_t dataset_size) {
+  if (sample.has_density() && sample.density.size() != sample.ids.size()) {
+    return Status::FailedPrecondition("density not parallel to ids");
+  }
+  for (size_t id : sample.ids) {
+    if (id >= dataset_size) {
+      return Status::OutOfRange(
+          "sample id " + std::to_string(id) + " out of range for " +
+          std::to_string(dataset_size) + "-row dataset");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace vas

@@ -1,0 +1,47 @@
+// The product of any sampling method: the chosen tuple ids plus the
+// optional per-sample density counts added by the VAS density-embedding
+// extension (paper §V).
+#ifndef VAS_SAMPLING_SAMPLE_SET_H_
+#define VAS_SAMPLING_SAMPLE_SET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace vas {
+
+/// A sample of a dataset. `ids` index into the originating Dataset.
+/// When `density` is non-empty it is parallel to `ids`: density[i] is the
+/// number of original tuples whose nearest sample point is ids[i]
+/// (density counts sum to the original dataset size).
+struct SampleSet {
+  std::string method;
+  std::vector<size_t> ids;
+  std::vector<uint64_t> density;
+
+  size_t size() const { return ids.size(); }
+  bool empty() const { return ids.empty(); }
+  bool has_density() const { return !density.empty(); }
+
+  /// Materializes the sampled tuples (coordinates + values).
+  Dataset Materialize(const Dataset& dataset) const {
+    Dataset out = dataset.Gather(ids);
+    out.name = dataset.name + "/" + method;
+    return out;
+  }
+
+  /// The sampled plot coordinates only.
+  std::vector<Point> MaterializePoints(const Dataset& dataset) const {
+    std::vector<Point> pts;
+    pts.reserve(ids.size());
+    for (size_t id : ids) pts.push_back(dataset.points[id]);
+    return pts;
+  }
+};
+
+}  // namespace vas
+
+#endif  // VAS_SAMPLING_SAMPLE_SET_H_

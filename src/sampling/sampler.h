@@ -1,0 +1,31 @@
+// Common interface implemented by every sampling method in the library:
+// uniform reservoir, stratified, and VAS (Interchange). The benchmark
+// harnesses and the engine's sample catalog treat methods uniformly
+// through this interface.
+#ifndef VAS_SAMPLING_SAMPLER_H_
+#define VAS_SAMPLING_SAMPLER_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "sampling/sample_set.h"
+
+namespace vas {
+
+/// Strategy interface: draw a sample of size k from a dataset.
+class Sampler {
+ public:
+  virtual ~Sampler() = default;
+
+  /// Draws min(k, dataset.size()) tuples. Implementations must be
+  /// deterministic given their construction-time seed.
+  virtual SampleSet Sample(const Dataset& dataset, size_t k) = 0;
+
+  /// Stable method name used in reports ("uniform", "stratified",
+  /// "vas", ...).
+  virtual std::string name() const = 0;
+};
+
+}  // namespace vas
+
+#endif  // VAS_SAMPLING_SAMPLER_H_

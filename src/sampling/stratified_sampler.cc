@@ -1,0 +1,80 @@
+#include "sampling/stratified_sampler.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "index/uniform_grid.h"
+#include "util/logging.h"
+
+namespace vas {
+
+std::vector<size_t> StratifiedSampler::BalancedAllocation(
+    const std::vector<size_t>& available, size_t k) {
+  size_t total = std::accumulate(available.begin(), available.end(),
+                                 static_cast<size_t>(0));
+  size_t budget = std::min(k, total);
+  std::vector<size_t> quota(available.size(), 0);
+
+  // Water-filling: repeatedly hand every still-unsaturated stratum an
+  // equal share of the remaining budget. Terminates because each round
+  // either exhausts the budget or saturates at least one stratum.
+  std::vector<size_t> open;
+  for (size_t i = 0; i < available.size(); ++i) {
+    if (available[i] > 0) open.push_back(i);
+  }
+  size_t remaining = budget;
+  while (remaining > 0 && !open.empty()) {
+    size_t share = std::max<size_t>(1, remaining / open.size());
+    std::vector<size_t> still_open;
+    for (size_t i : open) {
+      if (remaining == 0) break;
+      size_t take = std::min({share, available[i] - quota[i], remaining});
+      quota[i] += take;
+      remaining -= take;
+      if (quota[i] < available[i]) still_open.push_back(i);
+    }
+    open = std::move(still_open);
+  }
+  return quota;
+}
+
+SampleSet StratifiedSampler::Sample(const Dataset& dataset, size_t k) {
+  SampleSet out;
+  out.method = name();
+  if (dataset.empty() || k == 0) return out;
+  if (k >= dataset.size()) {
+    out.ids.resize(dataset.size());
+    for (size_t i = 0; i < out.ids.size(); ++i) out.ids[i] = i;
+    return out;
+  }
+
+  Rect domain = dataset.Bounds();
+  UniformGrid grid(domain, options_.grid_nx, options_.grid_ny);
+  grid.Assign(dataset.points);
+
+  std::vector<size_t> available(grid.num_cells());
+  for (size_t c = 0; c < grid.num_cells(); ++c) {
+    available[c] = grid.CountInCell(c);
+  }
+  std::vector<size_t> quota = BalancedAllocation(available, k);
+
+  Rng rng(options_.seed, /*seq=*/707);
+  for (size_t c = 0; c < grid.num_cells(); ++c) {
+    if (quota[c] == 0) continue;
+    const std::vector<size_t>& members = grid.PointsInCell(c);
+    VAS_CHECK(quota[c] <= members.size());
+    // Per-stratum reservoir over the cell's members.
+    std::vector<size_t> reservoir(members.begin(),
+                                  members.begin() +
+                                      static_cast<long>(quota[c]));
+    for (size_t i = quota[c]; i < members.size(); ++i) {
+      size_t j = rng.Below(static_cast<uint32_t>(i + 1));
+      if (j < quota[c]) reservoir[j] = members[i];
+    }
+    out.ids.insert(out.ids.end(), reservoir.begin(), reservoir.end());
+  }
+  std::sort(out.ids.begin(), out.ids.end());
+  return out;
+}
+
+}  // namespace vas

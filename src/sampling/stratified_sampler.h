@@ -1,0 +1,44 @@
+// Stratified sampling baseline. The paper's construction: divide the
+// domain into a grid of non-overlapping bins, set the per-bin quota "in
+// the most balanced way" (every bin gets the same quota unless it has
+// fewer points, in which case the leftover is spread over the others),
+// then reservoir-sample each bin. The paper uses 100 bins for the user
+// study and a 316x316 grid for Figure 1.
+#ifndef VAS_SAMPLING_STRATIFIED_SAMPLER_H_
+#define VAS_SAMPLING_STRATIFIED_SAMPLER_H_
+
+#include <cstdint>
+
+#include "sampling/sampler.h"
+#include "util/random.h"
+
+namespace vas {
+
+/// Grid-stratified sampler with balanced (water-filling) allocation.
+class StratifiedSampler : public Sampler {
+ public:
+  struct Options {
+    /// Strata grid resolution; num strata = grid_nx * grid_ny.
+    size_t grid_nx = 10;
+    size_t grid_ny = 10;
+    uint64_t seed = 2;
+  };
+
+  explicit StratifiedSampler(Options options) : options_(options) {}
+  StratifiedSampler() : StratifiedSampler(Options{}) {}
+
+  SampleSet Sample(const Dataset& dataset, size_t k) override;
+  std::string name() const override { return "stratified"; }
+
+  /// Balanced allocation: given per-stratum availability, returns
+  /// per-stratum quotas summing to min(k, total). Exposed for testing.
+  static std::vector<size_t> BalancedAllocation(
+      const std::vector<size_t>& available, size_t k);
+
+ private:
+  Options options_;
+};
+
+}  // namespace vas
+
+#endif  // VAS_SAMPLING_STRATIFIED_SAMPLER_H_

@@ -1,0 +1,25 @@
+#include "sampling/uniform_sampler.h"
+
+namespace vas {
+
+SampleSet UniformReservoirSampler::Sample(const Dataset& dataset, size_t k) {
+  Rng rng(seed_, /*seq=*/606);
+  SampleSet out;
+  out.method = name();
+  size_t n = dataset.size();
+  if (k >= n) {
+    out.ids.resize(n);
+    for (size_t i = 0; i < n; ++i) out.ids[i] = i;
+    return out;
+  }
+  out.ids.reserve(k);
+  for (size_t i = 0; i < k; ++i) out.ids.push_back(i);
+  // Algorithm R: tuple i replaces a reservoir slot with probability k/i.
+  for (size_t i = k; i < n; ++i) {
+    size_t j = rng.Below(static_cast<uint32_t>(i + 1));
+    if (j < k) out.ids[j] = i;
+  }
+  return out;
+}
+
+}  // namespace vas

@@ -1,0 +1,28 @@
+// Uniform random sampling via single-pass reservoir (Vitter's
+// Algorithm R) — the paper's first baseline ("we implemented the
+// single-pass reservoir method for simple random sampling").
+#ifndef VAS_SAMPLING_UNIFORM_SAMPLER_H_
+#define VAS_SAMPLING_UNIFORM_SAMPLER_H_
+
+#include <cstdint>
+
+#include "sampling/sampler.h"
+#include "util/random.h"
+
+namespace vas {
+
+/// Draws each k-subset with equal probability in one streaming pass.
+class UniformReservoirSampler : public Sampler {
+ public:
+  explicit UniformReservoirSampler(uint64_t seed = 1) : seed_(seed) {}
+
+  SampleSet Sample(const Dataset& dataset, size_t k) override;
+  std::string name() const override { return "uniform"; }
+
+ private:
+  uint64_t seed_;
+};
+
+}  // namespace vas
+
+#endif  // VAS_SAMPLING_UNIFORM_SAMPLER_H_

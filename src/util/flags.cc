@@ -1,0 +1,98 @@
+#include "util/flags.h"
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace vas {
+
+void FlagSet::Define(const std::string& name,
+                     const std::string& default_value,
+                     const std::string& help) {
+  VAS_CHECK_MSG(!flags_.count(name), "duplicate flag: " + name);
+  flags_[name] = Flag{default_value, default_value, help};
+}
+
+Status FlagSet::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    if (arg == "help") {
+      help_requested_ = true;
+      continue;
+    }
+    std::string name;
+    std::string value;
+    size_t eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      name = std::string(arg.substr(0, eq));
+      value = std::string(arg.substr(eq + 1));
+    } else {
+      name = std::string(arg);
+      auto it = flags_.find(name);
+      if (it == flags_.end()) {
+        return Status::InvalidArgument("unknown flag: --" + name);
+      }
+      bool is_boolean = it->second.default_value == "true" ||
+                        it->second.default_value == "false";
+      bool next_is_flag =
+          i + 1 < argc && StartsWith(argv[i + 1], "--");
+      if (is_boolean && (i + 1 >= argc || next_is_flag)) {
+        // Bare boolean flag: --quick means --quick=true.
+        value = "true";
+      } else if (i + 1 >= argc) {
+        return Status::InvalidArgument("flag --" + name + " needs a value");
+      } else {
+        value = argv[++i];
+      }
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      return Status::InvalidArgument("unknown flag: --" + name);
+    }
+    it->second.value = value;
+  }
+  return Status::OK();
+}
+
+std::string FlagSet::GetString(const std::string& name) const {
+  auto it = flags_.find(name);
+  VAS_CHECK_MSG(it != flags_.end(), "undefined flag: " + name);
+  return it->second.value;
+}
+
+int64_t FlagSet::GetInt(const std::string& name) const {
+  auto parsed = ParseInt64(GetString(name));
+  VAS_CHECK_MSG(parsed.ok(), "flag --" + name + " is not an integer");
+  return *parsed;
+}
+
+double FlagSet::GetDouble(const std::string& name) const {
+  auto parsed = ParseDouble(GetString(name));
+  VAS_CHECK_MSG(parsed.ok(), "flag --" + name + " is not a double");
+  return *parsed;
+}
+
+bool FlagSet::GetBool(const std::string& name) const {
+  std::string v = GetString(name);
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  VAS_CHECK_MSG(false, "flag --" + name + " is not a boolean");
+  return false;
+}
+
+std::string FlagSet::Usage(const std::string& program) const {
+  std::string out = "Usage: " + program + " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    out += StrFormat("  --%s (default: %s)\n      %s\n", name.c_str(),
+                     flag.default_value.empty() ? "\"\""
+                                                : flag.default_value.c_str(),
+                     flag.help.c_str());
+  }
+  return out;
+}
+
+}  // namespace vas

@@ -1,0 +1,52 @@
+// Tiny command-line flag parser for bench and example binaries.
+// Accepts `--name=value` and `--name value`; unknown flags are an error so
+// typos in experiment scripts fail loudly.
+#ifndef VAS_UTIL_FLAGS_H_
+#define VAS_UTIL_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace vas {
+
+/// Parsed command line: flag name -> value, plus positional arguments.
+class FlagSet {
+ public:
+  /// Registers a flag with a default value and help text. Must be called
+  /// before Parse().
+  void Define(const std::string& name, const std::string& default_value,
+              const std::string& help);
+
+  /// Parses argv; returns InvalidArgument for undefined flags or missing
+  /// values. `--help` is always accepted (see help_requested()).
+  Status Parse(int argc, char** argv);
+
+  /// Typed accessors; flag must have been Define()d.
+  std::string GetString(const std::string& name) const;
+  int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  bool help_requested() const { return help_requested_; }
+
+  /// Renders a usage block listing all defined flags.
+  std::string Usage(const std::string& program) const;
+
+ private:
+  struct Flag {
+    std::string value;
+    std::string default_value;
+    std::string help;
+  };
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+  bool help_requested_ = false;
+};
+
+}  // namespace vas
+
+#endif  // VAS_UTIL_FLAGS_H_

@@ -1,0 +1,24 @@
+#include "util/random.h"
+
+#include "util/logging.h"
+
+namespace vas {
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  VAS_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    VAS_CHECK_MSG(w >= 0.0, "Categorical weight must be non-negative");
+    total += w;
+  }
+  VAS_CHECK_MSG(total > 0.0, "Categorical weights must not all be zero");
+  double r = NextDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;  // Numerical edge: r landed on the boundary.
+}
+
+}  // namespace vas

@@ -1,0 +1,153 @@
+// Minimal Status / StatusOr error model, in the style used by database
+// engines (Arrow, LevelDB/RocksDB). Functions that can fail return a
+// Status (or StatusOr<T> when they also produce a value) instead of
+// throwing; callers must inspect the result.
+#ifndef VAS_UTIL_STATUS_H_
+#define VAS_UTIL_STATUS_H_
+
+#include <cstdlib>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace vas {
+
+/// Error category attached to a non-OK Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kUnimplemented,
+  kIoError,
+};
+
+/// Returns a stable human-readable name for a StatusCode.
+const char* StatusCodeToString(StatusCode code);
+
+/// A cheap, copyable success-or-error result. OK statuses carry no
+/// allocation; error statuses carry a code and message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Holds either a value of type T or an error Status. Accessing the value
+/// of an errored StatusOr aborts, so callers must check ok() first.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value (the common success path).
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status. Must not be OK: an OK
+  /// status carries no value, which would make the object unusable.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      std::fprintf(stderr, "StatusOr constructed from OK status\n");
+      std::abort();
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value, or `fallback` when errored.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::fprintf(stderr, "StatusOr::value() on error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace vas
+
+/// Propagates a non-OK status to the caller.
+#define VAS_RETURN_IF_ERROR(expr)                   \
+  do {                                              \
+    ::vas::Status _vas_status = (expr);             \
+    if (!_vas_status.ok()) return _vas_status;      \
+  } while (false)
+
+/// Evaluates a StatusOr expression, propagating errors and otherwise
+/// assigning the value to `lhs`.
+#define VAS_ASSIGN_OR_RETURN(lhs, expr)             \
+  auto _vas_result_##__LINE__ = (expr);             \
+  if (!_vas_result_##__LINE__.ok())                 \
+    return _vas_result_##__LINE__.status();         \
+  lhs = std::move(_vas_result_##__LINE__).value()
+
+#endif  // VAS_UTIL_STATUS_H_

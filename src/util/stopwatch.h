@@ -1,0 +1,32 @@
+// Wall-clock stopwatch used by the benchmark harnesses and the
+// interactive query session's time-budget accounting.
+#ifndef VAS_UTIL_STOPWATCH_H_
+#define VAS_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace vas {
+
+/// Measures elapsed wall time from construction or the last Restart().
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace vas
+
+#endif  // VAS_UTIL_STOPWATCH_H_

@@ -1,0 +1,41 @@
+// Small string helpers shared by the CSV reader and the bench/report
+// printers. Deliberately minimal: no locale, no unicode.
+#ifndef VAS_UTIL_STRINGS_H_
+#define VAS_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace vas {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, char sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view StripWhitespace(std::string_view s);
+
+/// Parses a double; errors on trailing garbage or empty input.
+StatusOr<double> ParseDouble(std::string_view s);
+
+/// Parses a signed 64-bit integer; errors on trailing garbage.
+StatusOr<int64_t> ParseInt64(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Renders a count with thousands separators, e.g. 1234567 -> "1,234,567".
+std::string FormatWithCommas(int64_t value);
+
+}  // namespace vas
+
+#endif  // VAS_UTIL_STRINGS_H_

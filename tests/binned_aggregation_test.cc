@@ -1,0 +1,129 @@
+// Binned-aggregation baseline: pyramid consistency, level selection,
+// and the zoom-fidelity limitation the paper criticizes.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "data/generators.h"
+#include "render/binned_aggregation.h"
+
+namespace vas {
+namespace {
+
+BinnedPyramid::Options Levels(size_t max_level) {
+  BinnedPyramid::Options opt;
+  opt.max_level = max_level;
+  return opt;
+}
+
+TEST(BinnedPyramidTest, EveryLevelSumsToDatasetSize) {
+  Dataset d = GeolifeLikeGenerator({}).Generate();
+  BinnedPyramid pyramid(d, Levels(6));
+  ASSERT_EQ(pyramid.num_levels(), 7u);
+  for (size_t l = 0; l < pyramid.num_levels(); ++l) {
+    uint64_t total = std::accumulate(pyramid.level(l).counts.begin(),
+                                     pyramid.level(l).counts.end(),
+                                     uint64_t{0});
+    EXPECT_EQ(total, d.size()) << "level " << l;
+  }
+}
+
+TEST(BinnedPyramidTest, RollupPreservesValueSums) {
+  Dataset d = GeolifeLikeGenerator({}).Generate();
+  BinnedPyramid pyramid(d, Levels(5));
+  double want = std::accumulate(d.values.begin(), d.values.end(), 0.0);
+  for (size_t l = 0; l < pyramid.num_levels(); ++l) {
+    double got = std::accumulate(pyramid.level(l).value_sums.begin(),
+                                 pyramid.level(l).value_sums.end(), 0.0);
+    EXPECT_NEAR(got, want, std::abs(want) * 1e-9) << "level " << l;
+  }
+}
+
+TEST(BinnedPyramidTest, LevelZeroIsOneCell) {
+  Dataset d = GenerateUniform(Rect::Of(0, 0, 1, 1), 100, 1);
+  BinnedPyramid pyramid(d, Levels(4));
+  EXPECT_EQ(pyramid.level(0).cells_per_axis, 1u);
+  EXPECT_EQ(pyramid.level(0).counts[0], 100u);
+  EXPECT_EQ(pyramid.level(4).cells_per_axis, 16u);
+}
+
+TEST(BinnedPyramidTest, CountAtLevelMatchesBruteForceOnCellAligned) {
+  // Queries aligned to cell boundaries are exact. Pin the domain with
+  // exact corner tuples so cells are exactly 1x1.
+  Dataset d = GenerateUniform(Rect::Of(0, 0, 8, 8), 5000, 2);
+  d.Add({0.0, 0.0}, 0.0);
+  d.Add({8.0, 8.0}, 0.0);
+  BinnedPyramid pyramid(d, Levels(3));  // 8x8 cells of size 1x1
+  Rect q = Rect::Of(2.0, 2.0, 4.0 - 1e-9, 6.0 - 1e-9);
+  uint64_t got = pyramid.CountAtLevel(q, 3);
+  uint64_t want = 0;
+  for (Point p : d.points) {
+    if (p.x >= 2.0 && p.x < 4.0 && p.y >= 2.0 && p.y < 6.0) ++want;
+  }
+  EXPECT_EQ(got, want);
+}
+
+TEST(BinnedPyramidTest, MisalignedQueriesOvercount) {
+  // The inherent bin-edge error: a query clipping a cell counts the
+  // whole cell.
+  Dataset d = GenerateUniform(Rect::Of(0, 0, 8, 8), 20000, 3);
+  BinnedPyramid pyramid(d, Levels(3));
+  Rect q = Rect::Of(1.5, 1.5, 2.5, 2.5);  // straddles 4 cells
+  uint64_t approx = pyramid.ApproxCount(q);
+  uint64_t exact = 0;
+  for (Point p : d.points) {
+    if (q.Contains(p)) ++exact;
+  }
+  EXPECT_GT(approx, exact);       // counts 4 cells' worth
+  EXPECT_LE(approx, exact * 6);   // but not absurdly more
+}
+
+TEST(BinnedPyramidTest, LevelForViewportPicksFinerOnZoom) {
+  Dataset d = GeolifeLikeGenerator({}).Generate();
+  BinnedPyramid pyramid(d, Levels(10));
+  Rect full = pyramid.domain();
+  size_t overview_level = pyramid.LevelForViewport(full, 256);
+  Rect tight = Rect::Of(full.min_x, full.min_y,
+                        full.min_x + full.width() / 64,
+                        full.min_y + full.height() / 64);
+  size_t zoom_level = pyramid.LevelForViewport(tight, 256);
+  EXPECT_GT(zoom_level, overview_level);
+}
+
+TEST(BinnedPyramidTest, DeepZoomExhaustsPyramid) {
+  // The paper's criticism, quantified: once the viewport needs cells
+  // finer than the pre-chosen max level, resolution stops improving.
+  Dataset d = GeolifeLikeGenerator({}).Generate();
+  BinnedPyramid pyramid(d, Levels(6));  // 64x64 finest
+  Rect full = pyramid.domain();
+  Rect micro = Rect::Of(full.min_x, full.min_y,
+                        full.min_x + full.width() / 1024,
+                        full.min_y + full.height() / 1024);
+  EXPECT_EQ(pyramid.LevelForViewport(micro, 512),
+            pyramid.num_levels() - 1);  // stuck at the finest level
+}
+
+TEST(BinnedPyramidTest, RenderProducesInkAndReportsLevel) {
+  Dataset d = GeolifeLikeGenerator({}).Generate();
+  BinnedPyramid pyramid(d, Levels(7));
+  size_t used_level = 999;
+  Image img = pyramid.Render(pyramid.domain(), 128, 128, &used_level);
+  EXPECT_LT(used_level, pyramid.num_levels());
+  EXPECT_GT(img.InkFraction({255, 255, 255}), 0.01);
+}
+
+TEST(BinnedPyramidTest, StorageGrowsGeometrically) {
+  Dataset d = GenerateUniform(Rect::Of(0, 0, 1, 1), 100, 4);
+  size_t prev = 0;
+  for (size_t ml : {2u, 4u, 6u}) {
+    BinnedPyramid pyramid(d, Levels(ml));
+    EXPECT_GT(pyramid.TotalCells(), prev);
+    prev = pyramid.TotalCells();
+  }
+  // 4^l growth: level-6 pyramid holds 1+4+...+4096 = 5461 cells.
+  BinnedPyramid pyramid(d, Levels(6));
+  EXPECT_EQ(pyramid.TotalCells(), 5461u);
+}
+
+}  // namespace
+}  // namespace vas

@@ -1,0 +1,169 @@
+// Dataset container semantics and CSV/binary round trips.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "data/dataset.h"
+#include "data/dataset_io.h"
+#include "data/generators.h"
+
+namespace vas {
+namespace {
+
+Dataset SmallDataset() {
+  Dataset d;
+  d.name = "small";
+  d.Add({0.0, 0.0}, 1.0);
+  d.Add({1.0, 1.0}, 2.0);
+  d.Add({2.0, 0.5}, 3.0);
+  return d;
+}
+
+TEST(DatasetTest, BasicAccessors) {
+  Dataset d = SmallDataset();
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_FALSE(d.empty());
+  EXPECT_TRUE(d.has_values());
+  EXPECT_DOUBLE_EQ(d.ValueAt(1), 2.0);
+  EXPECT_EQ(d.Bounds(), Rect::Of(0, 0, 2, 1));
+}
+
+TEST(DatasetTest, ValueAtWithoutValues) {
+  Dataset d;
+  d.points.push_back({1, 1});
+  EXPECT_FALSE(d.has_values());
+  EXPECT_DOUBLE_EQ(d.ValueAt(0), 0.0);
+}
+
+TEST(DatasetTest, ValidateCatchesMismatchedColumns) {
+  Dataset d = SmallDataset();
+  EXPECT_TRUE(d.Validate().ok());
+  d.values.pop_back();
+  EXPECT_FALSE(d.Validate().ok());
+}
+
+TEST(DatasetTest, ValidateCatchesNonFinite) {
+  Dataset d = SmallDataset();
+  d.points[1].x = std::nan("");
+  EXPECT_FALSE(d.Validate().ok());
+  d = SmallDataset();
+  d.values[2] = INFINITY;
+  EXPECT_FALSE(d.Validate().ok());
+}
+
+TEST(DatasetTest, FilterKeepsOrderAndValues) {
+  Dataset d = SmallDataset();
+  Dataset f = d.Filter(Rect::Of(0.5, 0.0, 2.5, 2.0));
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f.points[0], (Point{1.0, 1.0}));
+  EXPECT_DOUBLE_EQ(f.values[0], 2.0);
+  EXPECT_EQ(f.points[1], (Point{2.0, 0.5}));
+}
+
+TEST(DatasetTest, GatherSelectsByIds) {
+  Dataset d = SmallDataset();
+  Dataset g = d.Gather({2, 0});
+  ASSERT_EQ(g.size(), 2u);
+  EXPECT_EQ(g.points[0], (Point{2.0, 0.5}));
+  EXPECT_DOUBLE_EQ(g.values[1], 1.0);
+}
+
+class IoRoundTripTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+  }
+  std::string path_ = std::filesystem::temp_directory_path() /
+                      "vas_dataset_io_test.tmp";
+};
+
+TEST_F(IoRoundTripTest, CsvRoundTrip) {
+  Dataset d = SmallDataset();
+  ASSERT_TRUE(WriteCsv(d, path_).ok());
+  auto back = ReadCsv(path_);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), d.size());
+  for (size_t i = 0; i < d.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back->points[i].x, d.points[i].x);
+    EXPECT_DOUBLE_EQ(back->points[i].y, d.points[i].y);
+    EXPECT_DOUBLE_EQ(back->values[i], d.values[i]);
+  }
+}
+
+TEST_F(IoRoundTripTest, BinaryRoundTripExact) {
+  GeolifeLikeGenerator::Options opt;
+  opt.num_points = 2000;
+  Dataset d = GeolifeLikeGenerator(opt).Generate();
+  ASSERT_TRUE(WriteBinary(d, path_).ok());
+  auto back = ReadBinary(path_);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), d.size());
+  for (size_t i = 0; i < d.size(); i += 97) {
+    EXPECT_EQ(back->points[i], d.points[i]);  // bitwise exact
+    EXPECT_EQ(back->values[i], d.values[i]);
+  }
+}
+
+TEST_F(IoRoundTripTest, ReadCsvAcceptsTwoFieldRows) {
+  {
+    std::ofstream out(path_);
+    out << "x,y\n1.5,2.5\n3.5,4.5\n";
+  }
+  auto back = ReadCsv(path_);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), 2u);
+  EXPECT_EQ(back->points[1], (Point{3.5, 4.5}));
+  EXPECT_DOUBLE_EQ(back->values[0], 0.0);  // missing value defaults to 0
+}
+
+TEST_F(IoRoundTripTest, ReadCsvSkipsBlankLinesAndHeader) {
+  {
+    std::ofstream out(path_);
+    out << "x,y,value\n\n1,2,3\n\n\n4,5,6\n";
+  }
+  auto back = ReadCsv(path_);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->size(), 2u);
+}
+
+TEST_F(IoRoundTripTest, ReadCsvHeaderlessNumericFirstLine) {
+  // Files without a header must not lose their first row.
+  {
+    std::ofstream out(path_);
+    out << "1,2,3\n4,5,6\n";
+  }
+  auto back = ReadCsv(path_);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->size(), 2u);
+  EXPECT_EQ(back->points[0], (Point{1.0, 2.0}));
+}
+
+TEST_F(IoRoundTripTest, ReadCsvRejectsMalformedRow) {
+  {
+    std::ofstream out(path_);
+    out << "x,y,value\n1,2,3\n1,not_a_number,3\n";
+  }
+  EXPECT_FALSE(ReadCsv(path_).ok());
+}
+
+TEST_F(IoRoundTripTest, ReadBinaryRejectsWrongMagic) {
+  {
+    std::ofstream out(path_, std::ios::binary);
+    out << "this is not a vas binary file at all, padding padding";
+  }
+  EXPECT_FALSE(ReadBinary(path_).ok());
+}
+
+TEST(IoTest, MissingFilesAreIoErrors) {
+  EXPECT_EQ(ReadCsv("/nonexistent/nope.csv").status().code(),
+            StatusCode::kIoError);
+  EXPECT_EQ(ReadBinary("/nonexistent/nope.bin").status().code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace vas

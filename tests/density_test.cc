@@ -1,0 +1,92 @@
+// Density embedding (paper §V): counts are a partition of the dataset by
+// nearest sample point.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/density.h"
+#include "core/interchange.h"
+#include "data/generators.h"
+#include "sampling/uniform_sampler.h"
+
+namespace vas {
+namespace {
+
+TEST(DensityTest, CountsSumToDatasetSize) {
+  GeolifeLikeGenerator::Options opt;
+  opt.num_points = 5000;
+  Dataset d = GeolifeLikeGenerator(opt).Generate();
+  UniformReservoirSampler sampler(1);
+  SampleSet s = sampler.Sample(d, 100);
+  EmbedDensity(d, &s);
+  ASSERT_EQ(s.density.size(), s.ids.size());
+  uint64_t total = std::accumulate(s.density.begin(), s.density.end(),
+                                   uint64_t{0});
+  EXPECT_EQ(total, d.size());
+}
+
+TEST(DensityTest, NearestAssignmentMatchesBruteForce) {
+  Dataset d = GenerateUniform(Rect::Of(0, 0, 5, 5), 800, 3);
+  UniformReservoirSampler sampler(2);
+  SampleSet s = sampler.Sample(d, 25);
+  EmbedDensity(d, &s);
+
+  std::vector<Point> sample_pts = s.MaterializePoints(d);
+  std::vector<uint64_t> brute(s.size(), 0);
+  for (const Point& p : d.points) {
+    size_t best = 0;
+    for (size_t i = 1; i < sample_pts.size(); ++i) {
+      if (SquaredDistance(sample_pts[i], p) <
+          SquaredDistance(sample_pts[best], p)) {
+        best = i;
+      }
+    }
+    ++brute[best];
+  }
+  EXPECT_EQ(s.density, brute);
+}
+
+TEST(DensityTest, DenseRegionsGetBigCounts) {
+  // 90% of the mass in one tight clump: the sample point nearest the
+  // clump must carry a dominant count.
+  Dataset d;
+  Rng rng(9);
+  for (int i = 0; i < 9000; ++i) {
+    d.Add({rng.Gaussian(1.0, 0.05), rng.Gaussian(1.0, 0.05)}, 0.0);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    d.Add({rng.Uniform(0, 10), rng.Uniform(0, 10)}, 0.0);
+  }
+  InterchangeSampler sampler;
+  SampleSet s = sampler.Sample(d, 50);
+  EmbedDensity(d, &s);
+  uint64_t max_count = *std::max_element(s.density.begin(), s.density.end());
+  EXPECT_GT(max_count, d.size() / 20);
+}
+
+TEST(DensityTest, SingleSamplePointTakesAll) {
+  Dataset d = GenerateUniform(Rect::Of(0, 0, 1, 1), 100, 1);
+  SampleSet s;
+  s.ids = {42};
+  EmbedDensity(d, &s);
+  ASSERT_EQ(s.density.size(), 1u);
+  EXPECT_EQ(s.density[0], 100u);
+}
+
+TEST(DensityTest, EmptySampleIsNoOp) {
+  Dataset d = GenerateUniform(Rect::Of(0, 0, 1, 1), 10, 1);
+  SampleSet s;
+  EmbedDensity(d, &s);
+  EXPECT_TRUE(s.density.empty());
+}
+
+TEST(DensityTest, WithDensityRenamesMethod) {
+  Dataset d = GenerateUniform(Rect::Of(0, 0, 1, 1), 200, 1);
+  UniformReservoirSampler sampler(1);
+  SampleSet s = WithDensity(d, sampler.Sample(d, 10));
+  EXPECT_EQ(s.method, "uniform+density");
+  EXPECT_TRUE(s.has_density());
+}
+
+}  // namespace
+}  // namespace vas

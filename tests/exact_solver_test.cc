@@ -1,0 +1,126 @@
+// Exact solver: optimality against brute-force enumeration on tiny
+// instances, pruning sanity, and the time-budget escape hatch.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/exact_solver.h"
+#include "core/objective.h"
+#include "data/generators.h"
+#include "util/random.h"
+
+namespace vas {
+namespace {
+
+Dataset RandomDataset(size_t n, uint64_t seed) {
+  return GenerateUniform(Rect::Of(0, 0, 10, 10), n, seed);
+}
+
+/// Exhaustive enumeration of all C(n, k) subsets.
+double BruteForceOptimum(const Dataset& d, size_t k, double epsilon) {
+  GaussianKernel pair = GaussianKernel::PairKernelFor(epsilon);
+  size_t n = d.size();
+  std::vector<size_t> pick(k);
+  double best = std::numeric_limits<double>::infinity();
+  // Lexicographic combination walk.
+  for (size_t i = 0; i < k; ++i) pick[i] = i;
+  while (true) {
+    double obj = 0.0;
+    for (size_t a = 0; a < k; ++a) {
+      for (size_t b = a + 1; b < k; ++b) {
+        obj += pair(d.points[pick[a]], d.points[pick[b]]);
+      }
+    }
+    best = std::min(best, obj);
+    // Advance.
+    size_t i = k;
+    while (i > 0) {
+      --i;
+      if (pick[i] != i + n - k) break;
+    }
+    if (pick[i] == i + n - k) break;
+    ++pick[i];
+    for (size_t j = i + 1; j < k; ++j) pick[j] = pick[j - 1] + 1;
+  }
+  return best;
+}
+
+class ExactVsBruteTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExactVsBruteTest, MatchesExhaustiveEnumeration) {
+  Dataset d = RandomDataset(14, GetParam());
+  const size_t k = 4;
+  double epsilon = GaussianKernel::DefaultEpsilon(d.Bounds());
+  ExactSolver::Options opt;
+  opt.epsilon = epsilon;
+  auto result = ExactSolver(opt).Solve(d, k);
+  ASSERT_TRUE(result.proved_optimal);
+  EXPECT_EQ(result.ids.size(), k);
+  double brute = BruteForceOptimum(d, k, epsilon);
+  EXPECT_NEAR(result.objective, brute, 1e-12);
+  // Reported ids must reproduce the reported objective.
+  GaussianKernel pair = GaussianKernel::PairKernelFor(epsilon);
+  EXPECT_NEAR(PairwiseObjective(d.Gather(result.ids).points, pair),
+              result.objective, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactVsBruteTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(ExactSolverTest, TrivialCases) {
+  Dataset d = RandomDataset(5, 1);
+  ExactSolver solver;
+  auto zero = solver.Solve(d, 0);
+  EXPECT_TRUE(zero.ids.empty());
+  EXPECT_TRUE(zero.proved_optimal);
+  auto one = solver.Solve(d, 1);
+  EXPECT_EQ(one.ids.size(), 1u);
+  EXPECT_DOUBLE_EQ(one.objective, 0.0);
+  auto all = solver.Solve(d, 5);
+  EXPECT_EQ(all.ids.size(), 5u);
+}
+
+TEST(ExactSolverTest, ClearCutOptimum) {
+  // Four far-apart corners plus a clump in the middle; k=4 must pick
+  // the corners.
+  Dataset d;
+  d.Add({0, 0}, 0);
+  d.Add({100, 0}, 0);
+  d.Add({0, 100}, 0);
+  d.Add({100, 100}, 0);
+  for (int i = 0; i < 6; ++i) d.Add({50.0 + 0.01 * i, 50.0}, 0);
+  ExactSolver solver;
+  auto result = solver.Solve(d, 4);
+  ASSERT_TRUE(result.proved_optimal);
+  EXPECT_EQ(result.ids, (std::vector<size_t>{0, 1, 2, 3}));
+}
+
+TEST(ExactSolverTest, PaperScaleInstanceSolves) {
+  // Table II scale: N = 50, K = 10. Must finish and prove optimality.
+  GeolifeLikeGenerator::Options gopt;
+  gopt.num_points = 50;
+  Dataset d = GeolifeLikeGenerator(gopt).Generate();
+  ExactSolver::Options opt;
+  opt.time_budget_seconds = 60.0;
+  auto result = ExactSolver(opt).Solve(d, 10);
+  EXPECT_TRUE(result.proved_optimal);
+  EXPECT_EQ(result.ids.size(), 10u);
+  EXPECT_GT(result.nodes_explored, 0u);
+}
+
+TEST(ExactSolverTest, TimeBudgetReturnsIncumbent) {
+  // A large clustered instance the solver cannot finish instantly; with
+  // a microscopic budget it must still return a full, sane incumbent.
+  GeolifeLikeGenerator::Options gopt;
+  gopt.num_points = 90;
+  Dataset d = GeolifeLikeGenerator(gopt).Generate();
+  ExactSolver::Options opt;
+  opt.time_budget_seconds = 1e-6;
+  auto result = ExactSolver(opt).Solve(d, 12);
+  EXPECT_EQ(result.ids.size(), 12u);
+  EXPECT_GE(result.objective, 0.0);
+}
+
+}  // namespace
+}  // namespace vas

@@ -1,0 +1,176 @@
+// Workload generators: determinism, structural properties (the density
+// skew VAS exploits), and ground-truth surfaces.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "data/generators.h"
+#include "index/uniform_grid.h"
+
+namespace vas {
+namespace {
+
+TEST(GeolifeLikeTest, GeneratesRequestedCount) {
+  GeolifeLikeGenerator::Options opt;
+  opt.num_points = 12345;
+  Dataset d = GeolifeLikeGenerator(opt).Generate();
+  EXPECT_EQ(d.size(), 12345u);
+  EXPECT_TRUE(d.has_values());
+  EXPECT_TRUE(d.Validate().ok());
+}
+
+TEST(GeolifeLikeTest, DeterministicInSeed) {
+  GeolifeLikeGenerator::Options opt;
+  opt.num_points = 1000;
+  Dataset a = GeolifeLikeGenerator(opt).Generate();
+  Dataset b = GeolifeLikeGenerator(opt).Generate();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a.points[i], b.points[i]);
+  opt.seed = 999;
+  Dataset c = GeolifeLikeGenerator(opt).Generate();
+  EXPECT_FALSE(a.points[0] == c.points[0]);
+}
+
+TEST(GeolifeLikeTest, PointsStayInDomain) {
+  GeolifeLikeGenerator::Options opt;
+  opt.num_points = 5000;
+  opt.domain = Rect::Of(-3, 2, 4, 9);
+  Dataset d = GeolifeLikeGenerator(opt).Generate();
+  for (Point p : d.points) EXPECT_TRUE(opt.domain.Contains(p));
+}
+
+TEST(GeolifeLikeTest, HasHeavyDensitySkew) {
+  // The whole premise of the paper: GPS corpora are extremely skewed.
+  // The densest grid cell must hold far more than a uniform share.
+  GeolifeLikeGenerator::Options opt;
+  opt.num_points = 50000;
+  Dataset d = GeolifeLikeGenerator(opt).Generate();
+  UniformGrid grid(d.Bounds(), 20, 20);
+  grid.Assign(d.points);
+  double uniform_share = double(d.size()) / double(grid.num_cells());
+  double densest = double(grid.CountInCell(grid.DensestCell()));
+  EXPECT_GT(densest, 10.0 * uniform_share);
+  // And a significant fraction of cells must be near-empty.
+  size_t sparse_cells = 0;
+  for (size_t c = 0; c < grid.num_cells(); ++c) {
+    if (grid.CountInCell(c) < uniform_share / 10.0) ++sparse_cells;
+  }
+  EXPECT_GT(sparse_cells, grid.num_cells() / 4);
+}
+
+TEST(GeolifeLikeTest, AltitudeSurfaceIsSmooth) {
+  GeolifeLikeGenerator gen({});
+  // Nearby probes must have nearby altitudes (regression tasks rely on
+  // reading values off neighbors).
+  Point p{5.0, 5.0};
+  double base = gen.AltitudeAt(p);
+  double drift = std::abs(gen.AltitudeAt({5.01, 5.0}) - base) +
+                 std::abs(gen.AltitudeAt({5.0, 5.01}) - base);
+  EXPECT_LT(drift, 5.0);
+  EXPECT_GT(base, 0.0);
+}
+
+TEST(GeolifeLikeTest, ValuesTrackAltitudeSurface) {
+  GeolifeLikeGenerator::Options opt;
+  opt.num_points = 2000;
+  GeolifeLikeGenerator gen(opt);
+  Dataset d = gen.Generate();
+  double mean_abs_err = 0.0;
+  for (size_t i = 0; i < d.size(); ++i) {
+    mean_abs_err += std::abs(d.values[i] - gen.AltitudeAt(d.points[i]));
+  }
+  mean_abs_err /= double(d.size());
+  EXPECT_LT(mean_abs_err, 5.0);  // only measurement noise on top
+}
+
+TEST(SplomTest, ColumnsAreCorrelated) {
+  SplomGenerator::Options opt;
+  opt.num_rows = 50000;
+  opt.correlation = 0.8;
+  auto cols = SplomGenerator(opt).GenerateColumns();
+  ASSERT_EQ(cols.size(), 5u);
+  // Pearson correlation of adjacent columns should be near 0.8.
+  auto pearson = [](const std::vector<double>& x,
+                    const std::vector<double>& y) {
+    double mx = 0, my = 0;
+    for (size_t i = 0; i < x.size(); ++i) {
+      mx += x[i];
+      my += y[i];
+    }
+    mx /= double(x.size());
+    my /= double(y.size());
+    double sxy = 0, sxx = 0, syy = 0;
+    for (size_t i = 0; i < x.size(); ++i) {
+      sxy += (x[i] - mx) * (y[i] - my);
+      sxx += (x[i] - mx) * (x[i] - mx);
+      syy += (y[i] - my) * (y[i] - my);
+    }
+    return sxy / std::sqrt(sxx * syy);
+  };
+  EXPECT_NEAR(pearson(cols[0], cols[1]), 0.8, 0.03);
+  EXPECT_NEAR(pearson(cols[3], cols[4]), 0.8, 0.03);
+  // Distant columns decorrelate roughly as rho^k.
+  EXPECT_NEAR(pearson(cols[0], cols[4]), std::pow(0.8, 4), 0.06);
+}
+
+TEST(SplomTest, GenerateProjectsColumnPair) {
+  SplomGenerator::Options opt;
+  opt.num_rows = 1000;
+  Dataset d = SplomGenerator(opt).Generate(0, 1, 2);
+  EXPECT_EQ(d.size(), 1000u);
+  EXPECT_TRUE(d.has_values());
+  EXPECT_TRUE(d.Validate().ok());
+}
+
+TEST(GaussianMixtureTest, RespectsClusterWeights) {
+  GaussianMixtureGenerator::Options opt;
+  opt.num_points = 30000;
+  GaussianMixtureGenerator::Cluster a;
+  a.mean = {-5, 0};
+  a.weight = 3.0;
+  GaussianMixtureGenerator::Cluster b;
+  b.mean = {5, 0};
+  b.weight = 1.0;
+  opt.clusters = {a, b};
+  Dataset d = GaussianMixtureGenerator(opt).Generate();
+  size_t left = 0;
+  for (Point p : d.points) {
+    if (p.x < 0) ++left;
+  }
+  EXPECT_NEAR(double(left) / double(d.size()), 0.75, 0.02);
+}
+
+TEST(GaussianMixtureTest, ValuesAreClusterLabels) {
+  auto opt = GaussianMixtureGenerator::ClusterStudyOptions(2, 0, 5000, 1);
+  Dataset d = GaussianMixtureGenerator(opt).Generate();
+  for (size_t i = 0; i < d.size(); ++i) {
+    EXPECT_TRUE(d.values[i] == 0.0 || d.values[i] == 1.0);
+  }
+}
+
+TEST(GaussianMixtureTest, ClusterStudyOptionsShapes) {
+  for (int variant = 0; variant < 2; ++variant) {
+    auto one = GaussianMixtureGenerator::ClusterStudyOptions(1, variant,
+                                                             100, 3);
+    EXPECT_EQ(one.clusters.size(), 1u);
+    auto two = GaussianMixtureGenerator::ClusterStudyOptions(2, variant,
+                                                             100, 3);
+    EXPECT_EQ(two.clusters.size(), 2u);
+    // The two clusters must be well separated for the study's ground
+    // truth to be meaningful.
+    EXPECT_GT(Distance(two.clusters[0].mean, two.clusters[1].mean), 3.0);
+  }
+}
+
+TEST(UniformGeneratorTest, CoversDomainEvenly) {
+  Rect domain = Rect::Of(0, 0, 4, 4);
+  Dataset d = GenerateUniform(domain, 40000, 5);
+  UniformGrid grid(domain, 4, 4);
+  grid.Assign(d.points);
+  for (size_t c = 0; c < grid.num_cells(); ++c) {
+    EXPECT_NEAR(double(grid.CountInCell(c)), 2500.0, 300.0);
+  }
+}
+
+}  // namespace
+}  // namespace vas

@@ -1,0 +1,75 @@
+// Addressable max-heap: Top() must track arbitrary key updates.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/indexed_heap.h"
+#include "util/random.h"
+
+namespace vas {
+namespace {
+
+TEST(IndexedHeapTest, InitialKeysAreZero) {
+  IndexedMaxHeap heap(5);
+  EXPECT_EQ(heap.capacity(), 5u);
+  EXPECT_DOUBLE_EQ(heap.TopKey(), 0.0);
+  for (size_t i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(heap.KeyOf(i), 0.0);
+}
+
+TEST(IndexedHeapTest, UpdateMovesTop) {
+  IndexedMaxHeap heap(4);
+  heap.Update(2, 10.0);
+  EXPECT_EQ(heap.Top(), 2u);
+  heap.Update(0, 20.0);
+  EXPECT_EQ(heap.Top(), 0u);
+  heap.Update(0, 5.0);  // decrease: 2 becomes top again
+  EXPECT_EQ(heap.Top(), 2u);
+  EXPECT_DOUBLE_EQ(heap.TopKey(), 10.0);
+}
+
+TEST(IndexedHeapTest, AddAccumulates) {
+  IndexedMaxHeap heap(3);
+  heap.Add(1, 2.5);
+  heap.Add(1, 2.5);
+  EXPECT_DOUBLE_EQ(heap.KeyOf(1), 5.0);
+  EXPECT_EQ(heap.Top(), 1u);
+  heap.Add(1, -5.0);
+  EXPECT_DOUBLE_EQ(heap.KeyOf(1), 0.0);
+}
+
+TEST(IndexedHeapTest, SingleSlot) {
+  IndexedMaxHeap heap(1);
+  heap.Update(0, -3.0);
+  EXPECT_EQ(heap.Top(), 0u);
+  EXPECT_DOUBLE_EQ(heap.TopKey(), -3.0);
+}
+
+class IndexedHeapRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IndexedHeapRandomTest, TopAlwaysMatchesLinearScan) {
+  const size_t n = 64;
+  IndexedMaxHeap heap(n);
+  std::vector<double> shadow(n, 0.0);
+  Rng rng(GetParam());
+  for (int step = 0; step < 5000; ++step) {
+    size_t slot = rng.Below(n);
+    if (rng.Bernoulli(0.5)) {
+      double key = rng.Uniform(-100, 100);
+      heap.Update(slot, key);
+      shadow[slot] = key;
+    } else {
+      double delta = rng.Uniform(-10, 10);
+      heap.Add(slot, delta);
+      shadow[slot] += delta;
+    }
+    double want = *std::max_element(shadow.begin(), shadow.end());
+    EXPECT_DOUBLE_EQ(heap.TopKey(), want);
+    EXPECT_DOUBLE_EQ(shadow[heap.Top()], want);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexedHeapRandomTest,
+                         ::testing::Values(3, 7, 31));
+
+}  // namespace
+}  // namespace vas

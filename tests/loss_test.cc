@@ -1,0 +1,157 @@
+// Monte-Carlo visualization loss (paper Equation 1): ordering properties
+// that the paper's Figures 7 and 8 depend on.
+#include <gtest/gtest.h>
+
+#include "core/interchange.h"
+#include "core/loss.h"
+#include "data/generators.h"
+#include "sampling/stratified_sampler.h"
+#include "sampling/uniform_sampler.h"
+
+namespace vas {
+namespace {
+
+Dataset Skewed(size_t n) {
+  GeolifeLikeGenerator::Options opt;
+  opt.num_points = n;
+  return GeolifeLikeGenerator(opt).Generate();
+}
+
+TEST(LossTest, FullDatasetHasZeroLogLossRatio) {
+  Dataset d = Skewed(3000);
+  MonteCarloLossEstimator est(d, {});
+  EXPECT_NEAR(est.LogLossRatioOf(d.points), 0.0, 1e-9);
+}
+
+TEST(LossTest, ProbesLieNearData) {
+  Dataset d = Skewed(2000);
+  MonteCarloLossEstimator::Options opt;
+  opt.num_probes = 200;
+  MonteCarloLossEstimator est(d, opt);
+  ASSERT_GT(est.probes().size(), 0u);
+  Rect bounds = d.Bounds();
+  double diag = std::sqrt(bounds.width() * bounds.width() +
+                          bounds.height() * bounds.height());
+  KdTree tree(d.points);
+  for (Point x : est.probes()) {
+    size_t nn = tree.Nearest(x);
+    EXPECT_LE(Distance(x, d.points[nn]), diag / 100.0 + 1e-12);
+  }
+}
+
+TEST(LossTest, MoreSamplePointsMeansLessLoss) {
+  Dataset d = Skewed(5000);
+  MonteCarloLossEstimator est(d, {});
+  UniformReservoirSampler sampler(3);
+  double prev = std::numeric_limits<double>::infinity();
+  for (size_t k : {50u, 200u, 1000u, 5000u}) {
+    double ratio =
+        est.LogLossRatioOf(sampler.Sample(d, k).MaterializePoints(d));
+    EXPECT_LT(ratio, prev + 1e-9) << "k=" << k;
+    EXPECT_GE(ratio, -1e-9);
+    prev = ratio;
+  }
+}
+
+TEST(LossTest, VasBeatsBaselinesAtEqualSize) {
+  // The core claim behind Figure 8.
+  Dataset d = Skewed(20000);
+  MonteCarloLossEstimator est(d, {});
+  const size_t k = 500;
+
+  InterchangeSampler vas_sampler;
+  UniformReservoirSampler uniform(3);
+  StratifiedSampler stratified;
+
+  double vas_ratio =
+      est.LogLossRatioOf(vas_sampler.Sample(d, k).MaterializePoints(d));
+  double uni_ratio =
+      est.LogLossRatioOf(uniform.Sample(d, k).MaterializePoints(d));
+  double strat_ratio =
+      est.LogLossRatioOf(stratified.Sample(d, k).MaterializePoints(d));
+
+  EXPECT_LT(vas_ratio, uni_ratio);
+  EXPECT_LT(vas_ratio, strat_ratio);
+}
+
+TEST(LossTest, MedianRobustToOneTerribleProbeRegion) {
+  // A sample covering 95% of probes well should have a reasonable
+  // median even if a few probes are stranded — the paper's reason for
+  // preferring the median.
+  Dataset d = Skewed(4000);
+  MonteCarloLossEstimator est(d, {});
+  UniformReservoirSampler sampler(5);
+  auto good = est.Estimate(sampler.Sample(d, 2000).MaterializePoints(d));
+  // The mean is dominated by the worst probes; median must not exceed
+  // the mean (in log space both are finite thanks to logsumexp).
+  EXPECT_LE(good.median_log10, good.mean_log10 + 1e-9);
+}
+
+TEST(LossTest, DeterministicGivenSeed) {
+  Dataset d = Skewed(1000);
+  MonteCarloLossEstimator::Options opt;
+  opt.seed = 42;
+  MonteCarloLossEstimator a(d, opt), b(d, opt);
+  UniformReservoirSampler sampler(1);
+  auto pts = sampler.Sample(d, 100).MaterializePoints(d);
+  EXPECT_DOUBLE_EQ(a.LogLossRatioOf(pts), b.LogLossRatioOf(pts));
+}
+
+TEST(LossTest, CustomEpsilonAndFilterRespected) {
+  Dataset d = Skewed(2000);
+  MonteCarloLossEstimator::Options opt;
+  opt.epsilon = 0.5;
+  opt.domain_filter_radius = 0.3;
+  MonteCarloLossEstimator est(d, opt);
+  EXPECT_DOUBLE_EQ(est.epsilon(), 0.5);
+  KdTree tree(d.points);
+  for (Point x : est.probes()) {
+    EXPECT_LE(Distance(x, d.points[tree.Nearest(x)]), 0.3 + 1e-12);
+  }
+}
+
+TEST(LossTest, DuplicateSamplePointsDoNotBreakEstimate) {
+  Dataset d = Skewed(1000);
+  MonteCarloLossEstimator est(d, {});
+  std::vector<Point> dup(50, d.points[0]);
+  auto e = est.Estimate(dup);
+  EXPECT_TRUE(std::isfinite(e.median_log10));
+  // 50 copies of one point are barely better than 1 copy.
+  auto single = est.Estimate({d.points[0]});
+  EXPECT_LE(e.median_log10, single.median_log10 + 1e-9);
+  EXPECT_GT(e.median_log10, single.median_log10 - 2.0);
+}
+
+TEST(LossTest, ScalingInvariantOrdering) {
+  // Scaling the whole dataset by 10x (with auto-epsilon scaling along)
+  // must not change which method wins.
+  Dataset d = Skewed(5000);
+  Dataset scaled = d;
+  for (Point& p : scaled.points) p = p * 10.0;
+  UniformReservoirSampler uniform(3);
+  InterchangeSampler vas_sampler;
+  for (Dataset* data : {&d, &scaled}) {
+    MonteCarloLossEstimator est(*data, {});
+    double v = est.LogLossRatioOf(
+        vas_sampler.Sample(*data, 300).MaterializePoints(*data));
+    double u = est.LogLossRatioOf(
+        uniform.Sample(*data, 300).MaterializePoints(*data));
+    EXPECT_LT(v, u);
+  }
+}
+
+TEST(LossTest, TinySampleHasHugeLoss) {
+  // A 2-point sample of a wide dataset leaves most probes essentially
+  // uncovered: log-loss-ratio must be very large (hundreds of decades),
+  // and still finite thanks to log-space evaluation — the paper hit
+  // double overflow exactly here.
+  Dataset d = Skewed(3000);
+  MonteCarloLossEstimator est(d, {});
+  std::vector<Point> two = {d.points[0], d.points[1]};
+  double ratio = est.LogLossRatioOf(two);
+  EXPECT_GT(ratio, 10.0);
+  EXPECT_TRUE(std::isfinite(ratio));
+}
+
+}  // namespace
+}  // namespace vas

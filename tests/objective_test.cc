@@ -1,0 +1,73 @@
+// Objective and responsibility identities from the paper's Definitions
+// 1 and 2.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/objective.h"
+#include "util/random.h"
+
+namespace vas {
+namespace {
+
+std::vector<Point> RandomPoints(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> pts;
+  for (size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.Uniform(0, 5), rng.Uniform(0, 5)});
+  }
+  return pts;
+}
+
+TEST(ObjectiveTest, TrivialSizes) {
+  GaussianKernel k(1.0);
+  EXPECT_DOUBLE_EQ(PairwiseObjective({}, k), 0.0);
+  EXPECT_DOUBLE_EQ(PairwiseObjective({{1, 1}}, k), 0.0);
+  EXPECT_DOUBLE_EQ(PairwiseObjective({{0, 0}, {0, 0}}, k), 1.0);
+}
+
+TEST(ObjectiveTest, TwoPointsEqualsKernel) {
+  GaussianKernel k(1.0);
+  std::vector<Point> s = {{0, 0}, {1, 1}};
+  EXPECT_DOUBLE_EQ(PairwiseObjective(s, k), k(s[0], s[1]));
+}
+
+TEST(ObjectiveTest, SpreadingPointsReducesObjective) {
+  GaussianKernel k(1.0);
+  std::vector<Point> tight = {{0, 0}, {0.1, 0}, {0, 0.1}, {0.1, 0.1}};
+  std::vector<Point> spread = {{0, 0}, {5, 0}, {0, 5}, {5, 5}};
+  EXPECT_GT(PairwiseObjective(tight, k), PairwiseObjective(spread, k));
+}
+
+TEST(ObjectiveTest, ResponsibilitiesSumToObjective) {
+  GaussianKernel k(0.8);
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    auto pts = RandomPoints(30, seed);
+    auto rsp = Responsibilities(pts, k);
+    double sum = std::accumulate(rsp.begin(), rsp.end(), 0.0);
+    EXPECT_NEAR(sum, PairwiseObjective(pts, k), 1e-9);
+  }
+}
+
+TEST(ObjectiveTest, ResponsibilityDefinitionMatchesDefinition2) {
+  // rsp(s_i) = ½ Σ_{j≠i} κ̃(s_i, s_j), computed directly.
+  GaussianKernel k(0.8);
+  auto pts = RandomPoints(12, 7);
+  auto rsp = Responsibilities(pts, k);
+  for (size_t i = 0; i < pts.size(); ++i) {
+    double direct = 0.0;
+    for (size_t j = 0; j < pts.size(); ++j) {
+      if (j != i) direct += k(pts[i], pts[j]);
+    }
+    EXPECT_NEAR(rsp[i], 0.5 * direct, 1e-12);
+  }
+}
+
+TEST(ObjectiveTest, AveragedObjective) {
+  EXPECT_DOUBLE_EQ(AveragedObjective(12.0, 4), 1.0);
+  EXPECT_DOUBLE_EQ(AveragedObjective(5.0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(AveragedObjective(5.0, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace vas

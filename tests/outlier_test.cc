@@ -1,0 +1,90 @@
+// Outlier-augmented VAS: score correctness and retention guarantees.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "core/outlier.h"
+#include "data/generators.h"
+#include "sampling/uniform_sampler.h"
+
+namespace vas {
+namespace {
+
+/// A dense blob plus a handful of far-away singletons.
+Dataset BlobWithOutliers(size_t blob, std::vector<Point> outliers) {
+  Dataset d;
+  Rng rng(31);
+  for (size_t i = 0; i < blob; ++i) {
+    d.Add({rng.Gaussian(5.0, 0.3), rng.Gaussian(5.0, 0.3)}, 0.0);
+  }
+  for (Point p : outliers) d.Add(p, 1.0);
+  return d;
+}
+
+TEST(OutlierScoresTest, IsolatedPointsScoreHighest) {
+  Dataset d = BlobWithOutliers(500, {{50, 50}, {-40, 10}});
+  auto scores = OutlierAugmentedSampler::OutlierScores(d, 5);
+  ASSERT_EQ(scores.size(), d.size());
+  // The two planted outliers must carry the two largest scores.
+  std::vector<size_t> order(d.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] > scores[b]; });
+  std::set<size_t> top = {order[0], order[1]};
+  EXPECT_TRUE(top.count(500));
+  EXPECT_TRUE(top.count(501));
+}
+
+TEST(OutlierScoresTest, UniformCloudScoresAreFlat) {
+  Dataset d = GenerateUniform(Rect::Of(0, 0, 10, 10), 2000, 7);
+  auto scores = OutlierAugmentedSampler::OutlierScores(d, 5);
+  auto [mn, mx] = std::minmax_element(scores.begin(), scores.end());
+  // No point is more than ~10x as isolated as the least isolated.
+  EXPECT_LT(*mx, 10.0 * std::max(*mn, 1e-12));
+}
+
+TEST(OutlierSamplerTest, PlantedOutliersAlwaysRetained) {
+  Dataset d = BlobWithOutliers(2000, {{60, 60}, {-50, 5}, {5, -45}});
+  OutlierAugmentedSampler::Options opt;
+  opt.outlier_fraction = 0.1;
+  OutlierAugmentedSampler sampler(opt);
+  SampleSet s = sampler.Sample(d, 50);
+  EXPECT_EQ(s.size(), 50u);
+  std::set<size_t> ids(s.ids.begin(), s.ids.end());
+  EXPECT_EQ(ids.size(), 50u);
+  for (size_t planted : {2000u, 2001u, 2002u}) {
+    EXPECT_TRUE(ids.count(planted)) << "outlier " << planted << " dropped";
+  }
+}
+
+TEST(OutlierSamplerTest, UniformSamplingDropsThem) {
+  // The motivating contrast: 3 outliers in 2003 tuples, k=50 — uniform
+  // keeps an expected 0.07 of them.
+  Dataset d = BlobWithOutliers(2000, {{60, 60}, {-50, 5}, {5, -45}});
+  UniformReservoirSampler uniform(3);
+  SampleSet s = uniform.Sample(d, 50);
+  std::set<size_t> ids(s.ids.begin(), s.ids.end());
+  size_t kept = ids.count(2000) + ids.count(2001) + ids.count(2002);
+  EXPECT_LT(kept, 3u);
+}
+
+TEST(OutlierSamplerTest, ZeroFractionDegeneratesToVas) {
+  Dataset d = GenerateUniform(Rect::Of(0, 0, 10, 10), 1000, 9);
+  OutlierAugmentedSampler::Options opt;
+  opt.outlier_fraction = 0.0;
+  SampleSet s = OutlierAugmentedSampler(opt).Sample(d, 40);
+  EXPECT_EQ(s.size(), 40u);
+}
+
+TEST(OutlierSamplerTest, EdgeCases) {
+  Dataset d = GenerateUniform(Rect::Of(0, 0, 1, 1), 20, 1);
+  OutlierAugmentedSampler sampler;
+  EXPECT_TRUE(sampler.Sample(d, 0).empty());
+  EXPECT_EQ(sampler.Sample(d, 20).size(), 20u);
+  EXPECT_EQ(sampler.Sample(d, 100).size(), 20u);
+}
+
+}  // namespace
+}  // namespace vas

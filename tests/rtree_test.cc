@@ -1,0 +1,182 @@
+// RTree correctness under dynamic insert/remove — the exact workload the
+// locality-optimized Interchange generates. Randomized operation
+// sequences are cross-checked against a brute-force shadow structure and
+// the tree's own invariant checker.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "index/rtree.h"
+#include "util/random.h"
+
+namespace vas {
+namespace {
+
+TEST(RTreeTest, EmptyTree) {
+  RTree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(tree.RadiusQueryIds({0, 0}, 10).empty());
+  EXPECT_TRUE(tree.RangeQuery(Rect::Of(-1, -1, 1, 1)).empty());
+  EXPECT_FALSE(tree.Remove({0, 0}, 0));
+  tree.CheckInvariants();
+}
+
+TEST(RTreeTest, InsertThenQuery) {
+  RTree tree;
+  tree.Insert({1, 1}, 10);
+  tree.Insert({2, 2}, 20);
+  tree.Insert({9, 9}, 30);
+  EXPECT_EQ(tree.size(), 3u);
+  auto near = tree.RadiusQueryIds({1.5, 1.5}, 1.0);
+  std::sort(near.begin(), near.end());
+  EXPECT_EQ(near, (std::vector<size_t>{10, 20}));
+  auto in_rect = tree.RangeQuery(Rect::Of(0, 0, 3, 3));
+  EXPECT_EQ(in_rect.size(), 2u);
+  tree.CheckInvariants();
+}
+
+TEST(RTreeTest, RemoveExistingAndMissing) {
+  RTree tree;
+  tree.Insert({1, 1}, 1);
+  tree.Insert({2, 2}, 2);
+  EXPECT_TRUE(tree.Remove({1, 1}, 1));
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_FALSE(tree.Remove({1, 1}, 1));      // already gone
+  EXPECT_FALSE(tree.Remove({2, 2}, 999));    // wrong payload
+  EXPECT_FALSE(tree.Remove({5, 5}, 2));      // wrong point
+  EXPECT_TRUE(tree.Remove({2, 2}, 2));
+  EXPECT_TRUE(tree.empty());
+  tree.CheckInvariants();
+}
+
+TEST(RTreeTest, ManyInsertsForceDeepSplits) {
+  RTree tree;
+  Rng rng(5);
+  std::vector<std::pair<Point, size_t>> all;
+  for (size_t i = 0; i < 2000; ++i) {
+    Point p{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    tree.Insert(p, i);
+    all.emplace_back(p, i);
+  }
+  tree.CheckInvariants();
+  EXPECT_EQ(tree.size(), 2000u);
+
+  // Spot-check several radius queries against brute force.
+  for (int t = 0; t < 20; ++t) {
+    Point q{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    double r = rng.Uniform(1, 20);
+    auto got = tree.RadiusQueryIds(q, r);
+    std::sort(got.begin(), got.end());
+    std::vector<size_t> want;
+    for (const auto& [p, id] : all) {
+      if (SquaredDistance(p, q) <= r * r) want.push_back(id);
+    }
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST(RTreeTest, BoundsTracksContents) {
+  RTree tree;
+  tree.Insert({1, 2}, 0);
+  tree.Insert({5, -3}, 1);
+  Rect b = tree.bounds();
+  EXPECT_EQ(b, Rect::Of(1, -3, 5, 2));
+  tree.Remove({5, -3}, 1);
+  EXPECT_EQ(tree.bounds(), Rect::Of(1, 2, 1, 2));
+}
+
+TEST(RTreeTest, DuplicatePointsDistinctPayloads) {
+  RTree tree;
+  for (size_t i = 0; i < 50; ++i) tree.Insert({3.0, 3.0}, i);
+  EXPECT_EQ(tree.size(), 50u);
+  EXPECT_EQ(tree.RadiusQueryIds({3, 3}, 0.0).size(), 50u);
+  // Remove a specific payload among identical points.
+  EXPECT_TRUE(tree.Remove({3, 3}, 25));
+  auto left = tree.RadiusQueryIds({3, 3}, 0.0);
+  EXPECT_EQ(left.size(), 49u);
+  EXPECT_EQ(std::count(left.begin(), left.end(), 25), 0);
+  tree.CheckInvariants();
+}
+
+class RTreeChurnTest : public ::testing::TestWithParam<int> {};
+
+// Interleaved insert/remove churn mirroring Interchange's swap pattern:
+// the tree always holds exactly K live entries while entries rotate.
+TEST_P(RTreeChurnTest, SwapChurnKeepsTreeConsistent) {
+  const size_t kSlots = 64;
+  Rng rng(GetParam());
+  RTree tree;
+  std::map<size_t, Point> shadow;  // slot -> current point
+  for (size_t i = 0; i < kSlots; ++i) {
+    Point p{rng.Uniform(0, 10), rng.Uniform(0, 10)};
+    tree.Insert(p, i);
+    shadow[i] = p;
+  }
+  for (int step = 0; step < 3000; ++step) {
+    size_t slot = rng.Below(kSlots);
+    Point next{rng.Uniform(0, 10), rng.Uniform(0, 10)};
+    ASSERT_TRUE(tree.Remove(shadow[slot], slot));
+    tree.Insert(next, slot);
+    shadow[slot] = next;
+    if (step % 500 == 0) tree.CheckInvariants();
+  }
+  tree.CheckInvariants();
+  EXPECT_EQ(tree.size(), kSlots);
+  // Final cross-check of every entry via tiny radius queries.
+  for (const auto& [slot, p] : shadow) {
+    auto ids = tree.RadiusQueryIds(p, 1e-12);
+    EXPECT_NE(std::find(ids.begin(), ids.end(), slot), ids.end());
+  }
+}
+
+TEST_P(RTreeChurnTest, RandomInsertRemoveMatchesBruteForce) {
+  Rng rng(GetParam() + 77);
+  RTree tree;
+  std::vector<std::pair<Point, size_t>> live;
+  size_t next_id = 0;
+  for (int step = 0; step < 4000; ++step) {
+    bool insert = live.empty() || rng.Bernoulli(0.55);
+    if (insert) {
+      Point p{rng.Uniform(0, 50), rng.Uniform(0, 50)};
+      tree.Insert(p, next_id);
+      live.emplace_back(p, next_id);
+      ++next_id;
+    } else {
+      size_t pick = rng.Below(static_cast<uint32_t>(live.size()));
+      ASSERT_TRUE(tree.Remove(live[pick].first, live[pick].second));
+      live.erase(live.begin() + static_cast<long>(pick));
+    }
+  }
+  tree.CheckInvariants();
+  EXPECT_EQ(tree.size(), live.size());
+  for (int t = 0; t < 10; ++t) {
+    Point q{rng.Uniform(0, 50), rng.Uniform(0, 50)};
+    double r = rng.Uniform(1, 15);
+    auto got = tree.RadiusQueryIds(q, r);
+    std::sort(got.begin(), got.end());
+    std::vector<size_t> want;
+    for (const auto& [p, id] : live) {
+      if (SquaredDistance(p, q) <= r * r) want.push_back(id);
+    }
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RTreeChurnTest,
+                         ::testing::Values(11, 22, 33));
+
+TEST(RTreeTest, LargerNodeCapacity) {
+  RTree tree(16);
+  Rng rng(9);
+  for (size_t i = 0; i < 500; ++i) {
+    tree.Insert({rng.Uniform(0, 10), rng.Uniform(0, 10)}, i);
+  }
+  tree.CheckInvariants();
+  EXPECT_EQ(tree.size(), 500u);
+}
+
+}  // namespace
+}  // namespace vas

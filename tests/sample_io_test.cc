@@ -1,0 +1,94 @@
+// SampleSet persistence: round trips, corruption handling, validation.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/density.h"
+#include "core/interchange.h"
+#include "data/generators.h"
+#include "sampling/sample_io.h"
+
+namespace vas {
+namespace {
+
+class SampleIoTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+  }
+  std::string path_ =
+      std::filesystem::temp_directory_path() / "vas_sample_io_test.bin";
+};
+
+TEST_F(SampleIoTest, RoundTripPlainSample) {
+  SampleSet s;
+  s.method = "vas";
+  s.ids = {3, 1, 4, 159, 26};
+  ASSERT_TRUE(WriteSampleSet(s, path_).ok());
+  auto back = ReadSampleSet(path_);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->method, "vas");
+  EXPECT_EQ(back->ids, s.ids);
+  EXPECT_FALSE(back->has_density());
+}
+
+TEST_F(SampleIoTest, RoundTripWithDensity) {
+  Dataset d = GenerateUniform(Rect::Of(0, 0, 10, 10), 1000, 1);
+  InterchangeSampler sampler;
+  SampleSet s = WithDensity(d, sampler.Sample(d, 50));
+  ASSERT_TRUE(WriteSampleSet(s, path_).ok());
+  auto back = ReadSampleSet(path_);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->method, "vas+density");
+  EXPECT_EQ(back->ids, s.ids);
+  EXPECT_EQ(back->density, s.density);
+  EXPECT_TRUE(ValidateSampleAgainst(*back, d.size()).ok());
+}
+
+TEST_F(SampleIoTest, EmptySampleRoundTrips) {
+  SampleSet s;
+  s.method = "empty";
+  ASSERT_TRUE(WriteSampleSet(s, path_).ok());
+  auto back = ReadSampleSet(path_);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST_F(SampleIoTest, RejectsMismatchedDensity) {
+  SampleSet s;
+  s.method = "broken";
+  s.ids = {1, 2, 3};
+  s.density = {7};  // not parallel
+  EXPECT_FALSE(WriteSampleSet(s, path_).ok());
+  EXPECT_FALSE(ValidateSampleAgainst(s, 100).ok());
+}
+
+TEST_F(SampleIoTest, RejectsGarbageFile) {
+  {
+    std::ofstream out(path_, std::ios::binary);
+    out << "garbage garbage garbage garbage garbage garbage";
+  }
+  EXPECT_FALSE(ReadSampleSet(path_).ok());
+}
+
+TEST_F(SampleIoTest, RejectsTruncatedFile) {
+  SampleSet s;
+  s.method = "vas";
+  for (size_t i = 0; i < 100; ++i) s.ids.push_back(i);
+  ASSERT_TRUE(WriteSampleSet(s, path_).ok());
+  auto size = std::filesystem::file_size(path_);
+  std::filesystem::resize_file(path_, size / 2);
+  EXPECT_FALSE(ReadSampleSet(path_).ok());
+}
+
+TEST(SampleValidationTest, OutOfRangeIdsCaught) {
+  SampleSet s;
+  s.ids = {0, 5, 99};
+  EXPECT_TRUE(ValidateSampleAgainst(s, 100).ok());
+  EXPECT_EQ(ValidateSampleAgainst(s, 99).code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace vas

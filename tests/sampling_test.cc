@@ -1,0 +1,220 @@
+// Baseline samplers: reservoir uniformity, stratified allocation
+// balance, and the structural contrast between the two (the paper's
+// motivating observation).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "data/generators.h"
+#include "index/uniform_grid.h"
+#include "sampling/stratified_sampler.h"
+#include "sampling/uniform_sampler.h"
+
+namespace vas {
+namespace {
+
+Dataset SkewedDataset(size_t n) {
+  GeolifeLikeGenerator::Options opt;
+  opt.num_points = n;
+  return GeolifeLikeGenerator(opt).Generate();
+}
+
+TEST(UniformSamplerTest, ExactSizeAndValidIds) {
+  Dataset d = SkewedDataset(5000);
+  UniformReservoirSampler sampler(1);
+  SampleSet s = sampler.Sample(d, 500);
+  EXPECT_EQ(s.size(), 500u);
+  EXPECT_EQ(s.method, "uniform");
+  std::set<size_t> unique(s.ids.begin(), s.ids.end());
+  EXPECT_EQ(unique.size(), 500u);  // no duplicates
+  for (size_t id : s.ids) EXPECT_LT(id, d.size());
+}
+
+TEST(UniformSamplerTest, KLargerThanDatasetReturnsAll) {
+  Dataset d = SkewedDataset(100);
+  UniformReservoirSampler sampler(1);
+  SampleSet s = sampler.Sample(d, 1000);
+  EXPECT_EQ(s.size(), 100u);
+}
+
+TEST(UniformSamplerTest, ZeroK) {
+  Dataset d = SkewedDataset(100);
+  UniformReservoirSampler sampler(1);
+  EXPECT_TRUE(sampler.Sample(d, 0).empty());
+}
+
+TEST(UniformSamplerTest, ReservoirIsUnbiased) {
+  // Every tuple should appear with probability k/n across repetitions.
+  Dataset d;
+  for (int i = 0; i < 100; ++i) d.Add({double(i), 0.0}, 0.0);
+  std::vector<int> hits(100, 0);
+  const int reps = 2000;
+  for (int r = 0; r < reps; ++r) {
+    UniformReservoirSampler sampler(r + 1);
+    for (size_t id : sampler.Sample(d, 20).ids) ++hits[id];
+  }
+  // Expected 400 hits each; loose 5-sigma-ish band.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_GT(hits[i], 300) << "tuple " << i;
+    EXPECT_LT(hits[i], 510) << "tuple " << i;
+  }
+}
+
+TEST(BalancedAllocationTest, EqualAvailabilitySplitsEvenly) {
+  auto quota = StratifiedSampler::BalancedAllocation({50, 50, 50, 50}, 40);
+  EXPECT_EQ(quota, (std::vector<size_t>{10, 10, 10, 10}));
+}
+
+TEST(BalancedAllocationTest, PaperExampleTwoBins) {
+  // Paper §VI-B: two bins, budget 100, second bin has only 10 points:
+  // 90 from the first, 10 from the second.
+  auto quota = StratifiedSampler::BalancedAllocation({1000, 10}, 100);
+  EXPECT_EQ(quota, (std::vector<size_t>{90, 10}));
+}
+
+TEST(BalancedAllocationTest, NeverExceedsAvailability) {
+  auto quota = StratifiedSampler::BalancedAllocation({3, 0, 7, 2}, 100);
+  EXPECT_EQ(quota, (std::vector<size_t>{3, 0, 7, 2}));
+}
+
+TEST(BalancedAllocationTest, SumsToBudget) {
+  std::vector<size_t> avail = {13, 2, 99, 0, 41, 7, 7, 1};
+  for (size_t k : {0UL, 1UL, 5UL, 50UL, 170UL, 1000UL}) {
+    auto quota = StratifiedSampler::BalancedAllocation(avail, k);
+    size_t total_avail =
+        std::accumulate(avail.begin(), avail.end(), size_t{0});
+    size_t got = std::accumulate(quota.begin(), quota.end(), size_t{0});
+    EXPECT_EQ(got, std::min(k, total_avail)) << "k=" << k;
+    for (size_t i = 0; i < avail.size(); ++i) EXPECT_LE(quota[i], avail[i]);
+  }
+}
+
+TEST(BalancedAllocationTest, BalanceProperty) {
+  // No stratum with unused availability may lag a saturated-free stratum
+  // by more than one (water level is flat up to integer rounding).
+  std::vector<size_t> avail = {100, 100, 100, 5, 100};
+  auto quota = StratifiedSampler::BalancedAllocation(avail, 85);
+  // Saturate the tiny stratum, split the rest evenly: 20 each.
+  EXPECT_EQ(quota[3], 5u);
+  for (size_t i : {0u, 1u, 2u, 4u}) EXPECT_EQ(quota[i], 20u);
+}
+
+TEST(StratifiedSamplerTest, ExactSizeNoDuplicates) {
+  Dataset d = SkewedDataset(20000);
+  StratifiedSampler sampler;
+  SampleSet s = sampler.Sample(d, 1000);
+  EXPECT_EQ(s.size(), 1000u);
+  std::set<size_t> unique(s.ids.begin(), s.ids.end());
+  EXPECT_EQ(unique.size(), 1000u);
+  EXPECT_EQ(s.method, "stratified");
+}
+
+TEST(StratifiedSamplerTest, FlattensDensitySkew) {
+  // The defining property: per-cell sample counts are far more even
+  // than the data's own distribution.
+  Dataset d = SkewedDataset(50000);
+  StratifiedSampler::Options opt;
+  opt.grid_nx = 10;
+  opt.grid_ny = 10;
+  StratifiedSampler sampler(opt);
+  SampleSet s = sampler.Sample(d, 2000);
+
+  UniformGrid grid(d.Bounds(), 10, 10);
+  grid.Assign(s.MaterializePoints(d));
+  size_t max_cell = 0;
+  for (size_t c = 0; c < grid.num_cells(); ++c) {
+    max_cell = std::max(max_cell, grid.CountInCell(c));
+  }
+  // Uniform sampling of this dataset puts >25% of the sample in the
+  // densest cell; stratified must stay near the balanced share.
+  UniformReservoirSampler uniform(3);
+  UniformGrid ugrid(d.Bounds(), 10, 10);
+  ugrid.Assign(uniform.Sample(d, 2000).MaterializePoints(d));
+  size_t max_uniform = 0;
+  for (size_t c = 0; c < ugrid.num_cells(); ++c) {
+    max_uniform = std::max(max_uniform, ugrid.CountInCell(c));
+  }
+  EXPECT_LT(max_cell * 2, max_uniform);
+}
+
+TEST(StratifiedSamplerTest, SparseCellsGetRepresented) {
+  Dataset d = SkewedDataset(50000);
+  StratifiedSampler::Options opt;
+  opt.grid_nx = 10;
+  opt.grid_ny = 10;
+  SampleSet s = StratifiedSampler(opt).Sample(d, 1000);
+  UniformGrid grid(d.Bounds(), 10, 10);
+  grid.Assign(d.points);
+  UniformGrid sample_grid(d.Bounds(), 10, 10);
+  sample_grid.Assign(s.MaterializePoints(d));
+  // Every occupied data cell must appear in the sample (budget is large
+  // enough that the balanced allocation reaches all of them).
+  for (size_t c = 0; c < grid.num_cells(); ++c) {
+    if (grid.CountInCell(c) > 0) {
+      EXPECT_GT(sample_grid.CountInCell(c), 0u) << "cell " << c;
+    }
+  }
+}
+
+TEST(StratifiedSamplerTest, KLargerThanDatasetReturnsAll) {
+  Dataset d = SkewedDataset(50);
+  StratifiedSampler sampler;
+  EXPECT_EQ(sampler.Sample(d, 500).size(), 50u);
+}
+
+TEST(StratifiedSamplerTest, AsymmetricGridOptions) {
+  // A 1xN grid stratifies along one axis only; sampling must still hit
+  // the requested size and spread along y.
+  Dataset d = SkewedDataset(20000);
+  StratifiedSampler::Options opt;
+  opt.grid_nx = 1;
+  opt.grid_ny = 20;
+  SampleSet s = StratifiedSampler(opt).Sample(d, 600);
+  EXPECT_EQ(s.size(), 600u);
+  // Every horizontal band with data gets some representation.
+  UniformGrid bands(d.Bounds(), 1, 20);
+  bands.Assign(d.points);
+  UniformGrid sample_bands(d.Bounds(), 1, 20);
+  sample_bands.Assign(s.MaterializePoints(d));
+  for (size_t c = 0; c < bands.num_cells(); ++c) {
+    if (bands.CountInCell(c) > 30) {
+      EXPECT_GT(sample_bands.CountInCell(c), 0u) << "band " << c;
+    }
+  }
+}
+
+TEST(StratifiedSamplerTest, DeterministicGivenSeed) {
+  Dataset d = SkewedDataset(5000);
+  StratifiedSampler::Options opt;
+  opt.seed = 77;
+  SampleSet a = StratifiedSampler(opt).Sample(d, 200);
+  SampleSet b = StratifiedSampler(opt).Sample(d, 200);
+  EXPECT_EQ(a.ids, b.ids);
+  opt.seed = 78;
+  SampleSet c = StratifiedSampler(opt).Sample(d, 200);
+  EXPECT_NE(a.ids, c.ids);
+}
+
+TEST(UniformSamplerTest, DeterministicGivenSeed) {
+  Dataset d = SkewedDataset(5000);
+  SampleSet a = UniformReservoirSampler(9).Sample(d, 100);
+  SampleSet b = UniformReservoirSampler(9).Sample(d, 100);
+  EXPECT_EQ(a.ids, b.ids);
+}
+
+TEST(SampleSetTest, MaterializeCarriesValues) {
+  Dataset d = SkewedDataset(100);
+  SampleSet s;
+  s.method = "manual";
+  s.ids = {5, 10, 20};
+  Dataset m = s.Materialize(d);
+  ASSERT_EQ(m.size(), 3u);
+  EXPECT_EQ(m.points[1], d.points[10]);
+  EXPECT_DOUBLE_EQ(m.values[2], d.values[20]);
+  EXPECT_NE(m.name.find("manual"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vas

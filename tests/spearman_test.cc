@@ -1,0 +1,102 @@
+// Spearman rank correlation and its permutation significance test.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/spearman.h"
+#include "util/random.h"
+
+namespace vas {
+namespace {
+
+TEST(RanksTest, SimpleOrdering) {
+  auto ranks = AverageRanks({10.0, 30.0, 20.0});
+  EXPECT_EQ(ranks, (std::vector<double>{1.0, 3.0, 2.0}));
+}
+
+TEST(RanksTest, TiesGetAverageRank) {
+  auto ranks = AverageRanks({5.0, 1.0, 5.0, 0.0});
+  // Sorted: 0(1), 1(2), 5(3), 5(4) -> ties share 3.5.
+  EXPECT_EQ(ranks, (std::vector<double>{3.5, 2.0, 3.5, 1.0}));
+}
+
+TEST(SpearmanTest, PerfectMonotoneIsOne) {
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y = {10, 100, 1000, 10000, 100000};  // nonlinear, monotone
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 1.0, 1e-12);
+}
+
+TEST(SpearmanTest, PerfectInverseIsMinusOne) {
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y = {5, 4, 3, 2, 1};
+  EXPECT_NEAR(SpearmanCorrelation(x, y), -1.0, 1e-12);
+}
+
+TEST(SpearmanTest, ConstantSeriesGivesZero) {
+  std::vector<double> x = {1, 2, 3};
+  std::vector<double> y = {7, 7, 7};
+  EXPECT_DOUBLE_EQ(SpearmanCorrelation(x, y), 0.0);
+}
+
+TEST(SpearmanTest, IndependentSeriesNearZero) {
+  Rng rng(5);
+  std::vector<double> x, y;
+  for (int i = 0; i < 2000; ++i) {
+    x.push_back(rng.NextDouble());
+    y.push_back(rng.NextDouble());
+  }
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 0.0, 0.05);
+}
+
+TEST(SpearmanTest, InvariantToMonotoneTransforms) {
+  Rng rng(6);
+  std::vector<double> x, y;
+  for (int i = 0; i < 100; ++i) {
+    double v = rng.NextDouble();
+    x.push_back(v);
+    y.push_back(v + 0.1 * rng.NextDouble());
+  }
+  double base = SpearmanCorrelation(x, y);
+  std::vector<double> logx;
+  for (double v : x) logx.push_back(std::log(v + 1.0));
+  EXPECT_NEAR(SpearmanCorrelation(logx, y), base, 1e-12);
+}
+
+TEST(SpearmanTest, TwoElementSeries) {
+  EXPECT_DOUBLE_EQ(SpearmanCorrelation({1, 2}, {5, 9}), 1.0);
+  EXPECT_DOUBLE_EQ(SpearmanCorrelation({1, 2}, {9, 5}), -1.0);
+}
+
+TEST(SpearmanTest, HeavyTiesStillBounded) {
+  std::vector<double> x = {1, 1, 1, 2, 2, 3};
+  std::vector<double> y = {4, 4, 5, 5, 6, 6};
+  double rho = SpearmanCorrelation(x, y);
+  EXPECT_GT(rho, 0.0);
+  EXPECT_LE(rho, 1.0);
+}
+
+TEST(SpearmanPValueTest, StrongCorrelationIsSignificant) {
+  // Mirror of the paper's Figure 7 analysis: 12 observations, strong
+  // negative trend -> small p.
+  std::vector<double> loss = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+  std::vector<double> success = {0.99, 0.9, 0.92, 0.85, 0.7, 0.72,
+                                 0.6,  0.5, 0.45, 0.3,  0.25, 0.1};
+  double rho = SpearmanCorrelation(loss, success);
+  EXPECT_LT(rho, -0.9);
+  double p = SpearmanPermutationPValue(loss, success, 20000, 1);
+  EXPECT_LT(p, 0.01);
+}
+
+TEST(SpearmanPValueTest, NoiseIsInsignificant) {
+  Rng rng(7);
+  std::vector<double> x, y;
+  for (int i = 0; i < 12; ++i) {
+    x.push_back(rng.NextDouble());
+    y.push_back(rng.NextDouble());
+  }
+  double p = SpearmanPermutationPValue(x, y, 5000, 2);
+  EXPECT_GT(p, 0.05);
+}
+
+}  // namespace
+}  // namespace vas

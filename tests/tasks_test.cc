@@ -1,0 +1,193 @@
+// Simulated-user studies: structural sanity plus the method orderings
+// the paper's Table I reports.
+#include <gtest/gtest.h>
+
+#include "core/density.h"
+#include "core/interchange.h"
+#include "data/generators.h"
+#include "eval/tasks.h"
+#include "sampling/stratified_sampler.h"
+#include "sampling/uniform_sampler.h"
+
+namespace vas {
+namespace {
+
+Dataset Skewed(size_t n) {
+  GeolifeLikeGenerator::Options opt;
+  opt.num_points = n;
+  return GeolifeLikeGenerator(opt).Generate();
+}
+
+SampleSet FullSample(const Dataset& d) {
+  SampleSet s;
+  s.method = "all";
+  s.ids.resize(d.size());
+  for (size_t i = 0; i < d.size(); ++i) s.ids[i] = i;
+  return s;
+}
+
+TEST(RegressionStudyTest, QuestionsAreWellFormed) {
+  Dataset d = Skewed(5000);
+  RegressionStudy study(d, {});
+  ASSERT_FALSE(study.questions().empty());
+  for (const auto& q : study.questions()) {
+    EXPECT_TRUE(q.zoom.Contains(q.probe));
+    ASSERT_EQ(q.choices.size(), 3u);
+    EXPECT_DOUBLE_EQ(q.choices[0], q.true_value);
+    EXPECT_NE(q.choices[1], q.true_value);
+    EXPECT_NE(q.choices[2], q.true_value);
+  }
+}
+
+TEST(RegressionStudyTest, FullDatasetScoresHigh) {
+  Dataset d = Skewed(5000);
+  RegressionStudy study(d, {});
+  EXPECT_GT(study.Evaluate(d, FullSample(d)), 0.8);
+}
+
+TEST(RegressionStudyTest, EmptyishSampleScoresLow) {
+  Dataset d = Skewed(5000);
+  RegressionStudy study(d, {});
+  SampleSet tiny;
+  tiny.method = "tiny";
+  tiny.ids = {0};  // one point cannot cover 18 zoom regions
+  EXPECT_LT(study.Evaluate(d, tiny), 0.4);
+}
+
+TEST(RegressionStudyTest, VasBeatsUniformAtSmallK) {
+  // Table I(a) at small sample sizes: VAS's spatial coverage wins.
+  Dataset d = Skewed(30000);
+  RegressionStudy study(d, {});
+  InterchangeSampler vas_sampler;
+  UniformReservoirSampler uniform(3);
+  const size_t k = 300;
+  double vas_score = study.Evaluate(d, vas_sampler.Sample(d, k));
+  double uni_score = study.Evaluate(d, uniform.Sample(d, k));
+  EXPECT_GT(vas_score, uni_score);
+}
+
+TEST(DensityStudyTest, QuestionsHaveUniqueExtremes) {
+  Dataset d = Skewed(20000);
+  DensityStudy study(d, {});
+  ASSERT_FALSE(study.questions().empty());
+  for (const auto& q : study.questions()) {
+    EXPECT_EQ(q.markers.size(), 4u);
+    EXPECT_NE(q.densest, q.sparsest);
+    for (const Rect& m : q.markers) {
+      EXPECT_TRUE(q.zoom.Intersects(m));
+    }
+  }
+}
+
+TEST(DensityStudyTest, FullDatasetScoresHigh) {
+  Dataset d = Skewed(20000);
+  DensityStudy study(d, {});
+  EXPECT_GT(study.Evaluate(d, FullSample(d)), 0.75);
+}
+
+TEST(DensityStudyTest, DensityEmbeddingRescuesVas) {
+  // Table I(b)'s key finding: plain VAS is poor at density tasks;
+  // VAS with density embedding is the best variant.
+  Dataset d = Skewed(30000);
+  DensityStudy study(d, {});
+  InterchangeSampler vas_sampler;
+  SampleSet plain = vas_sampler.Sample(d, 500);
+  SampleSet embedded = WithDensity(d, plain);
+  double plain_score = study.Evaluate(d, plain);
+  double embedded_score = study.Evaluate(d, embedded);
+  EXPECT_GT(embedded_score, plain_score + 0.1);
+}
+
+TEST(RegressionStudyTest, QuestionsAreDeterministicInSeed) {
+  Dataset d = Skewed(5000);
+  RegressionStudy::Options opt;
+  RegressionStudy a(d, opt), b(d, opt);
+  ASSERT_EQ(a.questions().size(), b.questions().size());
+  for (size_t i = 0; i < a.questions().size(); ++i) {
+    EXPECT_EQ(a.questions()[i].probe, b.questions()[i].probe);
+    EXPECT_EQ(a.questions()[i].choices, b.questions()[i].choices);
+  }
+  opt.seed = 12345;
+  RegressionStudy c(d, opt);
+  EXPECT_FALSE(a.questions()[0].probe == c.questions()[0].probe);
+}
+
+TEST(RegressionStudyTest, MoreUsersTightensNothingButStaysInRange) {
+  Dataset d = Skewed(5000);
+  RegressionStudy::Options opt;
+  opt.num_users = 5;
+  RegressionStudy small(d, opt);
+  opt.num_users = 80;
+  RegressionStudy big(d, opt);
+  UniformReservoirSampler sampler(1);
+  SampleSet s = sampler.Sample(d, 1000);
+  double a = small.Evaluate(d, s);
+  double b = big.Evaluate(d, s);
+  EXPECT_GE(a, 0.0);
+  EXPECT_LE(a, 1.0);
+  // Same questions, same evidence: scores agree to sampling noise.
+  EXPECT_NEAR(a, b, 0.25);
+}
+
+TEST(DensityStudyTest, DeterministicEvaluation) {
+  Dataset d = Skewed(10000);
+  DensityStudy study(d, {});
+  UniformReservoirSampler sampler(1);
+  SampleSet s = sampler.Sample(d, 500);
+  EXPECT_DOUBLE_EQ(study.Evaluate(d, s), study.Evaluate(d, s));
+}
+
+TEST(ClusteringStudyTest, CountsTwoClearClusters) {
+  auto opt = GaussianMixtureGenerator::ClusterStudyOptions(2, 0, 20000, 5);
+  Dataset d = GaussianMixtureGenerator(opt).Generate();
+  ClusteringStudy study;
+  UniformReservoirSampler sampler(7);
+  SampleSet s = WithDensity(d, sampler.Sample(d, 5000));
+  EXPECT_EQ(study.CountBlobs(d, s, 0.0), 2);
+}
+
+TEST(ClusteringStudyTest, CountsOneCluster) {
+  auto opt = GaussianMixtureGenerator::ClusterStudyOptions(1, 0, 20000, 6);
+  Dataset d = GaussianMixtureGenerator(opt).Generate();
+  ClusteringStudy study;
+  UniformReservoirSampler sampler(7);
+  SampleSet s = WithDensity(d, sampler.Sample(d, 5000));
+  EXPECT_EQ(study.CountBlobs(d, s, 0.0), 1);
+}
+
+TEST(ClusteringStudyTest, EmptySampleSeesNothing) {
+  auto opt = GaussianMixtureGenerator::ClusterStudyOptions(1, 0, 100, 6);
+  Dataset d = GaussianMixtureGenerator(opt).Generate();
+  ClusteringStudy study;
+  SampleSet s;
+  EXPECT_EQ(study.CountBlobs(d, s, 0.0), 0);
+}
+
+TEST(ClusteringStudyTest, EvaluateIsAFraction) {
+  auto opt = GaussianMixtureGenerator::ClusterStudyOptions(2, 1, 10000, 8);
+  Dataset d = GaussianMixtureGenerator(opt).Generate();
+  ClusteringStudy study;
+  UniformReservoirSampler sampler(9);
+  double score = study.Evaluate(d, sampler.Sample(d, 2000), 2);
+  EXPECT_GE(score, 0.0);
+  EXPECT_LE(score, 1.0);
+}
+
+TEST(ClusteringStudyTest, StratifiedConfusesTheUser) {
+  // Table I(c): stratified sampling washes the cluster structure out.
+  auto opt = GaussianMixtureGenerator::ClusterStudyOptions(2, 0, 30000, 9);
+  Dataset d = GaussianMixtureGenerator(opt).Generate();
+  ClusteringStudy study;
+  // Plain samples (no density embedding), as in the paper's uniform and
+  // stratified rows: stratified's per-bin balancing erases the density
+  // contrast the user needs.
+  UniformReservoirSampler uniform(3);
+  StratifiedSampler stratified;
+  const size_t k = 2000;
+  double uni = study.Evaluate(d, uniform.Sample(d, k), 2);
+  double strat = study.Evaluate(d, stratified.Sample(d, k), 2);
+  EXPECT_GT(uni, strat + 0.3);
+}
+
+}  // namespace
+}  // namespace vas

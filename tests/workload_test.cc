@@ -1,0 +1,104 @@
+// Workload log and index advisor (paper §II-D).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "engine/workload.h"
+
+namespace vas {
+namespace {
+
+VisualizationQuery Q(const std::string& x, const std::string& y) {
+  VisualizationQuery q;
+  q.x_column = x;
+  q.y_column = y;
+  return q;
+}
+
+TEST(WorkloadLogTest, RecordsQueries) {
+  WorkloadLog log;
+  EXPECT_EQ(log.size(), 0u);
+  log.Record(Q("lat", "lon"));
+  log.Record(Q("time", "latency"));
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.queries()[0].x_column, "lat");
+}
+
+TEST(IndexAdvisorTest, RanksByFrequency) {
+  WorkloadLog log;
+  for (int i = 0; i < 8; ++i) log.Record(Q("lat", "lon"));
+  for (int i = 0; i < 3; ++i) log.Record(Q("time", "latency"));
+  log.Record(Q("a", "b"));
+  auto ranked = IndexAdvisor::RankPairs(log);
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0].x_column, "lat");
+  EXPECT_EQ(ranked[0].frequency, 8u);
+  EXPECT_NEAR(ranked[0].cumulative_coverage, 8.0 / 12.0, 1e-12);
+  EXPECT_NEAR(ranked[2].cumulative_coverage, 1.0, 1e-12);
+}
+
+TEST(IndexAdvisorTest, PairIdentityIsUnordered) {
+  WorkloadLog log;
+  log.Record(Q("x", "y"));
+  log.Record(Q("y", "x"));  // transposed plot, same sample
+  auto ranked = IndexAdvisor::RankPairs(log);
+  ASSERT_EQ(ranked.size(), 1u);
+  EXPECT_EQ(ranked[0].frequency, 2u);
+}
+
+TEST(IndexAdvisorTest, RecommendCoversTarget) {
+  // The paper's trace shape: a few pairs dominate. 80% coverage should
+  // need only the heavy hitters.
+  WorkloadLog log;
+  for (int i = 0; i < 60; ++i) log.Record(Q("lat", "lon"));
+  for (int i = 0; i < 25; ++i) log.Record(Q("time", "cpu"));
+  for (int i = 0; i < 10; ++i) log.Record(Q("a", "b"));
+  for (int i = 0; i < 5; ++i) log.Record(Q("c", "d"));
+  auto recs = IndexAdvisor::Recommend(log, 0.8);
+  ASSERT_EQ(recs.size(), 2u);  // 60 + 25 = 85% >= 80%
+  EXPECT_GE(recs.back().cumulative_coverage, 0.8);
+  auto all = IndexAdvisor::Recommend(log, 1.0);
+  EXPECT_EQ(all.size(), 4u);
+}
+
+TEST(IndexAdvisorTest, EmptyLog) {
+  WorkloadLog log;
+  EXPECT_TRUE(IndexAdvisor::RankPairs(log).empty());
+  EXPECT_TRUE(IndexAdvisor::Recommend(log, 0.9).empty());
+}
+
+TEST(WorkloadLogTest, CsvRoundTrip) {
+  WorkloadLog log;
+  VisualizationQuery q = Q("lat", "lon");
+  q.viewport = Rect::Of(1.5, -2.0, 3.25, 4.0);
+  q.time_budget_seconds = 0.5;
+  log.Record(q);
+  log.Record(Q("a", "b"));
+  std::string path =
+      std::filesystem::temp_directory_path() / "vas_workload_test.csv";
+  ASSERT_TRUE(log.SaveCsv(path).ok());
+  auto loaded = WorkloadLog::LoadCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ(loaded->queries()[0].x_column, "lat");
+  EXPECT_EQ(loaded->queries()[0].viewport, Rect::Of(1.5, -2.0, 3.25, 4.0));
+  EXPECT_DOUBLE_EQ(loaded->queries()[0].time_budget_seconds, 0.5);
+  std::filesystem::remove(path);
+}
+
+TEST(WorkloadLogTest, LoadRejectsMalformed) {
+  std::string path =
+      std::filesystem::temp_directory_path() / "vas_workload_bad.csv";
+  {
+    std::ofstream out(path);
+    out << "x,y,min_x,min_y,max_x,max_y,budget\nonly,three,fields\n";
+  }
+  EXPECT_FALSE(WorkloadLog::LoadCsv(path).ok());
+  std::filesystem::remove(path);
+  EXPECT_EQ(WorkloadLog::LoadCsv("/no/such/file.csv").status().code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace vas

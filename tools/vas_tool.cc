@@ -1,0 +1,261 @@
+// vas_tool — command-line front end for the library. Lets a user drive
+// the whole pipeline on CSV files without writing C++:
+//
+//   vas_tool generate --kind=geolife --n=1000000 --out=data.csv
+//   vas_tool sample   --in=data.csv --k=10000 --method=vas
+//                     --density=true --out=sample.bin
+//   vas_tool render   --in=data.csv --sample=sample.bin --out=plot.ppm
+//   vas_tool loss     --in=data.csv --sample=sample.bin
+//   vas_tool info     --in=data.csv
+//
+// Samples persist in the library's binary format (see
+// sampling/sample_io.h) so an offline build can be reused across
+// sessions, exactly like an index.
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/vas.h"
+#include "data/dataset_io.h"
+#include "render/scatter_renderer.h"
+#include "util/flags.h"
+#include "util/stopwatch.h"
+#include "util/strings.h"
+
+// Subcommand-local: flag-parsing failures print and exit the command.
+#define VAS_RETURN_IF_ERROR_INT(expr)                 \
+  do {                                                \
+    ::vas::Status _vas_tool_status = (expr);          \
+    if (!_vas_tool_status.ok()) {                     \
+      return ::vas::tool::Fail(_vas_tool_status);     \
+    }                                                 \
+  } while (false)
+
+namespace vas::tool {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+namespace {
+
+StatusOr<Dataset> LoadInput(const std::string& path) {
+  if (path.size() > 4 && path.substr(path.size() - 4) == ".bin") {
+    return ReadBinary(path);
+  }
+  return ReadCsv(path);
+}
+
+int CmdGenerate(FlagSet& flags, int argc, char** argv) {
+  flags.Define("kind", "geolife", "geolife | splom | uniform | mixture");
+  flags.Define("n", "100000", "number of tuples");
+  flags.Define("seed", "7", "generator seed");
+  flags.Define("clusters", "2", "mixture only: 1 or 2 clusters");
+  flags.Define("out", "data.csv", "output path (.csv or .bin)");
+  VAS_RETURN_IF_ERROR_INT(flags.Parse(argc, argv));
+  size_t n = static_cast<size_t>(flags.GetInt("n"));
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  std::string kind = flags.GetString("kind");
+
+  Dataset d;
+  if (kind == "geolife") {
+    GeolifeLikeGenerator::Options opt;
+    opt.num_points = n;
+    opt.seed = seed;
+    d = GeolifeLikeGenerator(opt).Generate();
+  } else if (kind == "splom") {
+    SplomGenerator::Options opt;
+    opt.num_rows = n;
+    opt.seed = seed;
+    d = SplomGenerator(opt).Generate();
+  } else if (kind == "uniform") {
+    d = GenerateUniform(Rect::Of(0, 0, 10, 10), n, seed);
+  } else if (kind == "mixture") {
+    auto opt = GaussianMixtureGenerator::ClusterStudyOptions(
+        static_cast<int>(flags.GetInt("clusters")), 0, n, seed);
+    d = GaussianMixtureGenerator(opt).Generate();
+  } else {
+    std::fprintf(stderr, "unknown --kind=%s\n", kind.c_str());
+    return 1;
+  }
+  std::string out = flags.GetString("out");
+  Status s = out.size() > 4 && out.substr(out.size() - 4) == ".bin"
+                 ? WriteBinary(d, out)
+                 : WriteCsv(d, out);
+  if (!s.ok()) return Fail(s);
+  std::printf("wrote %s tuples to %s\n",
+              FormatWithCommas(static_cast<int64_t>(d.size())).c_str(),
+              out.c_str());
+  return 0;
+}
+
+int CmdSample(FlagSet& flags, int argc, char** argv) {
+  flags.Define("in", "data.csv", "input dataset (.csv or .bin)");
+  flags.Define("k", "10000", "sample size");
+  flags.Define("method", "vas",
+               "vas | vas-parallel | vas-outlier | uniform | stratified");
+  flags.Define("density", "true", "run the density-embedding pass");
+  flags.Define("passes", "4", "vas: max streaming passes");
+  flags.Define("budget", "0", "vas: time budget in seconds (0 = none)");
+  flags.Define("out", "sample.bin", "output sample path");
+  VAS_RETURN_IF_ERROR_INT(flags.Parse(argc, argv));
+
+  auto data = LoadInput(flags.GetString("in"));
+  if (!data.ok()) return Fail(data.status());
+  size_t k = static_cast<size_t>(flags.GetInt("k"));
+  std::string method = flags.GetString("method");
+
+  std::unique_ptr<Sampler> sampler;
+  InterchangeSampler::Options vopt;
+  vopt.max_passes = static_cast<size_t>(flags.GetInt("passes"));
+  vopt.time_budget_seconds = flags.GetDouble("budget");
+  if (method == "vas") {
+    sampler = std::make_unique<InterchangeSampler>(vopt);
+  } else if (method == "vas-parallel") {
+    ParallelInterchangeSampler::Options popt;
+    popt.base = vopt;
+    sampler = std::make_unique<ParallelInterchangeSampler>(popt);
+  } else if (method == "vas-outlier") {
+    OutlierAugmentedSampler::Options oopt;
+    oopt.base = vopt;
+    sampler = std::make_unique<OutlierAugmentedSampler>(oopt);
+  } else if (method == "uniform") {
+    sampler = std::make_unique<UniformReservoirSampler>(1);
+  } else if (method == "stratified") {
+    sampler = std::make_unique<StratifiedSampler>();
+  } else {
+    std::fprintf(stderr, "unknown --method=%s\n", method.c_str());
+    return 1;
+  }
+
+  Stopwatch watch;
+  SampleSet sample = sampler->Sample(*data, k);
+  double sample_secs = watch.ElapsedSeconds();
+  if (flags.GetBool("density")) EmbedDensity(*data, &sample);
+  Status s = WriteSampleSet(sample, flags.GetString("out"));
+  if (!s.ok()) return Fail(s);
+  std::printf("%s: sampled %zu of %s tuples in %.2fs -> %s\n",
+              sample.method.c_str(), sample.size(),
+              FormatWithCommas(static_cast<int64_t>(data->size())).c_str(),
+              sample_secs, flags.GetString("out").c_str());
+  return 0;
+}
+
+int CmdRender(FlagSet& flags, int argc, char** argv) {
+  flags.Define("in", "data.csv", "input dataset");
+  flags.Define("sample", "", "optional sample file; empty renders all");
+  flags.Define("out", "plot.ppm", "output image");
+  flags.Define("px", "512", "image size in pixels");
+  flags.Define("zoom", "1", "zoom factor around --cx/--cy");
+  flags.Define("cx", "nan", "zoom center x (default: domain center)");
+  flags.Define("cy", "nan", "zoom center y");
+  VAS_RETURN_IF_ERROR_INT(flags.Parse(argc, argv));
+
+  auto data = LoadInput(flags.GetString("in"));
+  if (!data.ok()) return Fail(data.status());
+  SampleSet sample;
+  if (!flags.GetString("sample").empty()) {
+    auto loaded = ReadSampleSet(flags.GetString("sample"));
+    if (!loaded.ok()) return Fail(loaded.status());
+    Status valid = ValidateSampleAgainst(*loaded, data->size());
+    if (!valid.ok()) return Fail(valid);
+    sample = std::move(*loaded);
+  } else {
+    sample.ids.resize(data->size());
+    for (size_t i = 0; i < sample.ids.size(); ++i) sample.ids[i] = i;
+  }
+
+  size_t px = static_cast<size_t>(flags.GetInt("px"));
+  Viewport viewport(data->Bounds(), px, px);
+  double zoom = flags.GetDouble("zoom");
+  if (zoom > 1.0) {
+    Point center = data->Bounds().Center();
+    std::string cx = flags.GetString("cx");
+    if (cx != "nan") center = {flags.GetDouble("cx"), flags.GetDouble("cy")};
+    viewport = viewport.ZoomedIn(center, zoom);
+  }
+  ScatterRenderer::Options ropt;
+  ropt.width_px = px;
+  ropt.height_px = px;
+  ScatterRenderer renderer(ropt);
+  Stopwatch watch;
+  Image img = renderer.RenderSample(*data, sample, viewport);
+  Status s = img.WritePpm(flags.GetString("out"));
+  if (!s.ok()) return Fail(s);
+  std::printf("rendered %zu points in %.3fs -> %s\n", sample.size(),
+              watch.ElapsedSeconds(), flags.GetString("out").c_str());
+  return 0;
+}
+
+int CmdLoss(FlagSet& flags, int argc, char** argv) {
+  flags.Define("in", "data.csv", "input dataset");
+  flags.Define("sample", "sample.bin", "sample file to score");
+  flags.Define("probes", "1000", "Monte-Carlo probes");
+  VAS_RETURN_IF_ERROR_INT(flags.Parse(argc, argv));
+  auto data = LoadInput(flags.GetString("in"));
+  if (!data.ok()) return Fail(data.status());
+  auto sample = ReadSampleSet(flags.GetString("sample"));
+  if (!sample.ok()) return Fail(sample.status());
+  Status valid = ValidateSampleAgainst(*sample, data->size());
+  if (!valid.ok()) return Fail(valid);
+
+  MonteCarloLossEstimator::Options lopt;
+  lopt.num_probes = static_cast<size_t>(flags.GetInt("probes"));
+  MonteCarloLossEstimator est(*data, lopt);
+  auto estimate = est.Estimate(sample->MaterializePoints(*data));
+  std::printf("sample: %s, %zu points\n", sample->method.c_str(),
+              sample->size());
+  std::printf("median point-loss: 10^%.2f   mean: 10^%.2f\n",
+              estimate.median_log10, estimate.mean_log10);
+  std::printf("log-loss-ratio vs full data: %.3f (0 = perfect)\n",
+              est.LogLossRatio(estimate));
+  return 0;
+}
+
+int CmdInfo(FlagSet& flags, int argc, char** argv) {
+  flags.Define("in", "data.csv", "input dataset");
+  VAS_RETURN_IF_ERROR_INT(flags.Parse(argc, argv));
+  auto data = LoadInput(flags.GetString("in"));
+  if (!data.ok()) return Fail(data.status());
+  Status valid = data->Validate();
+  Rect b = data->Bounds();
+  std::printf("tuples:  %s\n",
+              FormatWithCommas(static_cast<int64_t>(data->size())).c_str());
+  std::printf("bounds:  [%g, %g] x [%g, %g]\n", b.min_x, b.max_x, b.min_y,
+              b.max_y);
+  std::printf("values:  %s\n", data->has_values() ? "yes" : "no");
+  std::printf("valid:   %s\n", valid.ok() ? "yes" : valid.ToString().c_str());
+  std::printf("default kernel epsilon: %g\n",
+              GaussianKernel::DefaultEpsilon(b));
+  VizTimeModel tableau = VizTimeModel::Tableau();
+  std::printf("est. full Tableau render: %.1f s\n",
+              tableau.SecondsFor(data->size()));
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <generate|sample|render|loss|info> [flags]\n",
+                 argv[0]);
+    return 1;
+  }
+  std::string cmd = argv[1];
+  FlagSet flags;
+  // Shift argv so subcommand flags parse from position 2.
+  int sub_argc = argc - 1;
+  char** sub_argv = argv + 1;
+  if (cmd == "generate") return CmdGenerate(flags, sub_argc, sub_argv);
+  if (cmd == "sample") return CmdSample(flags, sub_argc, sub_argv);
+  if (cmd == "render") return CmdRender(flags, sub_argc, sub_argv);
+  if (cmd == "loss") return CmdLoss(flags, sub_argc, sub_argv);
+  if (cmd == "info") return CmdInfo(flags, sub_argc, sub_argv);
+  std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
+  return 1;
+}
+
+}  // namespace
+}  // namespace vas::tool
+
+int main(int argc, char** argv) { return vas::tool::Main(argc, argv); }
