@@ -1,0 +1,82 @@
+// Colormaps: control-point endpoints, interpolation continuity,
+// clamping, and value normalization (the paper's Figure 1 encodes
+// altitude as color, so a broken map silently corrupts every plot).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+#include "render/colormap.h"
+
+namespace vas {
+namespace {
+
+TEST(ColormapTest, ViridisEndpointsMatchControlTable) {
+  // First and last control points of matplotlib's viridis.
+  EXPECT_EQ(MapColor(ColormapKind::kViridis, 0.0), (Rgb{68, 1, 84}));
+  EXPECT_EQ(MapColor(ColormapKind::kViridis, 1.0), (Rgb{253, 231, 37}));
+}
+
+TEST(ColormapTest, OutOfRangeInputsClampToEndpoints) {
+  for (ColormapKind kind : {ColormapKind::kViridis, ColormapKind::kGrayscale}) {
+    EXPECT_EQ(MapColor(kind, -100.0), MapColor(kind, 0.0));
+    EXPECT_EQ(MapColor(kind, 100.0), MapColor(kind, 1.0));
+    EXPECT_EQ(MapColor(kind, -0.0), MapColor(kind, 0.0));
+  }
+}
+
+TEST(ColormapTest, GrayscaleIsNeutralAndLinear) {
+  for (double t = 0.0; t <= 1.0; t += 0.05) {
+    Rgb c = MapColor(ColormapKind::kGrayscale, t);
+    EXPECT_EQ(c.r, c.g);
+    EXPECT_EQ(c.g, c.b);
+    EXPECT_EQ(c.r, static_cast<uint8_t>(std::lround(t * 255.0)));
+  }
+}
+
+TEST(ColormapTest, ViridisIsContinuous) {
+  // Adjacent samples never jump more than a few counts per channel:
+  // piecewise-linear interpolation over 8 control points has no seams.
+  Rgb prev = MapColor(ColormapKind::kViridis, 0.0);
+  for (int i = 1; i <= 1000; ++i) {
+    Rgb cur = MapColor(ColormapKind::kViridis, i / 1000.0);
+    EXPECT_LE(std::abs(int(cur.r) - int(prev.r)), 3);
+    EXPECT_LE(std::abs(int(cur.g) - int(prev.g)), 3);
+    EXPECT_LE(std::abs(int(cur.b) - int(prev.b)), 3);
+    prev = cur;
+  }
+}
+
+TEST(ColormapTest, ViridisLuminanceIncreases) {
+  // Viridis is a sequential map: perceived brightness grows with t.
+  auto luma = [](Rgb c) {
+    return 0.2126 * c.r + 0.7152 * c.g + 0.0722 * c.b;
+  };
+  double prev = luma(MapColor(ColormapKind::kViridis, 0.0));
+  for (int i = 1; i <= 20; ++i) {
+    double cur = luma(MapColor(ColormapKind::kViridis, i / 20.0));
+    EXPECT_GT(cur, prev) << "t=" << i / 20.0;
+    prev = cur;
+  }
+}
+
+TEST(NormalizeValueTest, MapsRangeToUnitInterval) {
+  EXPECT_DOUBLE_EQ(NormalizeValue(5.0, 0.0, 10.0), 0.5);
+  EXPECT_DOUBLE_EQ(NormalizeValue(0.0, 0.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizeValue(10.0, 0.0, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(NormalizeValue(-2.0, -4.0, 0.0), 0.5);
+}
+
+TEST(NormalizeValueTest, ClampsOutOfRangeValues) {
+  EXPECT_DOUBLE_EQ(NormalizeValue(-1.0, 0.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizeValue(11.0, 0.0, 10.0), 1.0);
+}
+
+TEST(NormalizeValueTest, DegenerateRangesMapToCenter) {
+  EXPECT_DOUBLE_EQ(NormalizeValue(3.0, 5.0, 5.0), 0.5);   // empty range
+  EXPECT_DOUBLE_EQ(NormalizeValue(3.0, 7.0, 2.0), 0.5);   // inverted range
+  EXPECT_DOUBLE_EQ(NormalizeValue(3.0, std::nan(""), 1.0), 0.5);
+}
+
+}  // namespace
+}  // namespace vas

@@ -9,6 +9,7 @@
 #include "data/dataset.h"
 #include "data/dataset_io.h"
 #include "data/generators.h"
+#include "test_util.h"
 
 namespace vas {
 namespace {
@@ -71,20 +72,15 @@ TEST(DatasetTest, GatherSelectsByIds) {
   EXPECT_DOUBLE_EQ(g.values[1], 1.0);
 }
 
-class IoRoundTripTest : public ::testing::Test {
+class IoRoundTripTest : public test::TempFileTest {
  protected:
-  void TearDown() override {
-    std::error_code ec;
-    std::filesystem::remove(path_, ec);
-  }
-  std::string path_ = std::filesystem::temp_directory_path() /
-                      "vas_dataset_io_test.tmp";
+  IoRoundTripTest() : TempFileTest("vas_dataset_io_test.tmp") {}
 };
 
 TEST_F(IoRoundTripTest, CsvRoundTrip) {
   Dataset d = SmallDataset();
-  ASSERT_TRUE(WriteCsv(d, path_).ok());
-  auto back = ReadCsv(path_);
+  ASSERT_TRUE(WriteCsv(d, path()).ok());
+  auto back = ReadCsv(path());
   ASSERT_TRUE(back.ok());
   ASSERT_EQ(back->size(), d.size());
   for (size_t i = 0; i < d.size(); ++i) {
@@ -95,11 +91,9 @@ TEST_F(IoRoundTripTest, CsvRoundTrip) {
 }
 
 TEST_F(IoRoundTripTest, BinaryRoundTripExact) {
-  GeolifeLikeGenerator::Options opt;
-  opt.num_points = 2000;
-  Dataset d = GeolifeLikeGenerator(opt).Generate();
-  ASSERT_TRUE(WriteBinary(d, path_).ok());
-  auto back = ReadBinary(path_);
+  Dataset d = test::Skewed(2000);
+  ASSERT_TRUE(WriteBinary(d, path()).ok());
+  auto back = ReadBinary(path());
   ASSERT_TRUE(back.ok());
   ASSERT_EQ(back->size(), d.size());
   for (size_t i = 0; i < d.size(); i += 97) {
@@ -110,10 +104,10 @@ TEST_F(IoRoundTripTest, BinaryRoundTripExact) {
 
 TEST_F(IoRoundTripTest, ReadCsvAcceptsTwoFieldRows) {
   {
-    std::ofstream out(path_);
+    std::ofstream out(path());
     out << "x,y\n1.5,2.5\n3.5,4.5\n";
   }
-  auto back = ReadCsv(path_);
+  auto back = ReadCsv(path());
   ASSERT_TRUE(back.ok());
   ASSERT_EQ(back->size(), 2u);
   EXPECT_EQ(back->points[1], (Point{3.5, 4.5}));
@@ -122,10 +116,10 @@ TEST_F(IoRoundTripTest, ReadCsvAcceptsTwoFieldRows) {
 
 TEST_F(IoRoundTripTest, ReadCsvSkipsBlankLinesAndHeader) {
   {
-    std::ofstream out(path_);
+    std::ofstream out(path());
     out << "x,y,value\n\n1,2,3\n\n\n4,5,6\n";
   }
-  auto back = ReadCsv(path_);
+  auto back = ReadCsv(path());
   ASSERT_TRUE(back.ok());
   EXPECT_EQ(back->size(), 2u);
 }
@@ -133,10 +127,10 @@ TEST_F(IoRoundTripTest, ReadCsvSkipsBlankLinesAndHeader) {
 TEST_F(IoRoundTripTest, ReadCsvHeaderlessNumericFirstLine) {
   // Files without a header must not lose their first row.
   {
-    std::ofstream out(path_);
+    std::ofstream out(path());
     out << "1,2,3\n4,5,6\n";
   }
-  auto back = ReadCsv(path_);
+  auto back = ReadCsv(path());
   ASSERT_TRUE(back.ok());
   EXPECT_EQ(back->size(), 2u);
   EXPECT_EQ(back->points[0], (Point{1.0, 2.0}));
@@ -144,18 +138,18 @@ TEST_F(IoRoundTripTest, ReadCsvHeaderlessNumericFirstLine) {
 
 TEST_F(IoRoundTripTest, ReadCsvRejectsMalformedRow) {
   {
-    std::ofstream out(path_);
+    std::ofstream out(path());
     out << "x,y,value\n1,2,3\n1,not_a_number,3\n";
   }
-  EXPECT_FALSE(ReadCsv(path_).ok());
+  EXPECT_FALSE(ReadCsv(path()).ok());
 }
 
 TEST_F(IoRoundTripTest, ReadBinaryRejectsWrongMagic) {
   {
-    std::ofstream out(path_, std::ios::binary);
+    std::ofstream out(path(), std::ios::binary);
     out << "this is not a vas binary file at all, padding padding";
   }
-  EXPECT_FALSE(ReadBinary(path_).ok());
+  EXPECT_FALSE(ReadBinary(path()).ok());
 }
 
 TEST(IoTest, MissingFilesAreIoErrors) {

@@ -8,14 +8,15 @@
 #include "core/interchange.h"
 #include "data/generators.h"
 #include "sampling/uniform_sampler.h"
+#include "test_util.h"
 
 namespace vas {
 namespace {
 
+using test::Skewed;
+
 TEST(DensityTest, CountsSumToDatasetSize) {
-  GeolifeLikeGenerator::Options opt;
-  opt.num_points = 5000;
-  Dataset d = GeolifeLikeGenerator(opt).Generate();
+  Dataset d = Skewed(5000);
   UniformReservoirSampler sampler(1);
   SampleSet s = sampler.Sample(d, 100);
   EmbedDensity(d, &s);

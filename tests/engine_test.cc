@@ -10,15 +10,12 @@
 #include "engine/session.h"
 #include "engine/table.h"
 #include "sampling/uniform_sampler.h"
+#include "test_util.h"
 
 namespace vas {
 namespace {
 
-Dataset Skewed(size_t n) {
-  GeolifeLikeGenerator::Options opt;
-  opt.num_points = n;
-  return GeolifeLikeGenerator(opt).Generate();
-}
+using test::Skewed;
 
 TEST(TableTest, AddAndReadColumns) {
   Table t("logs");

@@ -8,6 +8,7 @@
 #include "core/exact_solver.h"
 #include "core/objective.h"
 #include "data/generators.h"
+#include "test_util.h"
 #include "util/random.h"
 
 namespace vas {
@@ -98,9 +99,7 @@ TEST(ExactSolverTest, ClearCutOptimum) {
 
 TEST(ExactSolverTest, PaperScaleInstanceSolves) {
   // Table II scale: N = 50, K = 10. Must finish and prove optimality.
-  GeolifeLikeGenerator::Options gopt;
-  gopt.num_points = 50;
-  Dataset d = GeolifeLikeGenerator(gopt).Generate();
+  Dataset d = test::Skewed(50);
   ExactSolver::Options opt;
   opt.time_budget_seconds = 60.0;
   auto result = ExactSolver(opt).Solve(d, 10);
@@ -112,9 +111,7 @@ TEST(ExactSolverTest, PaperScaleInstanceSolves) {
 TEST(ExactSolverTest, TimeBudgetReturnsIncumbent) {
   // A large clustered instance the solver cannot finish instantly; with
   // a microscopic budget it must still return a full, sane incumbent.
-  GeolifeLikeGenerator::Options gopt;
-  gopt.num_points = 90;
-  Dataset d = GeolifeLikeGenerator(gopt).Generate();
+  Dataset d = test::Skewed(90);
   ExactSolver::Options opt;
   opt.time_budget_seconds = 1e-6;
   auto result = ExactSolver(opt).Solve(d, 12);

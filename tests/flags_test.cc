@@ -1,0 +1,134 @@
+// FlagSet: the full grammar the bench/tool binaries rely on —
+// --name=value, --name value, bare booleans, positionals, --help, and
+// the typed accessors. Complements the smoke tests in util_test.cc.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/flags.h"
+
+namespace vas {
+namespace {
+
+// Builds a mutable argv from string literals (Parse takes char**).
+class ArgvFixture {
+ public:
+  explicit ArgvFixture(std::vector<std::string> args) : args_(std::move(args)) {
+    for (auto& a : args_) argv_.push_back(a.data());
+  }
+  int argc() { return static_cast<int>(argv_.size()); }
+  char** argv() { return argv_.data(); }
+
+ private:
+  std::vector<std::string> args_;
+  std::vector<char*> argv_;
+};
+
+TEST(FlagSetTest, TypedAccessorsParseDefinedFlags) {
+  FlagSet flags;
+  flags.Define("n", "1000", "point count");
+  flags.Define("rate", "0.5", "sampling rate");
+  flags.Define("quick", "false", "fast mode");
+  flags.Define("name", "geolife", "dataset name");
+  ArgvFixture args({"prog", "--n=42", "--rate", "2.25", "--quick=yes"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(flags.GetInt("n"), 42);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate"), 2.25);
+  EXPECT_TRUE(flags.GetBool("quick"));
+  EXPECT_EQ(flags.GetString("name"), "geolife");  // untouched default
+}
+
+TEST(FlagSetTest, BareBooleanMeansTrue) {
+  FlagSet flags;
+  flags.Define("quick", "false", "fast mode");
+  flags.Define("out", "", "output path");
+  ArgvFixture args({"prog", "--quick", "--out=/tmp/x"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_TRUE(flags.GetBool("quick"));
+  EXPECT_EQ(flags.GetString("out"), "/tmp/x");
+}
+
+TEST(FlagSetTest, BareBooleanAtEndOfLine) {
+  FlagSet flags;
+  flags.Define("quick", "false", "fast mode");
+  ArgvFixture args({"prog", "--quick"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_TRUE(flags.GetBool("quick"));
+}
+
+TEST(FlagSetTest, BooleanSpellings) {
+  FlagSet flags;
+  flags.Define("a", "false", "");
+  flags.Define("b", "false", "");
+  flags.Define("c", "true", "");
+  ArgvFixture args({"prog", "--a=1", "--b=yes", "--c=no"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_TRUE(flags.GetBool("a"));
+  EXPECT_TRUE(flags.GetBool("b"));
+  EXPECT_FALSE(flags.GetBool("c"));
+}
+
+TEST(FlagSetTest, MissingValueIsError) {
+  FlagSet flags;
+  flags.Define("out", "", "output path");  // non-boolean default
+  ArgvFixture args({"prog", "--out"});
+  Status s = flags.Parse(args.argc(), args.argv());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlagSetTest, UnknownFlagIsErrorInBothForms) {
+  FlagSet flags;
+  flags.Define("n", "10", "");
+  {
+    ArgvFixture args({"prog", "--typo=3"});
+    EXPECT_EQ(flags.Parse(args.argc(), args.argv()).code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    ArgvFixture args({"prog", "--typo", "3"});
+    EXPECT_EQ(flags.Parse(args.argc(), args.argv()).code(),
+              StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(FlagSetTest, PositionalsPreserveOrder) {
+  FlagSet flags;
+  flags.Define("k", "5", "");
+  ArgvFixture args({"prog", "first", "--k=9", "second", "third"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(flags.positional(),
+            (std::vector<std::string>{"first", "second", "third"}));
+  EXPECT_EQ(flags.GetInt("k"), 9);
+}
+
+TEST(FlagSetTest, HelpIsAlwaysAccepted) {
+  FlagSet flags;  // no flags defined at all
+  ArgvFixture args({"prog", "--help"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_TRUE(flags.help_requested());
+}
+
+TEST(FlagSetTest, UsageListsEveryFlagWithDefaultAndHelp) {
+  FlagSet flags;
+  flags.Define("n", "1000", "number of points");
+  flags.Define("out", "", "output path");
+  std::string usage = flags.Usage("vas_tool");
+  EXPECT_NE(usage.find("vas_tool"), std::string::npos);
+  EXPECT_NE(usage.find("--n"), std::string::npos);
+  EXPECT_NE(usage.find("1000"), std::string::npos);
+  EXPECT_NE(usage.find("number of points"), std::string::npos);
+  EXPECT_NE(usage.find("--out"), std::string::npos);
+  EXPECT_NE(usage.find("\"\""), std::string::npos);  // empty default marker
+}
+
+TEST(FlagSetTest, EqualsSignInValueIsPreserved) {
+  FlagSet flags;
+  flags.Define("expr", "", "filter expression");
+  ArgvFixture args({"prog", "--expr=a=b=c"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(flags.GetString("expr"), "a=b=c");
+}
+
+}  // namespace
+}  // namespace vas

@@ -8,6 +8,7 @@
 #include "core/interchange.h"
 #include "core/objective.h"
 #include "data/generators.h"
+#include "test_util.h"
 
 namespace vas {
 namespace {
@@ -58,7 +59,7 @@ TEST(IncrementalVasTest, ObjectiveMatchesRecomputation) {
 }
 
 TEST(IncrementalVasTest, ObjectiveNeverIncreasesAfterFill) {
-  Dataset d = GeolifeLikeGenerator({}).Generate();
+  Dataset d = test::Skewed(100000);
   IncrementalVas stream(30, StreamOptions(0.14));
   // Fill first.
   for (size_t i = 0; i < 30; ++i) stream.Observe(d.points[i]);
@@ -75,9 +76,7 @@ TEST(IncrementalVasTest, ObjectiveNeverIncreasesAfterFill) {
 
 TEST(IncrementalVasTest, MatchesOneShotInterchangeQuality) {
   // Streaming the whole dataset once ≈ a one-pass Interchange run.
-  GeolifeLikeGenerator::Options gopt;
-  gopt.num_points = 5000;
-  Dataset d = GeolifeLikeGenerator(gopt).Generate();
+  Dataset d = test::Skewed(5000);
   double epsilon = GaussianKernel::DefaultEpsilon(d.Bounds());
 
   IncrementalVas stream(50, StreamOptions(epsilon));

@@ -9,6 +9,7 @@
 #include "eval/spearman.h"
 #include "eval/tasks.h"
 #include "render/scatter_renderer.h"
+#include "test_util.h"
 
 namespace vas {
 namespace {
@@ -16,9 +17,7 @@ namespace {
 class PipelineTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    GeolifeLikeGenerator::Options opt;
-    opt.num_points = 40000;
-    dataset_ = new Dataset(GeolifeLikeGenerator(opt).Generate());
+    dataset_ = new Dataset(test::Skewed(40000));
   }
   static void TearDownTestSuite() {
     delete dataset_;

@@ -11,18 +11,13 @@
 #include "data/generators.h"
 #include "index/uniform_grid.h"
 #include "sampling/uniform_sampler.h"
+#include "test_util.h"
 
 namespace vas {
 namespace {
 
 using Optimization = InterchangeSampler::Optimization;
-
-Dataset Skewed(size_t n, uint64_t seed = 7) {
-  GeolifeLikeGenerator::Options opt;
-  opt.num_points = n;
-  opt.seed = seed;
-  return GeolifeLikeGenerator(opt).Generate();
-}
+using test::Skewed;
 
 InterchangeSampler::Options BaseOptions(Optimization level) {
   InterchangeSampler::Options opt;

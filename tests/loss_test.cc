@@ -7,15 +7,12 @@
 #include "data/generators.h"
 #include "sampling/stratified_sampler.h"
 #include "sampling/uniform_sampler.h"
+#include "test_util.h"
 
 namespace vas {
 namespace {
 
-Dataset Skewed(size_t n) {
-  GeolifeLikeGenerator::Options opt;
-  opt.num_points = n;
-  return GeolifeLikeGenerator(opt).Generate();
-}
+using test::Skewed;
 
 TEST(LossTest, FullDatasetHasZeroLogLossRatio) {
   Dataset d = Skewed(3000);

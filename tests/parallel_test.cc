@@ -10,6 +10,7 @@
 #include "core/parallel.h"
 #include "data/generators.h"
 #include "sampling/uniform_sampler.h"
+#include "test_util.h"
 
 namespace vas {
 namespace {
@@ -50,9 +51,7 @@ TEST(SplitBudgetTest, ZeroSupportEverywhere) {
 class ParallelSamplerTest : public ::testing::TestWithParam<size_t> {};
 
 TEST_P(ParallelSamplerTest, ProducesValidSample) {
-  GeolifeLikeGenerator::Options gopt;
-  gopt.num_points = 20000;
-  Dataset d = GeolifeLikeGenerator(gopt).Generate();
+  Dataset d = test::Skewed(20000);
   ParallelInterchangeSampler::Options opt;
   opt.num_shards = GetParam();
   ParallelInterchangeSampler sampler(opt);
@@ -64,9 +63,7 @@ TEST_P(ParallelSamplerTest, ProducesValidSample) {
 }
 
 TEST_P(ParallelSamplerTest, QualityNearSingleThreaded) {
-  GeolifeLikeGenerator::Options gopt;
-  gopt.num_points = 20000;
-  Dataset d = GeolifeLikeGenerator(gopt).Generate();
+  Dataset d = test::Skewed(20000);
   double epsilon = GaussianKernel::DefaultEpsilon(d.Bounds());
   GaussianKernel pair = GaussianKernel::PairKernelFor(epsilon);
 
@@ -95,7 +92,7 @@ INSTANTIATE_TEST_SUITE_P(Shards, ParallelSamplerTest,
                          ::testing::Values(1, 2, 4, 8));
 
 TEST(ParallelSamplerTest, DeterministicAcrossRuns) {
-  Dataset d = GeolifeLikeGenerator({}).Generate();
+  Dataset d = test::Skewed(100000);
   ParallelInterchangeSampler::Options opt;
   opt.num_shards = 4;
   SampleSet a = ParallelInterchangeSampler(opt).Sample(d, 200);

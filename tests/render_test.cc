@@ -8,6 +8,7 @@
 #include "data/generators.h"
 #include "render/scatter_renderer.h"
 #include "sampling/uniform_sampler.h"
+#include "test_util.h"
 
 namespace vas {
 namespace {
@@ -236,9 +237,7 @@ TEST(VizTimeModelTest, CalibratedAgainstPaperFigure2) {
 }
 
 TEST(RendererIntegrationTest, SampledRenderIsCheaperSameCoverage) {
-  GeolifeLikeGenerator::Options gopt;
-  gopt.num_points = 20000;
-  Dataset d = GeolifeLikeGenerator(gopt).Generate();
+  Dataset d = test::Skewed(20000);
   UniformReservoirSampler sampler(3);
   SampleSet s = sampler.Sample(d, 2000);
   ScatterRenderer renderer;

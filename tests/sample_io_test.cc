@@ -8,26 +8,22 @@
 #include "core/interchange.h"
 #include "data/generators.h"
 #include "sampling/sample_io.h"
+#include "test_util.h"
 
 namespace vas {
 namespace {
 
-class SampleIoTest : public ::testing::Test {
+class SampleIoTest : public test::TempFileTest {
  protected:
-  void TearDown() override {
-    std::error_code ec;
-    std::filesystem::remove(path_, ec);
-  }
-  std::string path_ =
-      std::filesystem::temp_directory_path() / "vas_sample_io_test.bin";
+  SampleIoTest() : TempFileTest("vas_sample_io_test.bin") {}
 };
 
 TEST_F(SampleIoTest, RoundTripPlainSample) {
   SampleSet s;
   s.method = "vas";
   s.ids = {3, 1, 4, 159, 26};
-  ASSERT_TRUE(WriteSampleSet(s, path_).ok());
-  auto back = ReadSampleSet(path_);
+  ASSERT_TRUE(WriteSampleSet(s, path()).ok());
+  auto back = ReadSampleSet(path());
   ASSERT_TRUE(back.ok());
   EXPECT_EQ(back->method, "vas");
   EXPECT_EQ(back->ids, s.ids);
@@ -38,8 +34,8 @@ TEST_F(SampleIoTest, RoundTripWithDensity) {
   Dataset d = GenerateUniform(Rect::Of(0, 0, 10, 10), 1000, 1);
   InterchangeSampler sampler;
   SampleSet s = WithDensity(d, sampler.Sample(d, 50));
-  ASSERT_TRUE(WriteSampleSet(s, path_).ok());
-  auto back = ReadSampleSet(path_);
+  ASSERT_TRUE(WriteSampleSet(s, path()).ok());
+  auto back = ReadSampleSet(path());
   ASSERT_TRUE(back.ok());
   EXPECT_EQ(back->method, "vas+density");
   EXPECT_EQ(back->ids, s.ids);
@@ -50,8 +46,8 @@ TEST_F(SampleIoTest, RoundTripWithDensity) {
 TEST_F(SampleIoTest, EmptySampleRoundTrips) {
   SampleSet s;
   s.method = "empty";
-  ASSERT_TRUE(WriteSampleSet(s, path_).ok());
-  auto back = ReadSampleSet(path_);
+  ASSERT_TRUE(WriteSampleSet(s, path()).ok());
+  auto back = ReadSampleSet(path());
   ASSERT_TRUE(back.ok());
   EXPECT_TRUE(back->empty());
 }
@@ -61,26 +57,26 @@ TEST_F(SampleIoTest, RejectsMismatchedDensity) {
   s.method = "broken";
   s.ids = {1, 2, 3};
   s.density = {7};  // not parallel
-  EXPECT_FALSE(WriteSampleSet(s, path_).ok());
+  EXPECT_FALSE(WriteSampleSet(s, path()).ok());
   EXPECT_FALSE(ValidateSampleAgainst(s, 100).ok());
 }
 
 TEST_F(SampleIoTest, RejectsGarbageFile) {
   {
-    std::ofstream out(path_, std::ios::binary);
+    std::ofstream out(path(), std::ios::binary);
     out << "garbage garbage garbage garbage garbage garbage";
   }
-  EXPECT_FALSE(ReadSampleSet(path_).ok());
+  EXPECT_FALSE(ReadSampleSet(path()).ok());
 }
 
 TEST_F(SampleIoTest, RejectsTruncatedFile) {
   SampleSet s;
   s.method = "vas";
   for (size_t i = 0; i < 100; ++i) s.ids.push_back(i);
-  ASSERT_TRUE(WriteSampleSet(s, path_).ok());
-  auto size = std::filesystem::file_size(path_);
-  std::filesystem::resize_file(path_, size / 2);
-  EXPECT_FALSE(ReadSampleSet(path_).ok());
+  ASSERT_TRUE(WriteSampleSet(s, path()).ok());
+  auto size = std::filesystem::file_size(path());
+  std::filesystem::resize_file(path(), size / 2);
+  EXPECT_FALSE(ReadSampleSet(path()).ok());
 }
 
 TEST(SampleValidationTest, OutOfRangeIdsCaught) {

@@ -11,18 +11,15 @@
 #include "index/uniform_grid.h"
 #include "sampling/stratified_sampler.h"
 #include "sampling/uniform_sampler.h"
+#include "test_util.h"
 
 namespace vas {
 namespace {
 
-Dataset SkewedDataset(size_t n) {
-  GeolifeLikeGenerator::Options opt;
-  opt.num_points = n;
-  return GeolifeLikeGenerator(opt).Generate();
-}
+using test::Skewed;
 
 TEST(UniformSamplerTest, ExactSizeAndValidIds) {
-  Dataset d = SkewedDataset(5000);
+  Dataset d = Skewed(5000);
   UniformReservoirSampler sampler(1);
   SampleSet s = sampler.Sample(d, 500);
   EXPECT_EQ(s.size(), 500u);
@@ -33,14 +30,14 @@ TEST(UniformSamplerTest, ExactSizeAndValidIds) {
 }
 
 TEST(UniformSamplerTest, KLargerThanDatasetReturnsAll) {
-  Dataset d = SkewedDataset(100);
+  Dataset d = Skewed(100);
   UniformReservoirSampler sampler(1);
   SampleSet s = sampler.Sample(d, 1000);
   EXPECT_EQ(s.size(), 100u);
 }
 
 TEST(UniformSamplerTest, ZeroK) {
-  Dataset d = SkewedDataset(100);
+  Dataset d = Skewed(100);
   UniformReservoirSampler sampler(1);
   EXPECT_TRUE(sampler.Sample(d, 0).empty());
 }
@@ -102,7 +99,7 @@ TEST(BalancedAllocationTest, BalanceProperty) {
 }
 
 TEST(StratifiedSamplerTest, ExactSizeNoDuplicates) {
-  Dataset d = SkewedDataset(20000);
+  Dataset d = Skewed(20000);
   StratifiedSampler sampler;
   SampleSet s = sampler.Sample(d, 1000);
   EXPECT_EQ(s.size(), 1000u);
@@ -114,7 +111,7 @@ TEST(StratifiedSamplerTest, ExactSizeNoDuplicates) {
 TEST(StratifiedSamplerTest, FlattensDensitySkew) {
   // The defining property: per-cell sample counts are far more even
   // than the data's own distribution.
-  Dataset d = SkewedDataset(50000);
+  Dataset d = Skewed(50000);
   StratifiedSampler::Options opt;
   opt.grid_nx = 10;
   opt.grid_ny = 10;
@@ -140,7 +137,7 @@ TEST(StratifiedSamplerTest, FlattensDensitySkew) {
 }
 
 TEST(StratifiedSamplerTest, SparseCellsGetRepresented) {
-  Dataset d = SkewedDataset(50000);
+  Dataset d = Skewed(50000);
   StratifiedSampler::Options opt;
   opt.grid_nx = 10;
   opt.grid_ny = 10;
@@ -159,7 +156,7 @@ TEST(StratifiedSamplerTest, SparseCellsGetRepresented) {
 }
 
 TEST(StratifiedSamplerTest, KLargerThanDatasetReturnsAll) {
-  Dataset d = SkewedDataset(50);
+  Dataset d = Skewed(50);
   StratifiedSampler sampler;
   EXPECT_EQ(sampler.Sample(d, 500).size(), 50u);
 }
@@ -167,7 +164,7 @@ TEST(StratifiedSamplerTest, KLargerThanDatasetReturnsAll) {
 TEST(StratifiedSamplerTest, AsymmetricGridOptions) {
   // A 1xN grid stratifies along one axis only; sampling must still hit
   // the requested size and spread along y.
-  Dataset d = SkewedDataset(20000);
+  Dataset d = Skewed(20000);
   StratifiedSampler::Options opt;
   opt.grid_nx = 1;
   opt.grid_ny = 20;
@@ -186,7 +183,7 @@ TEST(StratifiedSamplerTest, AsymmetricGridOptions) {
 }
 
 TEST(StratifiedSamplerTest, DeterministicGivenSeed) {
-  Dataset d = SkewedDataset(5000);
+  Dataset d = Skewed(5000);
   StratifiedSampler::Options opt;
   opt.seed = 77;
   SampleSet a = StratifiedSampler(opt).Sample(d, 200);
@@ -198,14 +195,14 @@ TEST(StratifiedSamplerTest, DeterministicGivenSeed) {
 }
 
 TEST(UniformSamplerTest, DeterministicGivenSeed) {
-  Dataset d = SkewedDataset(5000);
+  Dataset d = Skewed(5000);
   SampleSet a = UniformReservoirSampler(9).Sample(d, 100);
   SampleSet b = UniformReservoirSampler(9).Sample(d, 100);
   EXPECT_EQ(a.ids, b.ids);
 }
 
 TEST(SampleSetTest, MaterializeCarriesValues) {
-  Dataset d = SkewedDataset(100);
+  Dataset d = Skewed(100);
   SampleSet s;
   s.method = "manual";
   s.ids = {5, 10, 20};

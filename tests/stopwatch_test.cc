@@ -1,0 +1,49 @@
+// Stopwatch: monotonicity, Restart semantics, and unit agreement. The
+// interactive session's time-budget logic trusts these properties.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "util/stopwatch.h"
+
+namespace vas {
+namespace {
+
+TEST(StopwatchTest, NeverNegativeAndMonotonic) {
+  Stopwatch sw;
+  double a = sw.ElapsedSeconds();
+  double b = sw.ElapsedSeconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST(StopwatchTest, MeasuresSleepAtLeast) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // sleep_for guarantees at least the requested duration.
+  EXPECT_GE(sw.ElapsedSeconds(), 0.019);
+}
+
+TEST(StopwatchTest, RestartResetsTheOrigin) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  double before = sw.ElapsedSeconds();
+  sw.Restart();
+  double after = sw.ElapsedSeconds();
+  EXPECT_LT(after, before);
+  EXPECT_GE(after, 0.0);
+}
+
+TEST(StopwatchTest, MillisAgreeWithSeconds) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  double secs = sw.ElapsedSeconds();
+  double millis = sw.ElapsedMillis();
+  // Two reads straddle a tiny interval; they agree to within 50 ms.
+  EXPECT_NEAR(millis, secs * 1e3, 50.0);
+  EXPECT_GE(millis, secs * 1e3);  // second read can only be later
+}
+
+}  // namespace
+}  // namespace vas

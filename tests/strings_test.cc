@@ -1,0 +1,100 @@
+// String helpers: edge cases beyond util_test.cc's smoke coverage —
+// empty inputs, separator-only strings, whitespace handling in the
+// numeric parsers, and formatting boundaries.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace vas {
+namespace {
+
+TEST(SplitTest, EmptyStringYieldsOneEmptyField) {
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(SplitTest, SeparatorOnlyYieldsEmptyFields) {
+  EXPECT_EQ(Split(",,", ','), (std::vector<std::string>{"", "", ""}));
+}
+
+TEST(SplitTest, TrailingSeparatorKeepsEmptyTail) {
+  EXPECT_EQ(Split("a,b,", ','), (std::vector<std::string>{"a", "b", ""}));
+}
+
+TEST(JoinTest, EmptyAndSingleton) {
+  EXPECT_EQ(Join({}, ','), "");
+  EXPECT_EQ(Join({"solo"}, ','), "solo");
+}
+
+TEST(JoinSplitTest, RoundTripsArbitraryFields) {
+  std::vector<std::string> fields = {"", "a", "", "bc", ""};
+  EXPECT_EQ(Split(Join(fields, '|'), '|'), fields);
+}
+
+TEST(StripWhitespaceTest, AllWhitespaceBecomesEmpty) {
+  EXPECT_EQ(StripWhitespace(" \t\r\n "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+}
+
+TEST(StripWhitespaceTest, InteriorWhitespaceSurvives) {
+  EXPECT_EQ(StripWhitespace("  a b  "), "a b");
+}
+
+TEST(ParseDoubleTest, AcceptsSurroundingWhitespaceAndForms) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("  3.5 "), 3.5);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-1e-3"), -1e-3);
+  EXPECT_DOUBLE_EQ(*ParseDouble("0"), 0.0);
+}
+
+TEST(ParseDoubleTest, RejectsTrailingGarbageAndEmpty) {
+  EXPECT_FALSE(ParseDouble("3.5x").ok());
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("   ").ok());
+  EXPECT_FALSE(ParseDouble("1.2 3.4").ok());
+}
+
+TEST(ParseInt64Test, AcceptsNegativeAndWhitespace) {
+  EXPECT_EQ(*ParseInt64(" -42 "), -42);
+  EXPECT_EQ(*ParseInt64("0"), 0);
+}
+
+TEST(ParseInt64Test, RejectsFloatsAndGarbage) {
+  EXPECT_FALSE(ParseInt64("3.5").ok());
+  EXPECT_FALSE(ParseInt64("x").ok());
+  EXPECT_FALSE(ParseInt64("").ok());
+}
+
+TEST(StartsWithTest, EdgeCases) {
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_TRUE(StartsWith("abc", "abc"));
+  EXPECT_FALSE(StartsWith("ab", "abc"));
+  EXPECT_FALSE(StartsWith("", "a"));
+}
+
+TEST(StrFormatTest, HandlesLongOutput) {
+  // Output longer than any plausible stack buffer must not truncate.
+  std::string big(5000, 'x');
+  std::string out = StrFormat("[%s]", big.c_str());
+  EXPECT_EQ(out.size(), big.size() + 2);
+  EXPECT_EQ(out.front(), '[');
+  EXPECT_EQ(out.back(), ']');
+}
+
+TEST(StrFormatTest, MixedArguments) {
+  EXPECT_EQ(StrFormat("%d/%s/%.2f", 7, "id", 1.5), "7/id/1.50");
+  EXPECT_EQ(StrFormat("plain"), "plain");
+}
+
+TEST(FormatWithCommasTest, Boundaries) {
+  EXPECT_EQ(FormatWithCommas(0), "0");
+  EXPECT_EQ(FormatWithCommas(999), "999");
+  EXPECT_EQ(FormatWithCommas(1000), "1,000");
+  EXPECT_EQ(FormatWithCommas(1234567), "1,234,567");
+  EXPECT_EQ(FormatWithCommas(-1234567), "-1,234,567");
+  EXPECT_EQ(FormatWithCommas(-999), "-999");
+}
+
+}  // namespace
+}  // namespace vas

@@ -8,15 +8,12 @@
 #include "eval/tasks.h"
 #include "sampling/stratified_sampler.h"
 #include "sampling/uniform_sampler.h"
+#include "test_util.h"
 
 namespace vas {
 namespace {
 
-Dataset Skewed(size_t n) {
-  GeolifeLikeGenerator::Options opt;
-  opt.num_points = n;
-  return GeolifeLikeGenerator(opt).Generate();
-}
+using test::Skewed;
 
 SampleSet FullSample(const Dataset& d) {
   SampleSet s;

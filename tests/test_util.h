@@ -1,0 +1,88 @@
+// Shared test fixtures: the standard seeded datasets every suite draws
+// from, and an RAII scratch-file helper for I/O round-trip tests. Keeping
+// the generator defaults here (seed 7 Geolife, seed 11 SPLOM — the same
+// defaults bench_common.h uses) means every suite exercises the same
+// deterministic workload.
+#ifndef VAS_TESTS_TEST_UTIL_H_
+#define VAS_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <random>
+#include <string>
+#include <system_error>
+
+#include "data/dataset.h"
+#include "data/generators.h"
+
+namespace vas {
+namespace test {
+
+/// The standard skewed map-plot workload (Geolife substitute):
+/// heavy-tailed hot spots, road filaments, sparse background.
+/// Deterministic in (n, seed).
+inline Dataset Skewed(size_t n, uint64_t seed = 7) {
+  GeolifeLikeGenerator::Options opt;
+  opt.num_points = n;
+  opt.seed = seed;
+  return GeolifeLikeGenerator(opt).Generate();
+}
+
+/// The SPLOM workload projected onto its first two columns with the
+/// third as color/value. Deterministic in (n, seed).
+inline Dataset Splom(size_t n, uint64_t seed = 11) {
+  SplomGenerator::Options opt;
+  opt.num_rows = n;
+  opt.seed = seed;
+  return SplomGenerator(opt).Generate(0, 1, 2);
+}
+
+/// Drawn once per process; keeps concurrent runs of the same test
+/// binary from sharing scratch-file paths, without POSIX-only getpid().
+inline const std::string& ProcessUniqueSuffix() {
+  static const std::string suffix = std::to_string(std::random_device{}());
+  return suffix;
+}
+
+/// A scratch file under the system temp dir, removed on destruction
+/// (and on construction, in case a previous crashed run left one). The
+/// name gets a per-process suffix so concurrent runs of the same test
+/// binary cannot clobber each other's file.
+class ScopedTempFile {
+ public:
+  explicit ScopedTempFile(const std::string& name)
+      : path_((std::filesystem::temp_directory_path() /
+               (ProcessUniqueSuffix() + "_" + name))
+                  .string()) {
+    Remove();
+  }
+  ~ScopedTempFile() { Remove(); }
+  ScopedTempFile(const ScopedTempFile&) = delete;
+  ScopedTempFile& operator=(const ScopedTempFile&) = delete;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  void Remove() {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+  }
+  std::string path_;
+};
+
+/// Fixture base for suites that need one scratch file per test.
+class TempFileTest : public ::testing::Test {
+ protected:
+  explicit TempFileTest(const std::string& name) : file_(name) {}
+  const std::string& path() const { return file_.path(); }
+
+ private:
+  ScopedTempFile file_;
+};
+
+}  // namespace test
+}  // namespace vas
+
+#endif  // VAS_TESTS_TEST_UTIL_H_
