@@ -1,11 +1,15 @@
 #include "core/parallel.h"
 
 #include <algorithm>
+#include <future>
+#include <memory>
 #include <numeric>
 #include <thread>
+#include <vector>
 
 #include "index/uniform_grid.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace vas {
 
@@ -105,13 +109,21 @@ SampleSet ParallelInterchangeSampler::Sample(const Dataset& dataset,
   for (size_t s = 0; s < shards; ++s) available[s] = strip_ids[s].size();
   std::vector<size_t> quota = SplitBudget(support, available, k);
 
-  // Run one Interchange per strip, each on its own thread.
+  // Run one Interchange per strip as a pool task. A caller-provided pool
+  // is reused across Sample() calls; otherwise a transient pool sized to
+  // the shard count reproduces the old thread-per-strip behavior.
+  std::unique_ptr<ThreadPool> local_pool;
+  ThreadPool* pool = options_.pool;
+  if (pool == nullptr) {
+    local_pool = std::make_unique<ThreadPool>(shards);
+    pool = local_pool.get();
+  }
   std::vector<std::vector<size_t>> picked(shards);
-  std::vector<std::thread> workers;
-  workers.reserve(shards);
+  std::vector<std::future<void>> done;
+  done.reserve(shards);
   for (size_t s = 0; s < shards; ++s) {
-    workers.emplace_back([&, s]() {
-      if (quota[s] == 0) return;
+    if (quota[s] == 0) continue;
+    done.push_back(pool->Submit([&, s]() {
       Dataset shard = dataset.Gather(strip_ids[s]);
       InterchangeSampler::Options opt = base;
       opt.seed = base.seed + s * 7919;
@@ -121,9 +133,9 @@ SampleSet ParallelInterchangeSampler::Sample(const Dataset& dataset,
       for (size_t local_id : local.ids) {
         picked[s].push_back(strip_ids[s][local_id]);
       }
-    });
+    }));
   }
-  for (std::thread& t : workers) t.join();
+  for (std::future<void>& f : done) f.get();
 
   for (const auto& ids : picked) {
     out.ids.insert(out.ids.end(), ids.begin(), ids.end());

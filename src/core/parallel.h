@@ -13,6 +13,7 @@
 #define VAS_CORE_PARALLEL_H_
 
 #include "core/interchange.h"
+#include "util/thread_pool.h"
 
 namespace vas {
 
@@ -30,6 +31,10 @@ class ParallelInterchangeSampler : public Sampler {
     /// Resolution of the support-occupancy census used to split the
     /// budget across shards.
     size_t census_cells_per_axis = 64;
+    /// Workers to run shard tasks on. When null, each Sample() call
+    /// spins up a private pool sized to the shard count. Must NOT be a
+    /// pool this sampler itself runs on (see ThreadPool deadlock note).
+    ThreadPool* pool = nullptr;
   };
 
   explicit ParallelInterchangeSampler(Options options)

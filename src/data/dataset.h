@@ -31,13 +31,44 @@ struct Dataset {
     return has_values() ? values[i] : 0.0;
   }
 
-  /// Bounding box of all points (cached nowhere; O(n)).
-  Rect Bounds() const { return Rect::BoundingBox(points); }
+  /// Bounding box of all points. Served from the cache when one was
+  /// recorded for the current point count (CacheBounds /
+  /// SetCachedBounds); otherwise recomputed O(n) *without* caching, so
+  /// concurrent const calls on a shared dataset stay race-free.
+  Rect Bounds() const {
+    if (bounds_cached_ && bounds_cache_rows_ == points.size()) {
+      return bounds_cache_;
+    }
+    return Rect::BoundingBox(points);
+  }
 
-  /// Appends one tuple.
+  /// Computes and stores the bounds for the current point count. Call
+  /// after loading/mutating and before sharing the dataset across
+  /// threads; later appends invalidate the cache via the row count.
+  const Rect& CacheBounds() {
+    bounds_cache_ = Rect::BoundingBox(points);
+    bounds_cache_rows_ = points.size();
+    bounds_cached_ = true;
+    return bounds_cache_;
+  }
+
+  /// Records externally accumulated bounds — e.g. the running bounds a
+  /// streaming DatasetReader gathered during its scan — avoiding an
+  /// O(n) recompute. The caller asserts they cover all current points.
+  void SetCachedBounds(const Rect& bounds) {
+    bounds_cache_ = bounds;
+    bounds_cache_rows_ = points.size();
+    bounds_cached_ = true;
+  }
+
+  /// Appends one tuple. The value lands in the value column only while
+  /// that column is parallel to `points` (always true when tuples are
+  /// appended exclusively through Add); on a dataset that is already
+  /// value-less the value is dropped instead of leaving the columns
+  /// misaligned and Validate() broken.
   void Add(Point p, double value) {
+    if (values.size() == points.size()) values.push_back(value);
     points.push_back(p);
-    values.push_back(value);
   }
 
   /// Checks structural invariants (parallel arrays, finite coordinates).
@@ -50,6 +81,11 @@ struct Dataset {
 
   /// Materializes the tuples at `ids` (e.g. a sample) as a new Dataset.
   Dataset Gather(const std::vector<size_t>& ids) const;
+
+ private:
+  Rect bounds_cache_;
+  size_t bounds_cache_rows_ = 0;
+  bool bounds_cached_ = false;
 };
 
 }  // namespace vas

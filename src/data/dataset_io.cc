@@ -1,17 +1,12 @@
 #include "data/dataset_io.h"
 
-#include <cstdint>
 #include <cstdio>
 #include <fstream>
-#include <sstream>
 
+#include "data/dataset_stream.h"
 #include "util/strings.h"
 
 namespace vas {
-
-namespace {
-constexpr uint64_t kBinaryMagic = 0x5641530042494e31ULL;  // "VAS\0BIN1"
-}  // namespace
 
 Status WriteCsv(const Dataset& dataset, const std::string& path) {
   std::ofstream out(path);
@@ -29,84 +24,25 @@ Status WriteCsv(const Dataset& dataset, const std::string& path) {
 }
 
 StatusOr<Dataset> ReadCsv(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::IoError("cannot open for read: " + path);
-  Dataset out;
-  out.name = path;
-  std::string line;
-  bool first = true;
-  size_t line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    std::string_view stripped = StripWhitespace(line);
-    if (stripped.empty()) continue;
-    if (first) {
-      first = false;
-      // Header line: skip if the first field is not numeric.
-      if (!ParseDouble(Split(stripped, ',')[0]).ok()) continue;
-    }
-    auto fields = Split(stripped, ',');
-    if (fields.size() < 2) {
-      return Status::InvalidArgument(
-          StrFormat("%s:%zu: expected at least 2 fields", path.c_str(),
-                    line_no));
-    }
-    auto x = ParseDouble(fields[0]);
-    auto y = ParseDouble(fields[1]);
-    if (!x.ok()) return x.status();
-    if (!y.ok()) return y.status();
-    double value = 0.0;
-    if (fields.size() >= 3) {
-      auto v = ParseDouble(fields[2]);
-      if (!v.ok()) return v.status();
-      value = *v;
-    }
-    out.Add({*x, *y}, value);
-  }
-  return out;
+  auto reader = CsvDatasetReader::Open(path);
+  if (!reader.ok()) return reader.status();
+  return MaterializeDataset(**reader, path);
 }
 
 Status WriteBinary(const Dataset& dataset, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IoError("cannot open for write: " + path);
-  uint64_t magic = kBinaryMagic;
-  uint64_t n = dataset.size();
-  uint64_t has_values = dataset.has_values() ? 1 : 0;
-  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
-  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
-  out.write(reinterpret_cast<const char*>(&has_values), sizeof(has_values));
-  out.write(reinterpret_cast<const char*>(dataset.points.data()),
-            static_cast<std::streamsize>(n * sizeof(Point)));
-  if (has_values) {
-    out.write(reinterpret_cast<const char*>(dataset.values.data()),
-              static_cast<std::streamsize>(n * sizeof(double)));
-  }
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::OK();
+  auto writer = BinaryDatasetWriter::Open(path);
+  if (!writer.ok()) return writer.status();
+  VAS_RETURN_IF_ERROR((*writer)->Append(
+      dataset.points.data(),
+      dataset.has_values() ? dataset.values.data() : nullptr,
+      dataset.size()));
+  return (*writer)->Finish();
 }
 
 StatusOr<Dataset> ReadBinary(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open for read: " + path);
-  uint64_t magic = 0, n = 0, has_values = 0;
-  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-  in.read(reinterpret_cast<char*>(&n), sizeof(n));
-  in.read(reinterpret_cast<char*>(&has_values), sizeof(has_values));
-  if (!in || magic != kBinaryMagic) {
-    return Status::InvalidArgument("not a VAS binary dataset: " + path);
-  }
-  Dataset out;
-  out.name = path;
-  out.points.resize(n);
-  in.read(reinterpret_cast<char*>(out.points.data()),
-          static_cast<std::streamsize>(n * sizeof(Point)));
-  if (has_values) {
-    out.values.resize(n);
-    in.read(reinterpret_cast<char*>(out.values.data()),
-            static_cast<std::streamsize>(n * sizeof(double)));
-  }
-  if (!in) return Status::IoError("truncated binary dataset: " + path);
-  return out;
+  auto reader = BinaryDatasetReader::Open(path);
+  if (!reader.ok()) return reader.status();
+  return MaterializeDataset(**reader, path);
 }
 
 }  // namespace vas

@@ -15,11 +15,15 @@ namespace vas {
 Status WriteCsv(const Dataset& dataset, const std::string& path);
 
 /// Reads a CSV produced by WriteCsv (or any x,y[,value] file with a
-/// header). Rows failing to parse produce an error, not a skip.
+/// header). Rows failing to parse produce an error, not a skip. A thin
+/// materializing wrapper over CsvDatasetReader (data/dataset_stream.h);
+/// prefer the reader directly when the file need not fit in memory.
 StatusOr<Dataset> ReadCsv(const std::string& path);
 
 /// Binary format: magic, row count, then packed doubles.
 Status WriteBinary(const Dataset& dataset, const std::string& path);
+
+/// Materializing wrapper over BinaryDatasetReader; same note as ReadCsv.
 StatusOr<Dataset> ReadBinary(const std::string& path);
 
 }  // namespace vas

@@ -1,0 +1,105 @@
+#include "engine/catalog_manager.h"
+
+#include <utility>
+
+namespace vas {
+
+CatalogManager::CatalogManager(size_t num_threads) : pool_(num_threads) {}
+
+Status CatalogManager::StartBuild(const CatalogKey& key,
+                                  std::shared_ptr<const vas::Dataset> dataset,
+                                  SamplerFactory sampler_factory,
+                                  SampleCatalog::Options options) {
+  if (dataset == nullptr) {
+    return Status::InvalidArgument("null dataset for " + key.ToString());
+  }
+  SampleCatalog::Builder* builder = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = entries_.try_emplace(key);
+    if (!inserted) {
+      return Status::InvalidArgument("catalog already registered: " +
+                                     key.ToString());
+    }
+    it->second.dataset = dataset;
+    it->second.builder = std::make_unique<SampleCatalog::Builder>(
+        std::move(dataset), std::move(sampler_factory), std::move(options),
+        &pool_);
+    builder = it->second.builder.get();
+  }
+  // Outside the map lock: submission is cheap, but a null pool would
+  // build inline and serving queries must not stall behind it.
+  builder->Start();
+  return Status::OK();
+}
+
+const CatalogManager::Entry* CatalogManager::Find(
+    const CatalogKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+StatusOr<CatalogManager::BuildStatus> CatalogManager::GetStatus(
+    const CatalogKey& key) const {
+  const Entry* entry = Find(key);
+  if (entry == nullptr) {
+    return Status::NotFound("no catalog registered: " + key.ToString());
+  }
+  BuildStatus status;
+  status.rungs_total = entry->builder->rungs_total();
+  status.rungs_ready = entry->builder->rungs_ready();
+  status.done = entry->builder->done();
+  return status;
+}
+
+StatusOr<std::shared_ptr<const SampleCatalog>> CatalogManager::Snapshot(
+    const CatalogKey& key) const {
+  const Entry* entry = Find(key);
+  if (entry == nullptr) {
+    return Status::NotFound("no catalog registered: " + key.ToString());
+  }
+  std::shared_ptr<const SampleCatalog> snapshot = entry->builder->Snapshot();
+  if (snapshot == nullptr) {
+    return Status::FailedPrecondition("no rung built yet: " +
+                                      key.ToString());
+  }
+  return snapshot;
+}
+
+StatusOr<std::shared_ptr<const SampleCatalog>>
+CatalogManager::WaitForFirstRung(const CatalogKey& key) const {
+  const Entry* entry = Find(key);
+  if (entry == nullptr) {
+    return Status::NotFound("no catalog registered: " + key.ToString());
+  }
+  return entry->builder->WaitForRung(1);
+}
+
+StatusOr<std::shared_ptr<const SampleCatalog>> CatalogManager::WaitUntilDone(
+    const CatalogKey& key) const {
+  const Entry* entry = Find(key);
+  if (entry == nullptr) {
+    return Status::NotFound("no catalog registered: " + key.ToString());
+  }
+  return entry->builder->Wait();
+}
+
+std::vector<CatalogKey> CatalogManager::Keys() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<CatalogKey> keys;
+  keys.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) keys.push_back(key);
+  return keys;
+}
+
+StatusOr<std::shared_ptr<const Dataset>> CatalogManager::DatasetFor(
+    const CatalogKey& key) const {
+  const Entry* entry = Find(key);
+  if (entry == nullptr) {
+    return Status::NotFound("no catalog registered: " + key.ToString());
+  }
+  return entry->dataset;
+}
+
+}  // namespace vas

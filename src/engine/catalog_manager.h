@@ -1,0 +1,116 @@
+// Asynchronous catalog service: the process-wide registry mapping a
+// named (table, column-pair) to its sample-catalog build. This is the
+// paper's offline index store (§II-A, Figure 3) turned into a serving
+// component — builds are submitted once, run in the background on a
+// shared ThreadPool, and queries always see the best ladder built so
+// far, so a session can start plotting from the smallest rung while the
+// larger rungs are still sampling.
+#ifndef VAS_ENGINE_CATALOG_MANAGER_H_
+#define VAS_ENGINE_CATALOG_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine/sample_catalog.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace vas {
+
+/// Identifies one indexed plot: a table and the two columns it plots.
+/// The catalog is per column pair — the same table may have several.
+struct CatalogKey {
+  std::string table;
+  std::string x = "x";
+  std::string y = "y";
+
+  /// "table/x:y" — the stable name used in logs and tool output.
+  std::string ToString() const { return table + "/" + x + ":" + y; }
+
+  friend bool operator<(const CatalogKey& a, const CatalogKey& b) {
+    if (a.table != b.table) return a.table < b.table;
+    if (a.x != b.x) return a.x < b.x;
+    return a.y < b.y;
+  }
+  friend bool operator==(const CatalogKey& a, const CatalogKey& b) {
+    return a.table == b.table && a.x == b.x && a.y == b.y;
+  }
+};
+
+/// Owns named catalog builds and the worker pool they run on. All
+/// methods are thread-safe. The destructor blocks until every in-flight
+/// rung task has finished.
+class CatalogManager {
+ public:
+  /// Build progress for one key.
+  struct BuildStatus {
+    size_t rungs_ready = 0;
+    size_t rungs_total = 0;
+    bool done = false;
+  };
+
+  /// `num_threads` sizes the shared build pool; 0 = hardware
+  /// concurrency.
+  explicit CatalogManager(size_t num_threads = 0);
+  ~CatalogManager() = default;
+
+  CatalogManager(const CatalogManager&) = delete;
+  CatalogManager& operator=(const CatalogManager&) = delete;
+
+  /// Registers `key` and submits its rung builds to the pool,
+  /// returning immediately. The dataset is shared with the build tasks
+  /// and must not be mutated while the build runs. InvalidArgument when
+  /// the key is already registered.
+  Status StartBuild(const CatalogKey& key,
+                    std::shared_ptr<const Dataset> dataset,
+                    SamplerFactory sampler_factory,
+                    SampleCatalog::Options options);
+
+  /// Build progress; NotFound for unregistered keys.
+  StatusOr<BuildStatus> GetStatus(const CatalogKey& key) const;
+
+  /// The catalog of every rung finished so far — the "best currently
+  /// available" ladder. NotFound for unregistered keys,
+  /// FailedPrecondition while no rung has landed yet.
+  StatusOr<std::shared_ptr<const SampleCatalog>> Snapshot(
+      const CatalogKey& key) const;
+
+  /// Blocks until the first (smallest) rung is servable. NotFound for
+  /// unregistered keys.
+  StatusOr<std::shared_ptr<const SampleCatalog>> WaitForFirstRung(
+      const CatalogKey& key) const;
+
+  /// Blocks until the whole ladder for `key` is built.
+  StatusOr<std::shared_ptr<const SampleCatalog>> WaitUntilDone(
+      const CatalogKey& key) const;
+
+  /// Registered keys, sorted.
+  std::vector<CatalogKey> Keys() const;
+
+  /// The dataset registered for `key` (for sessions serving that
+  /// catalog); NotFound for unregistered keys.
+  StatusOr<std::shared_ptr<const Dataset>> DatasetFor(
+      const CatalogKey& key) const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const vas::Dataset> dataset;
+    std::unique_ptr<SampleCatalog::Builder> builder;
+  };
+
+  /// Looks up the entry for `key`; null when absent.
+  const Entry* Find(const CatalogKey& key) const;
+
+  // Declared before entries_ so builders (which wait for their tasks)
+  // are destroyed before the pool the tasks run on.
+  ThreadPool pool_;
+  mutable std::mutex mu_;
+  std::map<CatalogKey, Entry> entries_;
+};
+
+}  // namespace vas
+
+#endif  // VAS_ENGINE_CATALOG_MANAGER_H_

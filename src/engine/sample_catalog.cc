@@ -1,29 +1,49 @@
 #include "engine/sample_catalog.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "core/density.h"
 #include "util/logging.h"
 
 namespace vas {
 
+namespace {
+
+// Clamps the configured ladder to the dataset size, sorts ascending,
+// and collapses duplicate rungs.
+std::vector<size_t> ResolveLadder(const std::vector<size_t>& requested,
+                                  size_t dataset_size) {
+  VAS_CHECK_MSG(!requested.empty(), "catalog needs at least one rung");
+  std::vector<size_t> ladder = requested;
+  std::sort(ladder.begin(), ladder.end());
+  for (size_t& k : ladder) k = std::min(k, dataset_size);
+  ladder.erase(std::unique(ladder.begin(), ladder.end()), ladder.end());
+  return ladder;
+}
+
+}  // namespace
+
 SampleCatalog::SampleCatalog(const Dataset& dataset, Sampler& sampler,
                              Options options) {
-  VAS_CHECK_MSG(!options.ladder.empty(), "catalog needs at least one rung");
-  std::vector<size_t> ladder = options.ladder;
-  std::sort(ladder.begin(), ladder.end());
-  for (size_t& k : ladder) k = std::min(k, dataset.size());
-  ladder.erase(std::unique(ladder.begin(), ladder.end()), ladder.end());
-
-  for (size_t k : ladder) {
+  for (size_t k : ResolveLadder(options.ladder, dataset.size())) {
     SampleSet s = sampler.Sample(dataset, k);
     if (options.embed_density) EmbedDensity(dataset, &s);
     samples_.push_back(std::move(s));
   }
 }
 
+SampleCatalog::SampleCatalog(std::vector<SampleSet> samples)
+    : samples_(std::move(samples)) {
+  std::sort(samples_.begin(), samples_.end(),
+            [](const SampleSet& a, const SampleSet& b) {
+              return a.size() < b.size();
+            });
+}
+
 const SampleSet& SampleCatalog::ChooseForTimeBudget(
     double seconds, const VizTimeModel& model) const {
+  VAS_CHECK_MSG(!samples_.empty(), "selection from an empty catalog");
   const SampleSet* best = &samples_.front();
   for (const SampleSet& s : samples_) {
     if (model.SecondsFor(s.size()) <= seconds) best = &s;
@@ -32,11 +52,99 @@ const SampleSet& SampleCatalog::ChooseForTimeBudget(
 }
 
 const SampleSet& SampleCatalog::ChooseBySize(size_t max_points) const {
+  VAS_CHECK_MSG(!samples_.empty(), "selection from an empty catalog");
   const SampleSet* best = &samples_.front();
   for (const SampleSet& s : samples_) {
     if (s.size() <= max_points) best = &s;
   }
   return *best;
+}
+
+// ---------------------------------------------------------------------------
+// Builder
+
+SampleCatalog::Builder::Builder(std::shared_ptr<const Dataset> dataset,
+                                SamplerFactory sampler_factory,
+                                Options options, ThreadPool* pool)
+    : dataset_(std::move(dataset)),
+      sampler_factory_(std::move(sampler_factory)),
+      options_(std::move(options)),
+      pool_(pool),
+      ladder_(ResolveLadder(options_.ladder, dataset_->size())) {
+  VAS_CHECK(dataset_ != nullptr);
+  VAS_CHECK(sampler_factory_ != nullptr);
+}
+
+SampleCatalog::Builder::~Builder() {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Outstanding tasks reference this builder and the shared dataset;
+  // never let them outlive us.
+  rung_published_.wait(lock,
+                       [this]() { return !started_ || completed_ == ladder_.size(); });
+}
+
+void SampleCatalog::Builder::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    VAS_CHECK_MSG(!started_, "Builder::Start() called twice");
+    started_ = true;
+  }
+  // Smallest rung first: with any pool shape the cheapest, most
+  // servable rung is the first to land.
+  for (size_t k : ladder_) {
+    if (pool_ != nullptr) {
+      pool_->Submit([this, k]() { BuildRung(k); });
+    } else {
+      BuildRung(k);
+    }
+  }
+}
+
+void SampleCatalog::Builder::BuildRung(size_t k) {
+  std::unique_ptr<Sampler> sampler = sampler_factory_();
+  VAS_CHECK_MSG(sampler != nullptr, "SamplerFactory returned null");
+  SampleSet s = sampler->Sample(*dataset_, k);
+  if (options_.embed_density) EmbedDensity(*dataset_, &s);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ready_.insert(std::upper_bound(ready_.begin(), ready_.end(), s,
+                                 [](const SampleSet& a, const SampleSet& b) {
+                                   return a.size() < b.size();
+                                 }),
+                std::move(s));
+  snapshot_ = std::make_shared<const SampleCatalog>(ready_);
+  ++completed_;
+  rung_published_.notify_all();
+}
+
+std::shared_ptr<const SampleCatalog> SampleCatalog::Builder::Snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshot_;
+}
+
+size_t SampleCatalog::Builder::rungs_total() const { return ladder_.size(); }
+
+size_t SampleCatalog::Builder::rungs_ready() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return completed_;
+}
+
+bool SampleCatalog::Builder::done() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return started_ && completed_ == ladder_.size();
+}
+
+std::shared_ptr<const SampleCatalog> SampleCatalog::Builder::WaitForRung(
+    size_t count) const {
+  size_t want = std::min(count, ladder_.size());
+  std::unique_lock<std::mutex> lock(mu_);
+  rung_published_.wait(lock, [&]() { return completed_ >= want; });
+  return snapshot_;
+}
+
+std::shared_ptr<const SampleCatalog> SampleCatalog::Builder::Wait() const {
+  return WaitForRung(ladder_.size());
 }
 
 }  // namespace vas

@@ -4,9 +4,20 @@
 // size is materialized offline; at query time the largest sample whose
 // estimated visualization latency fits the interactivity budget is
 // served.
+//
+// Two build paths exist. The blocking constructor materializes the full
+// ladder before returning — the original offline shape. The nested
+// Builder submits one task per rung to a ThreadPool and publishes each
+// rung the moment it finishes, so a serving layer (CatalogManager /
+// InteractiveSession) can answer from the smallest rung while larger
+// ones are still being sampled.
 #ifndef VAS_ENGINE_SAMPLE_CATALOG_H_
 #define VAS_ENGINE_SAMPLE_CATALOG_H_
 
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "data/dataset.h"
@@ -14,8 +25,14 @@
 #include "sampling/sample_set.h"
 #include "sampling/sampler.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace vas {
+
+/// Creates a fresh sampler per build task. Rung builds run concurrently,
+/// and Sampler implementations are stateful, so each task needs its own
+/// instance.
+using SamplerFactory = std::function<std::unique_ptr<Sampler>()>;
 
 /// A ladder of pre-generated samples over one dataset (one indexed
 /// column pair).
@@ -29,8 +46,15 @@ class SampleCatalog {
   };
 
   /// Builds every ladder rung with `sampler` (the offline, expensive
-  /// step). Rungs larger than the dataset are clamped and deduplicated.
+  /// step), blocking until the whole ladder exists. Rungs larger than
+  /// the dataset are clamped and deduplicated.
   SampleCatalog(const Dataset& dataset, Sampler& sampler, Options options);
+
+  /// Wraps an already-built ladder (the Builder's publication path).
+  /// Rungs are sorted ascending by size.
+  explicit SampleCatalog(std::vector<SampleSet> samples);
+
+  class Builder;
 
   const std::vector<SampleSet>& samples() const { return samples_; }
 
@@ -45,6 +69,63 @@ class SampleCatalog {
 
  private:
   std::vector<SampleSet> samples_;  // ascending by size
+};
+
+/// Asynchronous ladder construction. Each rung becomes one ThreadPool
+/// task; finished rungs are published immediately as immutable catalog
+/// snapshots, smallest first in the common case since smaller rungs are
+/// both submitted first and cheaper to build.
+///
+/// Thread-safety: all methods may be called from any thread. The
+/// destructor blocks until every in-flight rung task has finished, so
+/// tasks never outlive the builder (or the dataset it shares).
+class SampleCatalog::Builder {
+ public:
+  /// `pool` may be null, which makes Start() build every rung inline
+  /// (the blocking path, useful for tests and degraded serving).
+  Builder(std::shared_ptr<const Dataset> dataset,
+          SamplerFactory sampler_factory, Options options,
+          ThreadPool* pool);
+  ~Builder();
+
+  Builder(const Builder&) = delete;
+  Builder& operator=(const Builder&) = delete;
+
+  /// Submits one build task per rung. Must be called exactly once; with
+  /// a pool it returns immediately.
+  void Start();
+
+  /// The catalog of every rung finished so far, or null before the
+  /// first rung lands. Snapshots are immutable; a later publication
+  /// swaps in a new catalog rather than mutating a served one.
+  std::shared_ptr<const SampleCatalog> Snapshot() const;
+
+  size_t rungs_total() const;
+  size_t rungs_ready() const;
+  bool done() const;
+
+  /// Blocks until at least min(count, rungs_total()) rungs are ready
+  /// and returns the snapshot at that moment.
+  std::shared_ptr<const SampleCatalog> WaitForRung(size_t count) const;
+
+  /// Blocks until the whole ladder is built.
+  std::shared_ptr<const SampleCatalog> Wait() const;
+
+ private:
+  void BuildRung(size_t k);
+
+  std::shared_ptr<const Dataset> dataset_;
+  SamplerFactory sampler_factory_;
+  Options options_;
+  ThreadPool* pool_;
+  std::vector<size_t> ladder_;  // clamped, deduplicated, ascending
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable rung_published_;
+  std::vector<SampleSet> ready_;  // ascending by size
+  std::shared_ptr<const SampleCatalog> snapshot_;
+  size_t completed_ = 0;
+  bool started_ = false;
 };
 
 }  // namespace vas

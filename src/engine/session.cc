@@ -1,35 +1,82 @@
 #include "engine/session.h"
 
+#include <utility>
+
 #include "util/logging.h"
 
 namespace vas {
 
+namespace {
+
+std::shared_ptr<const Dataset> OwnDataset(Dataset dataset) {
+  auto owned = std::make_shared<Dataset>(std::move(dataset));
+  // The session queries bounds per request; pay the O(n) pass once.
+  owned->CacheBounds();
+  return owned;
+}
+
+}  // namespace
+
 InteractiveSession::InteractiveSession(Dataset dataset,
                                        std::unique_ptr<SampleCatalog> catalog,
                                        VizTimeModel model)
-    : dataset_(std::move(dataset)),
-      catalog_(std::move(catalog)),
+    : dataset_(OwnDataset(std::move(dataset))),
+      owned_catalog_(std::move(catalog)),
       model_(model) {
-  VAS_CHECK(catalog_ != nullptr);
+  VAS_CHECK(owned_catalog_ != nullptr);
+}
+
+InteractiveSession::InteractiveSession(std::shared_ptr<const Dataset> dataset,
+                                       CatalogManager* manager,
+                                       CatalogKey key, VizTimeModel model)
+    : dataset_(std::move(dataset)),
+      manager_(manager),
+      key_(std::move(key)),
+      model_(model) {
+  VAS_CHECK(dataset_ != nullptr);
+  VAS_CHECK(manager_ != nullptr);
 }
 
 InteractiveSession::PlotResult InteractiveSession::RequestPlot(
     const PlotRequest& request) const {
-  const SampleSet& sample =
-      catalog_->ChooseForTimeBudget(request.time_budget_seconds, model_);
-
+  // Resolve the catalog to serve from. The manager path re-resolves on
+  // every request so the ladder upgrades as background rungs land; the
+  // returned snapshot is immutable, keeping the serve race-free.
+  const SampleCatalog* catalog = owned_catalog_.get();
+  std::shared_ptr<const SampleCatalog> snapshot;
   PlotResult result;
+  if (manager_ != nullptr) {
+    auto resolved = manager_->WaitForFirstRung(key_);
+    VAS_CHECK_MSG(resolved.ok(),
+                  "session serving an unregistered catalog: " +
+                      key_.ToString());
+    snapshot = std::move(*resolved);
+    catalog = snapshot.get();
+    auto status = manager_->GetStatus(key_);
+    VAS_CHECK(status.ok());
+    // Ready count comes from the snapshot actually served, not the
+    // build's live status — more rungs may have landed in between, and
+    // the result must describe the ladder this plot was drawn from.
+    result.catalog_rungs_ready = catalog->samples().size();
+    result.catalog_rungs_total = status->rungs_total;
+  } else {
+    result.catalog_rungs_ready = catalog->samples().size();
+    result.catalog_rungs_total = catalog->samples().size();
+  }
+
+  const SampleSet& sample =
+      catalog->ChooseForTimeBudget(request.time_budget_seconds, model_);
   result.catalog_sample_size = sample.size();
 
   bool whole_domain = request.viewport.empty();
   size_t full_matches = 0;
-  result.tuples.name = dataset_.name + "/plot";
+  result.tuples.name = dataset_->name + "/plot";
   for (size_t i = 0; i < sample.ids.size(); ++i) {
     size_t id = sample.ids[i];
-    if (whole_domain || request.viewport.Contains(dataset_.points[id])) {
-      result.tuples.points.push_back(dataset_.points[id]);
-      if (dataset_.has_values()) {
-        result.tuples.values.push_back(dataset_.values[id]);
+    if (whole_domain || request.viewport.Contains(dataset_->points[id])) {
+      result.tuples.points.push_back(dataset_->points[id]);
+      if (dataset_->has_values()) {
+        result.tuples.values.push_back(dataset_->values[id]);
       }
       if (sample.has_density()) {
         result.density.push_back(sample.density[i]);
@@ -37,9 +84,9 @@ InteractiveSession::PlotResult InteractiveSession::RequestPlot(
     }
   }
   if (whole_domain) {
-    full_matches = dataset_.size();
+    full_matches = dataset_->size();
   } else {
-    for (const Point& p : dataset_.points) {
+    for (const Point& p : dataset_->points) {
       if (request.viewport.Contains(p)) ++full_matches;
     }
   }

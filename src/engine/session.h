@@ -4,11 +4,19 @@
 // budget; the session converts the budget into a sample size, fetches
 // the sampled tuples under the viewport predicate, and reports what an
 // external renderer would have cost with and without sampling.
+//
+// A session serves either a fully built catalog it owns (the original
+// blocking shape) or a named build inside a CatalogManager. In the
+// manager-backed shape every request re-resolves the best *currently
+// available* ladder: the first plot can be answered from the smallest
+// rung moments after the build starts, and later requests transparently
+// upgrade as larger rungs land.
 #ifndef VAS_ENGINE_SESSION_H_
 #define VAS_ENGINE_SESSION_H_
 
 #include <memory>
 
+#include "engine/catalog_manager.h"
 #include "engine/sample_catalog.h"
 #include "engine/table.h"
 #include "geom/rect.h"
@@ -35,21 +43,39 @@ class InteractiveSession {
     double estimated_viz_seconds = 0.0;
     /// What rendering the *unsampled* viewport contents would cost.
     double estimated_full_viz_seconds = 0.0;
+    /// Ladder progress at serve time. Equal when the build is complete
+    /// (always, for a session owning its catalog); ready < total means
+    /// this plot was served from a partially built ladder.
+    size_t catalog_rungs_ready = 0;
+    size_t catalog_rungs_total = 0;
   };
 
-  /// Takes ownership of the plotted dataset and its catalog. `model`
-  /// converts point counts to viz latency (calibrated Tableau/MathGL).
+  /// Takes ownership of the plotted dataset and its fully built
+  /// catalog. `model` converts point counts to viz latency (calibrated
+  /// Tableau/MathGL).
   InteractiveSession(Dataset dataset, std::unique_ptr<SampleCatalog> catalog,
                      VizTimeModel model);
 
-  /// Serves one plot request from the catalog.
+  /// Serves from `manager`'s build of `key` (which must already be
+  /// registered via CatalogManager::StartBuild). The dataset is shared
+  /// with the build; the manager must outlive the session.
+  InteractiveSession(std::shared_ptr<const Dataset> dataset,
+                     CatalogManager* manager, CatalogKey key,
+                     VizTimeModel model);
+
+  /// Serves one plot request from the best catalog available right
+  /// now. Manager-backed sessions block only while no rung exists yet
+  /// (time-to-first-plot = smallest rung's build time, not the full
+  /// ladder's).
   PlotResult RequestPlot(const PlotRequest& request) const;
 
-  const Dataset& dataset() const { return dataset_; }
+  const Dataset& dataset() const { return *dataset_; }
 
  private:
-  Dataset dataset_;
-  std::unique_ptr<SampleCatalog> catalog_;
+  std::shared_ptr<const Dataset> dataset_;
+  std::unique_ptr<SampleCatalog> owned_catalog_;
+  CatalogManager* manager_ = nullptr;
+  CatalogKey key_;
   VizTimeModel model_;
 };
 

@@ -1,0 +1,79 @@
+// Fixed-size worker pool shared by the concurrency layers: the sharded
+// parallel sampler and the asynchronous catalog builder both submit
+// their work here instead of spawning ad-hoc std::threads. Keeping one
+// pool per process (or per CatalogManager) bounds thread churn when many
+// catalogs build at once.
+#ifndef VAS_UTIL_THREAD_POOL_H_
+#define VAS_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace vas {
+
+/// A fixed set of worker threads draining a FIFO task queue. Submit()
+/// returns a std::future for the task's result; the destructor (or an
+/// explicit Shutdown()) drains every task already queued, then joins —
+/// no submitted work is ever silently dropped.
+///
+/// Deadlock note: a task running *on* the pool must not Submit() to the
+/// same pool and block on the returned future — with every worker busy
+/// waiting, the queued task can never start. Nested parallelism should
+/// use its own pool (ParallelInterchangeSampler does exactly that when
+/// given no external pool).
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers; 0 means hardware concurrency.
+  explicit ThreadPool(size_t num_threads = 0);
+
+  /// Drains the queue and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Tasks queued but not yet started (snapshot; racy by nature).
+  size_t pending() const;
+
+  /// Enqueues `fn` and returns a future for its result. Submitting after
+  /// Shutdown() is a programming error and aborts.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    Enqueue([task]() { (*task)(); });
+    return result;
+  }
+
+  /// Stops accepting new tasks, finishes everything already queued, and
+  /// joins the workers. Idempotent and safe to call concurrently; the
+  /// call that claims the workers blocks until the queue is drained,
+  /// any later call may return sooner.
+  void Shutdown();
+
+ private:
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_available_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool shutting_down_ = false;
+};
+
+}  // namespace vas
+
+#endif  // VAS_UTIL_THREAD_POOL_H_

@@ -1,0 +1,243 @@
+// CatalogManager: the async catalog service — registration, status
+// polling, progressive serving through InteractiveSession, and the
+// headline property: over a 1M-point dataset the smallest rung is
+// servable (and served) while the largest rung is still building.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "engine/catalog_manager.h"
+#include "engine/session.h"
+#include "sampling/uniform_sampler.h"
+#include "test_util.h"
+
+namespace vas {
+namespace {
+
+/// Delegates to the uniform sampler but blocks rungs of at least
+/// `gate_at_k` points until the test releases the gate — making "the
+/// largest rung has not finished yet" deterministic instead of a race.
+class GatedSampler : public Sampler {
+ public:
+  GatedSampler(uint64_t seed, size_t gate_at_k,
+               std::shared_future<void> gate)
+      : inner_(seed), gate_at_k_(gate_at_k), gate_(std::move(gate)) {}
+
+  SampleSet Sample(const Dataset& dataset, size_t k) override {
+    if (k >= gate_at_k_) gate_.wait();
+    return inner_.Sample(dataset, k);
+  }
+  std::string name() const override { return "gated-uniform"; }
+
+ private:
+  UniformReservoirSampler inner_;
+  size_t gate_at_k_;
+  std::shared_future<void> gate_;
+};
+
+/// Releases the gate on destruction so a failing ASSERT cannot leave
+/// the manager's destructor deadlocked on a forever-blocked rung task.
+class Gate {
+ public:
+  Gate() : future_(promise_.get_future().share()) {}
+  ~Gate() { Release(); }
+  std::shared_future<void> future() const { return future_; }
+  void Release() {
+    if (!released_) {
+      released_ = true;
+      promise_.set_value();
+    }
+  }
+
+ private:
+  std::promise<void> promise_;
+  std::shared_future<void> future_;
+  bool released_ = false;
+};
+
+SamplerFactory GatedFactory(uint64_t seed, size_t gate_at_k,
+                            const Gate& gate) {
+  std::shared_future<void> f = gate.future();
+  return [seed, gate_at_k, f]() {
+    return std::make_unique<GatedSampler>(seed, gate_at_k, f);
+  };
+}
+
+SamplerFactory UniformFactory(uint64_t seed) {
+  return [seed]() { return std::make_unique<UniformReservoirSampler>(seed); };
+}
+
+SampleCatalog::Options NoDensityLadder(std::vector<size_t> ladder) {
+  SampleCatalog::Options opt;
+  opt.ladder = std::move(ladder);
+  opt.embed_density = false;
+  return opt;
+}
+
+TEST(CatalogManagerTest, RegistrationAndStatusLifecycle) {
+  CatalogManager manager(2);
+  CatalogKey key{"geo", "x", "y"};
+  EXPECT_EQ(manager.GetStatus(key).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(manager.Snapshot(key).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(manager.WaitForFirstRung(key).status().code(),
+            StatusCode::kNotFound);
+
+  auto d = std::make_shared<Dataset>(test::Skewed(2000));
+  d->CacheBounds();
+  ASSERT_TRUE(manager
+                  .StartBuild(key, d, UniformFactory(1),
+                              NoDensityLadder({100, 500}))
+                  .ok());
+  // Re-registering the same column pair is an error.
+  EXPECT_FALSE(manager
+                   .StartBuild(key, d, UniformFactory(1),
+                               NoDensityLadder({100}))
+                   .ok());
+
+  auto catalog = manager.WaitUntilDone(key);
+  ASSERT_TRUE(catalog.ok());
+  EXPECT_EQ((*catalog)->samples().size(), 2u);
+  auto status = manager.GetStatus(key);
+  ASSERT_TRUE(status.ok());
+  EXPECT_TRUE(status->done);
+  EXPECT_EQ(status->rungs_ready, 2u);
+  EXPECT_EQ(status->rungs_total, 2u);
+
+  ASSERT_EQ(manager.Keys().size(), 1u);
+  EXPECT_EQ(manager.Keys()[0], key);
+  auto dataset = manager.DatasetFor(key);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ((*dataset).get(), d.get());
+}
+
+TEST(CatalogManagerTest, SnapshotUnavailableBeforeFirstRung) {
+  CatalogManager manager(1);
+  CatalogKey key{"geo"};
+  auto d = std::make_shared<Dataset>(test::Skewed(500));
+  Gate gate;
+  // Gate everything: no rung can land until released.
+  ASSERT_TRUE(manager
+                  .StartBuild(key, d, GatedFactory(2, 0, gate),
+                              NoDensityLadder({50, 200}))
+                  .ok());
+  auto early = manager.Snapshot(key);
+  EXPECT_EQ(early.status().code(), StatusCode::kFailedPrecondition);
+  auto status = manager.GetStatus(key);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->rungs_ready, 0u);
+  EXPECT_FALSE(status->done);
+
+  gate.Release();
+  ASSERT_TRUE(manager.WaitUntilDone(key).ok());
+  EXPECT_TRUE(manager.Snapshot(key).ok());
+}
+
+TEST(CatalogManagerTest, ManagesMultipleColumnPairs) {
+  CatalogManager manager(4);
+  auto geo = std::make_shared<Dataset>(test::Skewed(3000));
+  auto splom = std::make_shared<Dataset>(test::Splom(3000));
+  CatalogKey k1{"geo", "x", "y"};
+  CatalogKey k2{"splom", "c0", "c1"};
+  ASSERT_TRUE(manager
+                  .StartBuild(k1, geo, UniformFactory(3),
+                              NoDensityLadder({100, 1000}))
+                  .ok());
+  ASSERT_TRUE(manager
+                  .StartBuild(k2, splom, UniformFactory(4),
+                              NoDensityLadder({50, 500, 2000}))
+                  .ok());
+  auto c1 = manager.WaitUntilDone(k1);
+  auto c2 = manager.WaitUntilDone(k2);
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(c2.ok());
+  EXPECT_EQ((*c1)->samples().size(), 2u);
+  EXPECT_EQ((*c2)->samples().size(), 3u);
+  EXPECT_EQ(manager.Keys().size(), 2u);
+}
+
+// The acceptance property for the async refactor: with a >=1M-point
+// dataset, the catalog serves its first (smallest) rung while the
+// largest rung is provably still building.
+TEST(CatalogManagerTest, MillionPointBuildServesSmallestRungFirst) {
+  constexpr size_t kMillion = 1000000;
+  auto d = std::make_shared<Dataset>(test::Skewed(kMillion));
+  d->CacheBounds();
+  ASSERT_GE(d->size(), kMillion);
+
+  // One worker: rungs run FIFO smallest-first, so the first published
+  // snapshot deterministically holds the 1,000-point rung.
+  CatalogManager manager(1);
+  CatalogKey key{"geolife", "x", "y"};
+  Gate gate;  // holds back only the largest rung
+  ASSERT_TRUE(manager
+                  .StartBuild(key, d, GatedFactory(5, kMillion / 2, gate),
+                              NoDensityLadder({1000, 10000, kMillion / 2}))
+                  .ok());
+
+  // First rung becomes servable while the largest is still gated.
+  auto first = manager.WaitForFirstRung(key);
+  ASSERT_TRUE(first.ok());
+  ASSERT_GE((*first)->samples().size(), 1u);
+  EXPECT_EQ((*first)->samples()[0].size(), 1000u);
+  auto mid_build = manager.GetStatus(key);
+  ASSERT_TRUE(mid_build.ok());
+  EXPECT_FALSE(mid_build->done);  // the 500k rung cannot have finished
+  EXPECT_LT(mid_build->rungs_ready, mid_build->rungs_total);
+
+  // A session answers real plot requests from the partial ladder.
+  InteractiveSession session(d, &manager, key, VizTimeModel{1e-6, 0.0});
+  InteractiveSession::PlotRequest req;
+  req.time_budget_seconds = 3600.0;  // everything built would fit
+  auto plot = session.RequestPlot(req);
+  EXPECT_GE(plot.tuples.size(), 1000u);
+  EXPECT_LE(plot.catalog_sample_size, 10000u);  // largest rung absent
+  EXPECT_LT(plot.catalog_rungs_ready, plot.catalog_rungs_total);
+
+  // Release the gate: the ladder completes and the same session now
+  // upgrades to the 500k rung without being rebuilt.
+  gate.Release();
+  ASSERT_TRUE(manager.WaitUntilDone(key).ok());
+  auto upgraded = session.RequestPlot(req);
+  EXPECT_EQ(upgraded.catalog_sample_size, kMillion / 2);
+  EXPECT_EQ(upgraded.catalog_rungs_ready, upgraded.catalog_rungs_total);
+}
+
+TEST(CatalogManagerTest, SessionBlocksOnlyUntilFirstRung) {
+  CatalogManager manager(1);
+  CatalogKey key{"geo"};
+  auto d = std::make_shared<Dataset>(test::Skewed(5000));
+  d->CacheBounds();
+  Gate gate;  // gate all rungs
+  ASSERT_TRUE(manager
+                  .StartBuild(key, d, GatedFactory(6, 0, gate),
+                              NoDensityLadder({100, 2000}))
+                  .ok());
+  InteractiveSession session(d, &manager, key, VizTimeModel{1e-6, 0.0});
+
+  // RequestPlot from another thread: it must stay blocked while no rung
+  // exists, then produce a plot as soon as the first rung lands.
+  InteractiveSession::PlotRequest req;
+  req.time_budget_seconds = 3600.0;
+  auto pending = std::async(std::launch::async,
+                            [&]() { return session.RequestPlot(req); });
+  EXPECT_EQ(pending.wait_for(std::chrono::milliseconds(50)),
+            std::future_status::timeout);
+  gate.Release();
+  auto plot = pending.get();
+  EXPECT_GE(plot.tuples.size(), 100u);
+}
+
+TEST(CatalogManagerTest, RejectsNullDataset) {
+  CatalogManager manager(1);
+  EXPECT_FALSE(manager
+                   .StartBuild(CatalogKey{"t"}, nullptr, UniformFactory(7),
+                               NoDensityLadder({10}))
+                   .ok());
+}
+
+}  // namespace
+}  // namespace vas

@@ -1,0 +1,213 @@
+// Streaming ingest: chunked CSV/binary readers (bounded per-chunk
+// memory, running bounds/row-count accumulation), the chunk-at-a-time
+// binary writer, and the CSV -> binary ingest pipeline vas_tool uses.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <vector>
+
+#include "data/dataset_io.h"
+#include "data/dataset_stream.h"
+#include "test_util.h"
+
+namespace vas {
+namespace {
+
+class DatasetStreamTest : public ::testing::Test {
+ protected:
+  test::ScopedTempFile csv_{"vas_stream_test.csv"};
+  test::ScopedTempFile bin_{"vas_stream_test.bin"};
+  test::ScopedTempFile out_{"vas_stream_test_out.bin"};
+};
+
+TEST_F(DatasetStreamTest, CsvReaderChunksAreBoundedAndComplete) {
+  Dataset d = test::Skewed(1000);
+  ASSERT_TRUE(WriteCsv(d, csv_.path()).ok());
+
+  auto reader = CsvDatasetReader::Open(csv_.path(), 128);
+  ASSERT_TRUE(reader.ok());
+  DatasetChunk chunk;
+  size_t total = 0, chunks = 0;
+  for (;;) {
+    auto more = (*reader)->Next(&chunk);
+    ASSERT_TRUE(more.ok());
+    if (!*more) break;
+    ++chunks;
+    EXPECT_LE(chunk.size(), 128u);  // bounded per-chunk memory
+    EXPECT_EQ(chunk.first_row, total);
+    ASSERT_EQ(chunk.values.size(), chunk.points.size());
+    // Spot-check content against the source row indices.
+    for (size_t i = 0; i < chunk.size(); i += 31) {
+      EXPECT_DOUBLE_EQ(chunk.points[i].x, d.points[chunk.first_row + i].x);
+      EXPECT_DOUBLE_EQ(chunk.values[i], d.values[chunk.first_row + i]);
+    }
+    total += chunk.size();
+  }
+  EXPECT_EQ(total, d.size());
+  EXPECT_EQ(chunks, (d.size() + 127) / 128);
+  EXPECT_EQ((*reader)->rows_read(), d.size());
+  EXPECT_EQ((*reader)->bounds(), d.Bounds());
+}
+
+TEST_F(DatasetStreamTest, BinaryReaderStreamsPointsAndValues) {
+  Dataset d = test::Splom(5000);
+  ASSERT_TRUE(WriteBinary(d, bin_.path()).ok());
+
+  auto reader = BinaryDatasetReader::Open(bin_.path(), 512);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->total_rows(), d.size());
+  EXPECT_TRUE((*reader)->has_values());
+  DatasetChunk chunk;
+  size_t total = 0;
+  for (;;) {
+    auto more = (*reader)->Next(&chunk);
+    ASSERT_TRUE(more.ok());
+    if (!*more) break;
+    EXPECT_LE(chunk.size(), 512u);
+    for (size_t i = 0; i < chunk.size(); i += 97) {
+      EXPECT_EQ(chunk.points[i], d.points[chunk.first_row + i]);
+      EXPECT_EQ(chunk.values[i], d.values[chunk.first_row + i]);
+    }
+    total += chunk.size();
+  }
+  EXPECT_EQ(total, d.size());
+  EXPECT_EQ((*reader)->bounds(), d.Bounds());
+}
+
+TEST_F(DatasetStreamTest, OpenDatasetReaderDispatchesByExtension) {
+  Dataset d = test::Skewed(200);
+  ASSERT_TRUE(WriteCsv(d, csv_.path()).ok());
+  ASSERT_TRUE(WriteBinary(d, bin_.path()).ok());
+  auto csv = OpenDatasetReader(csv_.path());
+  auto bin = OpenDatasetReader(bin_.path());
+  ASSERT_TRUE(csv.ok());
+  ASSERT_TRUE(bin.ok());
+  auto via_csv = MaterializeDataset(**csv, "csv");
+  auto via_bin = MaterializeDataset(**bin, "bin");
+  ASSERT_TRUE(via_csv.ok());
+  ASSERT_TRUE(via_bin.ok());
+  EXPECT_EQ(via_csv->size(), d.size());
+  EXPECT_EQ(via_bin->points, d.points);
+  EXPECT_FALSE(OpenDatasetReader("/nonexistent/nope.csv").ok());
+}
+
+TEST_F(DatasetStreamTest, MaterializeSeedsBoundsCache) {
+  Dataset d = test::Skewed(1500);
+  ASSERT_TRUE(WriteBinary(d, bin_.path()).ok());
+  auto back = ReadBinary(bin_.path());
+  ASSERT_TRUE(back.ok());
+  // The cached bounds from the scan must agree with a fresh O(n) pass.
+  EXPECT_EQ(back->Bounds(), Rect::BoundingBox(back->points));
+}
+
+TEST_F(DatasetStreamTest, WriterRoundTripsChunkByChunk) {
+  Dataset d = test::Skewed(3000);
+  auto writer = BinaryDatasetWriter::Open(out_.path());
+  ASSERT_TRUE(writer.ok());
+  // Feed uneven chunk sizes to exercise the spool splicing.
+  size_t offsets[] = {0, 7, 1000, 1001, 2500, 3000};
+  for (size_t i = 0; i + 1 < sizeof(offsets) / sizeof(offsets[0]); ++i) {
+    DatasetChunk chunk;
+    chunk.first_row = offsets[i];
+    for (size_t r = offsets[i]; r < offsets[i + 1]; ++r) {
+      chunk.points.push_back(d.points[r]);
+      chunk.values.push_back(d.values[r]);
+    }
+    ASSERT_TRUE((*writer)->Append(chunk).ok());
+  }
+  ASSERT_TRUE((*writer)->Finish().ok());
+  EXPECT_EQ((*writer)->rows_written(), d.size());
+  EXPECT_EQ((*writer)->bounds(), d.Bounds());
+
+  auto back = ReadBinary(out_.path());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->points, d.points);
+  EXPECT_EQ(back->values, d.values);
+}
+
+TEST_F(DatasetStreamTest, WriterHandlesValuelessStreams) {
+  DatasetChunk chunk;
+  chunk.points = {{0, 0}, {1, 2}, {3, 4}};
+  auto writer = BinaryDatasetWriter::Open(out_.path());
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append(chunk).ok());
+  ASSERT_TRUE((*writer)->Finish().ok());
+  auto back = ReadBinary(out_.path());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->size(), 3u);
+  EXPECT_FALSE(back->has_values());
+}
+
+TEST_F(DatasetStreamTest, WriterRejectsValuePresenceFlips) {
+  auto writer = BinaryDatasetWriter::Open(out_.path());
+  ASSERT_TRUE(writer.ok());
+  DatasetChunk with_values;
+  with_values.points = {{0, 0}};
+  with_values.values = {1.0};
+  DatasetChunk without_values;
+  without_values.points = {{1, 1}};
+  ASSERT_TRUE((*writer)->Append(with_values).ok());
+  EXPECT_FALSE((*writer)->Append(without_values).ok());
+}
+
+TEST_F(DatasetStreamTest, IngestConvertsCsvToBinaryWithProgress) {
+  Dataset d = test::Skewed(4000);
+  ASSERT_TRUE(WriteCsv(d, csv_.path()).ok());
+
+  auto reader = CsvDatasetReader::Open(csv_.path(), 256);
+  ASSERT_TRUE(reader.ok());
+  std::vector<size_t> progress_rows;
+  auto stats = IngestToBinary(**reader, out_.path(),
+                              [&](const IngestStats& s) {
+                                progress_rows.push_back(s.rows);
+                              });
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->rows, d.size());
+  EXPECT_EQ(stats->bounds, d.Bounds());
+  // Progress fired once per chunk with monotonically growing counts.
+  ASSERT_EQ(progress_rows.size(), (d.size() + 255) / 256);
+  EXPECT_EQ(progress_rows.back(), d.size());
+  for (size_t i = 1; i < progress_rows.size(); ++i) {
+    EXPECT_GT(progress_rows[i], progress_rows[i - 1]);
+  }
+
+  auto back = ReadBinary(out_.path());
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), d.size());
+  for (size_t i = 0; i < d.size(); i += 101) {
+    EXPECT_DOUBLE_EQ(back->points[i].x, d.points[i].x);
+    EXPECT_DOUBLE_EQ(back->points[i].y, d.points[i].y);
+    EXPECT_DOUBLE_EQ(back->values[i], d.values[i]);
+  }
+}
+
+TEST_F(DatasetStreamTest, CsvErrorsSurfaceMidStream) {
+  {
+    std::ofstream out(csv_.path());
+    out << "x,y,value\n1,2,3\n4,5,6\n7,oops,9\n";
+  }
+  auto reader = CsvDatasetReader::Open(csv_.path(), 2);
+  ASSERT_TRUE(reader.ok());
+  DatasetChunk chunk;
+  auto first = (*reader)->Next(&chunk);  // rows 1-2 parse fine
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(chunk.size(), 2u);
+  EXPECT_FALSE((*reader)->Next(&chunk).ok());  // row 3 is malformed
+}
+
+TEST_F(DatasetStreamTest, EmptyCsvStreamsZeroRows) {
+  {
+    std::ofstream out(csv_.path());
+    out << "x,y,value\n";
+  }
+  auto reader = CsvDatasetReader::Open(csv_.path(), 64);
+  ASSERT_TRUE(reader.ok());
+  DatasetChunk chunk;
+  auto more = (*reader)->Next(&chunk);
+  ASSERT_TRUE(more.ok());
+  EXPECT_FALSE(*more);
+  EXPECT_EQ((*reader)->rows_read(), 0u);
+}
+
+}  // namespace
+}  // namespace vas

@@ -39,6 +39,40 @@ TEST(DatasetTest, ValueAtWithoutValues) {
   EXPECT_DOUBLE_EQ(d.ValueAt(0), 0.0);
 }
 
+TEST(DatasetTest, AddOnValuelessDatasetKeepsColumnsParallel) {
+  // Regression: Add() used to push into `values` unconditionally, so
+  // appending to a dataset built without values silently flipped it to
+  // has_values() with a short, misaligned value column.
+  Dataset d;
+  d.points.push_back({1, 1});
+  d.points.push_back({2, 2});
+  ASSERT_FALSE(d.has_values());
+  d.Add({3, 3}, 7.0);
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_FALSE(d.has_values());  // the stray value is dropped, not misfiled
+  EXPECT_TRUE(d.Validate().ok());
+  // Value-carrying datasets still accumulate values through Add().
+  Dataset v;
+  v.Add({0, 0}, 1.0);
+  v.Add({1, 1}, 2.0);
+  EXPECT_TRUE(v.has_values());
+  EXPECT_TRUE(v.Validate().ok());
+  EXPECT_DOUBLE_EQ(v.ValueAt(1), 2.0);
+}
+
+TEST(DatasetTest, BoundsCacheTracksAppends) {
+  Dataset d = SmallDataset();
+  EXPECT_EQ(d.CacheBounds(), Rect::Of(0, 0, 2, 1));
+  EXPECT_EQ(d.Bounds(), Rect::Of(0, 0, 2, 1));  // served from the cache
+  // Appending invalidates via the row count; Bounds() falls back to the
+  // O(n) recompute and sees the new extent.
+  d.Add({5.0, 5.0}, 4.0);
+  EXPECT_EQ(d.Bounds(), Rect::Of(0, 0, 5, 5));
+  // Externally sourced bounds (a streaming reader's accumulation).
+  d.SetCachedBounds(Rect::Of(0, 0, 5, 5));
+  EXPECT_EQ(d.Bounds(), Rect::Of(0, 0, 5, 5));
+}
+
 TEST(DatasetTest, ValidateCatchesMismatchedColumns) {
   Dataset d = SmallDataset();
   EXPECT_TRUE(d.Validate().ok());

@@ -48,6 +48,41 @@ TEST(SplitBudgetTest, ZeroSupportEverywhere) {
   EXPECT_EQ(std::accumulate(quota.begin(), quota.end(), size_t{0}), 0u);
 }
 
+TEST(SplitBudgetTest, BudgetLargerThanTotalAvailability) {
+  // k far beyond what the shards hold: every shard is saturated to its
+  // availability and nothing more.
+  auto quota = ParallelInterchangeSampler::SplitBudget(
+      {10, 20, 30}, {4, 8, 16}, 1000000);
+  EXPECT_EQ(quota, (std::vector<size_t>{4, 8, 16}));
+}
+
+TEST(SplitBudgetTest, ZeroSupportShardAbsorbsOverflowOnly) {
+  // The zero-support shard gets nothing while supported shards have
+  // headroom, but must absorb the overflow once they saturate —
+  // otherwise the split cannot reach the budget at all.
+  auto fits = ParallelInterchangeSampler::SplitBudget({40, 0}, {100, 100},
+                                                      60);
+  EXPECT_EQ(fits, (std::vector<size_t>{60, 0}));
+  auto overflow = ParallelInterchangeSampler::SplitBudget({40, 0}, {50, 100},
+                                                          120);
+  EXPECT_EQ(overflow[0], 50u);
+  EXPECT_EQ(overflow[1], 70u);
+}
+
+TEST(SplitBudgetTest, SingleShardDegenerateSplit) {
+  auto quota = ParallelInterchangeSampler::SplitBudget({7}, {500}, 123);
+  EXPECT_EQ(quota, (std::vector<size_t>{123}));
+  auto clamped = ParallelInterchangeSampler::SplitBudget({7}, {50}, 123);
+  EXPECT_EQ(clamped, (std::vector<size_t>{50}));
+  auto empty = ParallelInterchangeSampler::SplitBudget({0}, {50}, 10);
+  EXPECT_EQ(empty, (std::vector<size_t>{0}));
+}
+
+TEST(SplitBudgetTest, EmptyShardListYieldsEmptyQuota) {
+  auto quota = ParallelInterchangeSampler::SplitBudget({}, {}, 10);
+  EXPECT_TRUE(quota.empty());
+}
+
 class ParallelSamplerTest : public ::testing::TestWithParam<size_t> {};
 
 TEST_P(ParallelSamplerTest, ProducesValidSample) {

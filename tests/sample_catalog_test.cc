@@ -71,6 +71,40 @@ TEST(SampleCatalogTest, TimeBudgetSelectionMatchesCostModel) {
   EXPECT_EQ(catalog.ChooseForTimeBudget(0.0, model).size(), 100u);  // fallback
 }
 
+TEST(SampleCatalogTest, NoRungFitsTheBudgetFallsBackToSmallest) {
+  Dataset d = test::Skewed(5000);
+  UniformReservoirSampler sampler(6);
+  SampleCatalog::Options opt;
+  opt.ladder = {500, 2000};
+  opt.embed_density = false;
+  SampleCatalog catalog(d, sampler, opt);
+  VizTimeModel slow{1.0, 10.0};  // 1 s/point + 10 s overhead: nothing fits
+  // Even a zero/negative budget serves the smallest rung rather than
+  // nothing (serving late beats serving nothing).
+  EXPECT_EQ(catalog.ChooseForTimeBudget(0.0, slow).size(), 500u);
+  EXPECT_EQ(catalog.ChooseForTimeBudget(-1.0, slow).size(), 500u);
+  EXPECT_EQ(catalog.ChooseBySize(0).size(), 500u);
+  EXPECT_EQ(catalog.ChooseBySize(499).size(), 500u);
+}
+
+TEST(SampleCatalogTest, TinyDatasetCollapsesLadderToOneServableRung) {
+  // Every configured rung exceeds the dataset: the ladder clamps to one
+  // full-dataset rung, and both selectors can only ever return it.
+  Dataset d = test::Skewed(7);
+  UniformReservoirSampler sampler(7);
+  SampleCatalog::Options opt;
+  opt.ladder = {100, 1000, 10000};
+  opt.embed_density = false;
+  SampleCatalog catalog(d, sampler, opt);
+  ASSERT_EQ(catalog.samples().size(), 1u);
+  EXPECT_EQ(catalog.samples()[0].size(), 7u);
+  VizTimeModel model{1e-3, 0.0};
+  EXPECT_EQ(catalog.ChooseForTimeBudget(100.0, model).size(), 7u);
+  EXPECT_EQ(catalog.ChooseForTimeBudget(0.0, model).size(), 7u);
+  EXPECT_EQ(catalog.ChooseBySize(1).size(), 7u);
+  EXPECT_EQ(catalog.ChooseBySize(1000000).size(), 7u);
+}
+
 class CatalogRoundTripTest : public test::TempFileTest {
  protected:
   CatalogRoundTripTest() : TempFileTest("vas_sample_catalog_test.bin") {}

@@ -1,0 +1,99 @@
+// ThreadPool: future plumbing, FIFO draining on shutdown, and the
+// concurrency invariants the async catalog builder depends on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace vas {
+namespace {
+
+TEST(ThreadPoolTest, SubmitReturnsFutureWithResult) {
+  ThreadPool pool(2);
+  auto f = pool.Submit([]() { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPoolTest, RunsManyTasksExactlyOnce) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  futures.reserve(1000);
+  for (int i = 0; i < 1000; ++i) {
+    futures.push_back(pool.Submit([&counter]() {
+      counter.fetch_add(1, std::memory_order_relaxed);
+    }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter]() {
+        counter.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    // Destructor must finish all 50, not drop the queued tail.
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  auto f = pool.Submit([]() { return 1; });
+  pool.Shutdown();
+  pool.Shutdown();
+  EXPECT_EQ(f.get(), 1);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsResolvesToHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1u);
+  auto f = pool.Submit([]() { return std::this_thread::get_id(); });
+  EXPECT_NE(f.get(), std::this_thread::get_id());
+}
+
+TEST(ThreadPoolTest, TasksRunConcurrentlyAcrossWorkers) {
+  // Two tasks that each wait for the other can only finish if two
+  // workers run them at the same time.
+  ThreadPool pool(2);
+  std::promise<void> a_started;
+  std::promise<void> b_started;
+  auto fa = pool.Submit([&]() {
+    a_started.set_value();
+    b_started.get_future().wait();
+  });
+  auto fb = pool.Submit([&]() {
+    b_started.set_value();
+    a_started.get_future().wait();
+  });
+  EXPECT_EQ(fa.wait_for(std::chrono::seconds(30)),
+            std::future_status::ready);
+  EXPECT_EQ(fb.wait_for(std::chrono::seconds(30)),
+            std::future_status::ready);
+}
+
+TEST(ThreadPoolTest, PropagatesTaskExceptionsThroughFuture) {
+  ThreadPool pool(1);
+  auto f = pool.Submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, MoveOnlyResultsWork) {
+  ThreadPool pool(1);
+  auto f = pool.Submit([]() { return std::make_unique<int>(9); });
+  EXPECT_EQ(*f.get(), 9);
+}
+
+}  // namespace
+}  // namespace vas

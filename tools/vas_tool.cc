@@ -1,22 +1,33 @@
 // vas_tool — command-line front end for the library. Lets a user drive
 // the whole pipeline on CSV files without writing C++:
 //
-//   vas_tool generate --kind=geolife --n=1000000 --out=data.csv
-//   vas_tool sample   --in=data.csv --k=10000 --method=vas
-//                     --density=true --out=sample.bin
-//   vas_tool render   --in=data.csv --sample=sample.bin --out=plot.ppm
-//   vas_tool loss     --in=data.csv --sample=sample.bin
-//   vas_tool info     --in=data.csv
+//   vas_tool generate      --kind=geolife --n=1000000 --out=data.csv
+//   vas_tool ingest        --in=data.csv --out=data.bin
+//   vas_tool build-catalog --in=data.bin --ladder=1000,10000,100000
+//                          --out=catalog
+//   vas_tool sample        --in=data.csv --k=10000 --method=vas
+//                          --density=true --out=sample.bin
+//   vas_tool render        --in=data.csv --sample=sample.bin --out=plot.ppm
+//   vas_tool loss          --in=data.csv --sample=sample.bin
+//   vas_tool info          --in=data.csv
 //
-// Samples persist in the library's binary format (see
-// sampling/sample_io.h) so an offline build can be reused across
-// sessions, exactly like an index.
+// `ingest` streams arbitrarily large CSVs into the binary format with
+// bounded memory; `build-catalog` runs the offline sample-ladder build
+// asynchronously, polling status so each rung is reported (and
+// servable) the moment it lands. Samples persist in the library's
+// binary format (see sampling/sample_io.h) so an offline build can be
+// reused across sessions, exactly like an index.
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/vas.h"
 #include "data/dataset_io.h"
+#include "data/dataset_stream.h"
+#include "engine/catalog_manager.h"
 #include "render/scatter_renderer.h"
 #include "util/flags.h"
 #include "util/stopwatch.h"
@@ -45,6 +56,39 @@ StatusOr<Dataset> LoadInput(const std::string& path) {
     return ReadBinary(path);
   }
   return ReadCsv(path);
+}
+
+/// Maps a --method flag to a factory producing fresh sampler instances
+/// (catalog rung builds run concurrently, one sampler each).
+StatusOr<SamplerFactory> MakeSamplerFactory(
+    const std::string& method, const InterchangeSampler::Options& vopt) {
+  if (method == "vas") {
+    return SamplerFactory(
+        [vopt]() { return std::make_unique<InterchangeSampler>(vopt); });
+  }
+  if (method == "vas-parallel") {
+    ParallelInterchangeSampler::Options popt;
+    popt.base = vopt;
+    return SamplerFactory([popt]() {
+      return std::make_unique<ParallelInterchangeSampler>(popt);
+    });
+  }
+  if (method == "vas-outlier") {
+    OutlierAugmentedSampler::Options oopt;
+    oopt.base = vopt;
+    return SamplerFactory([oopt]() {
+      return std::make_unique<OutlierAugmentedSampler>(oopt);
+    });
+  }
+  if (method == "uniform") {
+    return SamplerFactory(
+        []() { return std::make_unique<UniformReservoirSampler>(1); });
+  }
+  if (method == "stratified") {
+    return SamplerFactory(
+        []() { return std::make_unique<StratifiedSampler>(); });
+  }
+  return Status::InvalidArgument("unknown --method=" + method);
 }
 
 int CmdGenerate(FlagSet& flags, int argc, char** argv) {
@@ -106,28 +150,12 @@ int CmdSample(FlagSet& flags, int argc, char** argv) {
   size_t k = static_cast<size_t>(flags.GetInt("k"));
   std::string method = flags.GetString("method");
 
-  std::unique_ptr<Sampler> sampler;
   InterchangeSampler::Options vopt;
   vopt.max_passes = static_cast<size_t>(flags.GetInt("passes"));
   vopt.time_budget_seconds = flags.GetDouble("budget");
-  if (method == "vas") {
-    sampler = std::make_unique<InterchangeSampler>(vopt);
-  } else if (method == "vas-parallel") {
-    ParallelInterchangeSampler::Options popt;
-    popt.base = vopt;
-    sampler = std::make_unique<ParallelInterchangeSampler>(popt);
-  } else if (method == "vas-outlier") {
-    OutlierAugmentedSampler::Options oopt;
-    oopt.base = vopt;
-    sampler = std::make_unique<OutlierAugmentedSampler>(oopt);
-  } else if (method == "uniform") {
-    sampler = std::make_unique<UniformReservoirSampler>(1);
-  } else if (method == "stratified") {
-    sampler = std::make_unique<StratifiedSampler>();
-  } else {
-    std::fprintf(stderr, "unknown --method=%s\n", method.c_str());
-    return 1;
-  }
+  auto factory = MakeSamplerFactory(method, vopt);
+  if (!factory.ok()) return Fail(factory.status());
+  std::unique_ptr<Sampler> sampler = (*factory)();
 
   Stopwatch watch;
   SampleSet sample = sampler->Sample(*data, k);
@@ -139,6 +167,131 @@ int CmdSample(FlagSet& flags, int argc, char** argv) {
               sample.method.c_str(), sample.size(),
               FormatWithCommas(static_cast<int64_t>(data->size())).c_str(),
               sample_secs, flags.GetString("out").c_str());
+  return 0;
+}
+
+int CmdIngest(FlagSet& flags, int argc, char** argv) {
+  flags.Define("in", "data.csv", "input dataset (.csv or .bin)");
+  flags.Define("out", "data.bin", "output binary dataset path");
+  flags.Define("chunk", "65536", "rows per streamed chunk");
+  flags.Define("progress-every", "1000000",
+               "print progress every N rows (0 = quiet)");
+  VAS_RETURN_IF_ERROR_INT(flags.Parse(argc, argv));
+  if (flags.GetInt("chunk") <= 0) {
+    return Fail(Status::InvalidArgument("--chunk must be positive"));
+  }
+  if (flags.GetInt("progress-every") < 0) {
+    return Fail(
+        Status::InvalidArgument("--progress-every must be non-negative"));
+  }
+
+  auto reader = OpenDatasetReader(flags.GetString("in"),
+                                  static_cast<size_t>(flags.GetInt("chunk")));
+  if (!reader.ok()) return Fail(reader.status());
+
+  size_t progress_every =
+      static_cast<size_t>(flags.GetInt("progress-every"));
+  size_t next_report = progress_every;
+  Stopwatch watch;
+  auto stats = IngestToBinary(
+      **reader, flags.GetString("out"), [&](const IngestStats& s) {
+        if (progress_every == 0 || s.rows < next_report) return;
+        next_report = s.rows + progress_every;
+        std::printf("  ingested %s rows (%.1fs)\n",
+                    FormatWithCommas(static_cast<int64_t>(s.rows)).c_str(),
+                    watch.ElapsedSeconds());
+      });
+  if (!stats.ok()) return Fail(stats.status());
+  double secs = watch.ElapsedSeconds();
+  std::printf("ingested %s rows in %.2fs (%.0f rows/s) -> %s\n",
+              FormatWithCommas(static_cast<int64_t>(stats->rows)).c_str(),
+              secs, secs > 0 ? static_cast<double>(stats->rows) / secs : 0.0,
+              flags.GetString("out").c_str());
+  std::printf("bounds:  [%g, %g] x [%g, %g]   values: %s\n",
+              stats->bounds.min_x, stats->bounds.max_x, stats->bounds.min_y,
+              stats->bounds.max_y, stats->has_values ? "yes" : "no");
+  return 0;
+}
+
+int CmdBuildCatalog(FlagSet& flags, int argc, char** argv) {
+  flags.Define("in", "data.bin", "input dataset (.csv or .bin)");
+  flags.Define("ladder", "1000,10000,100000",
+               "comma-separated rung sizes, ascending");
+  flags.Define("method", "vas",
+               "vas | vas-parallel | vas-outlier | uniform | stratified");
+  flags.Define("density", "true", "run the density-embedding pass");
+  flags.Define("passes", "4", "vas: max streaming passes");
+  flags.Define("budget", "0", "vas: per-rung time budget in seconds");
+  flags.Define("threads", "0", "build workers (0 = hardware concurrency)");
+  flags.Define("poll-ms", "200", "status poll interval while building");
+  flags.Define("out", "catalog",
+               "rung file prefix (writes <out>_k<size>.bin; empty = skip)");
+  VAS_RETURN_IF_ERROR_INT(flags.Parse(argc, argv));
+
+  SampleCatalog::Options copt;
+  copt.ladder.clear();
+  for (const std::string& field : Split(flags.GetString("ladder"), ',')) {
+    auto k = ParseInt64(StripWhitespace(field));
+    if (!k.ok()) return Fail(k.status());
+    if (*k <= 0) {
+      return Fail(Status::InvalidArgument("ladder rungs must be positive"));
+    }
+    copt.ladder.push_back(static_cast<size_t>(*k));
+  }
+  copt.embed_density = flags.GetBool("density");
+  InterchangeSampler::Options vopt;
+  vopt.max_passes = static_cast<size_t>(flags.GetInt("passes"));
+  vopt.time_budget_seconds = flags.GetDouble("budget");
+  auto factory = MakeSamplerFactory(flags.GetString("method"), vopt);
+  if (!factory.ok()) return Fail(factory.status());
+
+  auto loaded = LoadInput(flags.GetString("in"));
+  if (!loaded.ok()) return Fail(loaded.status());
+  auto dataset = std::make_shared<Dataset>(std::move(*loaded));
+  dataset->CacheBounds();  // the build shares one dataset across workers
+
+  CatalogManager manager(static_cast<size_t>(flags.GetInt("threads")));
+  CatalogKey key{flags.GetString("in"), "x", "y"};
+  Stopwatch watch;
+  Status started =
+      manager.StartBuild(key, dataset, std::move(*factory), copt);
+  if (!started.ok()) return Fail(started);
+
+  auto first = manager.WaitForFirstRung(key);
+  if (!first.ok()) return Fail(first.status());
+  std::printf("first rung servable after %.2fs (%zu points)\n",
+              watch.ElapsedSeconds(), (*first)->samples().front().size());
+
+  // Poll build status, reporting each rung as it lands.
+  auto poll = std::chrono::milliseconds(flags.GetInt("poll-ms"));
+  size_t reported = 0;
+  for (;;) {
+    auto status = manager.GetStatus(key);
+    if (!status.ok()) return Fail(status.status());
+    if (status->rungs_ready != reported) {
+      reported = status->rungs_ready;
+      std::printf("  %zu/%zu rungs ready (%.2fs)\n", reported,
+                  status->rungs_total, watch.ElapsedSeconds());
+    }
+    if (status->done) break;
+    std::this_thread::sleep_for(poll);
+  }
+  auto catalog = manager.WaitUntilDone(key);
+  if (!catalog.ok()) return Fail(catalog.status());
+  std::printf("catalog for %s built in %.2fs\n", key.ToString().c_str(),
+              watch.ElapsedSeconds());
+
+  std::string prefix = flags.GetString("out");
+  if (!prefix.empty()) {
+    for (const SampleSet& rung : (*catalog)->samples()) {
+      std::string path =
+          StrFormat("%s_k%zu.bin", prefix.c_str(), rung.size());
+      Status s = WriteSampleSet(rung, path);
+      if (!s.ok()) return Fail(s);
+      std::printf("  wrote %zu-point rung -> %s\n", rung.size(),
+                  path.c_str());
+    }
+  }
   return 0;
 }
 
@@ -237,7 +390,8 @@ int CmdInfo(FlagSet& flags, int argc, char** argv) {
 int Main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: %s <generate|sample|render|loss|info> [flags]\n",
+                 "usage: %s <generate|ingest|build-catalog|sample|render|"
+                 "loss|info> [flags]\n",
                  argv[0]);
     return 1;
   }
@@ -247,6 +401,10 @@ int Main(int argc, char** argv) {
   int sub_argc = argc - 1;
   char** sub_argv = argv + 1;
   if (cmd == "generate") return CmdGenerate(flags, sub_argc, sub_argv);
+  if (cmd == "ingest") return CmdIngest(flags, sub_argc, sub_argv);
+  if (cmd == "build-catalog") {
+    return CmdBuildCatalog(flags, sub_argc, sub_argv);
+  }
   if (cmd == "sample") return CmdSample(flags, sub_argc, sub_argv);
   if (cmd == "render") return CmdRender(flags, sub_argc, sub_argv);
   if (cmd == "loss") return CmdLoss(flags, sub_argc, sub_argv);
