@@ -1,0 +1,166 @@
+// Catalog persistence: cold-load-from-disk vs rebuild. The ParkCM16
+// design treats the sample ladder as a durable offline artifact — build
+// once, serve forever. This bench quantifies that claim over a
+// >=1M-point dataset: (1) build the ladder from scratch, (2) save it to
+// one catalog file, (3) cold-load it back and verify byte-identical
+// rung ids, reporting the load/rebuild speedup. It then drives the
+// CatalogManager memory budget: two catalogs under a one-catalog
+// budget, showing LRU spill + transparent reload with identical rungs.
+#include "bench_common.h"
+
+#include <memory>
+#include <vector>
+
+#include "engine/catalog_io.h"
+#include "engine/catalog_manager.h"
+#include "engine/session.h"
+#include "util/stopwatch.h"
+
+namespace vas::bench {
+namespace {
+
+std::unique_ptr<Sampler> MakeSampler(const std::string& method) {
+  InterchangeSampler::Options vopt;
+  vopt.max_passes = 1;
+  if (method == "vas") return std::make_unique<InterchangeSampler>(vopt);
+  if (method == "vas-parallel") {
+    ParallelInterchangeSampler::Options popt;
+    popt.base = vopt;
+    return std::make_unique<ParallelInterchangeSampler>(popt);
+  }
+  if (method == "stratified") return std::make_unique<StratifiedSampler>();
+  return std::make_unique<UniformReservoirSampler>(1);
+}
+
+int Run(int argc, char** argv) {
+  FlagSet flags;
+  flags.Define("n", "1000000", "generated dataset size");
+  flags.Define("method", "stratified",
+               "rung sampler: uniform | stratified | vas | vas-parallel");
+  flags.Define("density", "true", "embed density on every rung");
+  flags.Define("threads", "0", "build workers (0 = hardware concurrency)");
+  flags.Define("file", "/tmp/vas_bench_catalog.vascat",
+               "catalog file the save/load cycle uses");
+  if (!ParseBenchFlags(flags, argc, argv,
+                       "Catalog persistence: cold-load-from-disk vs "
+                       "rebuilding the ladder, plus memory-budget "
+                       "eviction/reload.")) {
+    return 0;
+  }
+  size_t n = static_cast<size_t>(flags.GetInt("n"));
+  if (flags.GetBool("quick")) n = 100000;
+  std::string method = flags.GetString("method");
+  std::string file = flags.GetString("file");
+
+  SampleCatalog::Options copt;
+  copt.ladder = {1000, 10000, n / 10, n / 2};
+  copt.embed_density = flags.GetBool("density");
+
+  PrintHeader(StrFormat(
+      "Catalog persistence over %s points (sampler: %s, density: %s)",
+      FormatWithCommas(static_cast<int64_t>(n)).c_str(), method.c_str(),
+      copt.embed_density ? "on" : "off"));
+
+  Stopwatch watch;
+  auto dataset = std::make_shared<Dataset>(MakeGeolifeLike(n));
+  dataset->CacheBounds();
+  std::printf("generated %s tuples in %.2fs\n",
+              FormatWithCommas(static_cast<int64_t>(n)).c_str(),
+              watch.ElapsedSeconds());
+
+  // --- Rebuild cost: the full offline ladder build ------------------
+  watch.Restart();
+  std::unique_ptr<Sampler> sampler = MakeSampler(method);
+  SampleCatalog built(*dataset, *sampler, copt);
+  double rebuild_secs = watch.ElapsedSeconds();
+  std::printf("\nladder rebuild from scratch: %.3fs (%zu rungs)\n",
+              rebuild_secs, built.samples().size());
+
+  // --- Save ---------------------------------------------------------
+  watch.Restart();
+  Status saved = WriteCatalog(built, file);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "error: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("saved catalog in %.3fs (%zu bytes resident -> %s)\n",
+              watch.ElapsedSeconds(), CatalogMemoryBytes(built),
+              file.c_str());
+
+  // --- Cold load ----------------------------------------------------
+  watch.Restart();
+  auto loaded = ReadCatalog(file);
+  double load_secs = watch.ElapsedSeconds();
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("cold load from disk: %.3fs\n", load_secs);
+  std::printf("cold-load vs rebuild speedup: %.0fx\n",
+              load_secs > 0 ? rebuild_secs / load_secs : 0.0);
+
+  // The reload must be byte-identical, rung by rung.
+  bool identical = loaded->samples().size() == built.samples().size();
+  for (size_t r = 0; identical && r < built.samples().size(); ++r) {
+    identical = loaded->samples()[r].ids == built.samples()[r].ids &&
+                loaded->samples()[r].density == built.samples()[r].density;
+  }
+  std::printf("rung ids byte-identical after reload: %s\n",
+              identical ? "yes" : "NO — PERSISTENCE BUG");
+  if (!identical) return 1;
+
+  // --- Evict + transparent reload under a memory budget -------------
+  CatalogManager::Options mopt;
+  mopt.num_threads = static_cast<size_t>(flags.GetInt("threads"));
+  // Fits one loaded ladder plus slack, never two: loading the second
+  // catalog must evict the first.
+  size_t ladder_bytes = CatalogMemoryBytes(*loaded);
+  mopt.memory_budget_bytes = ladder_bytes + ladder_bytes / 2;
+  CatalogManager manager(mopt);
+  CatalogKey hot{"hot"};
+  CatalogKey cold{"cold"};
+  Status add = manager.LoadCatalog(cold, dataset, file);
+  if (add.ok()) add = manager.LoadCatalog(hot, dataset, file);
+  if (!add.ok()) {
+    std::fprintf(stderr, "error: %s\n", add.ToString().c_str());
+    return 1;
+  }
+  // Loading `hot` pushed `cold` out (budget fits roughly one ladder).
+  auto stats = manager.memory_stats();
+  std::printf(
+      "\nmemory budget %zu bytes: %zu resident, %zu evictions after "
+      "loading 2 catalogs\n",
+      stats.budget_bytes, stats.resident_bytes, stats.evictions);
+
+  watch.Restart();
+  auto reloaded = manager.Snapshot(cold);  // transparent reload
+  double reload_secs = watch.ElapsedSeconds();
+  if (!reloaded.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 reloaded.status().ToString().c_str());
+    return 1;
+  }
+  bool same = (*reloaded)->samples().size() == built.samples().size();
+  for (size_t r = 0; same && r < built.samples().size(); ++r) {
+    same = (*reloaded)->samples()[r].ids == built.samples()[r].ids;
+  }
+  stats = manager.memory_stats();
+  std::printf(
+      "evicted catalog served again in %.3fs (%zu reloads, ids identical: "
+      "%s)\n",
+      reload_secs, stats.reloads, same ? "yes" : "NO — EVICTION BUG");
+  std::remove(file.c_str());
+  if (!same) return 1;
+
+  std::printf(
+      "\nsave -> evict -> load preserved the ladder exactly; cold "
+      "serving costs %.3fs instead of the %.3fs rebuild (%.0fx)\n",
+      load_secs, rebuild_secs,
+      load_secs > 0 ? rebuild_secs / load_secs : 0.0);
+  return 0;
+}
+
+}  // namespace
+}  // namespace vas::bench
+
+int main(int argc, char** argv) { return vas::bench::Run(argc, argv); }

@@ -119,23 +119,38 @@ SampleSet ParallelInterchangeSampler::Sample(const Dataset& dataset,
     pool = local_pool.get();
   }
   std::vector<std::vector<size_t>> picked(shards);
-  std::vector<std::future<void>> done;
-  done.reserve(shards);
-  for (size_t s = 0; s < shards; ++s) {
-    if (quota[s] == 0) continue;
-    done.push_back(pool->Submit([&, s]() {
-      Dataset shard = dataset.Gather(strip_ids[s]);
-      InterchangeSampler::Options opt = base;
-      opt.seed = base.seed + s * 7919;
-      InterchangeSampler sampler(opt);
-      SampleSet local = sampler.Sample(shard, quota[s]);
-      picked[s].reserve(local.size());
-      for (size_t local_id : local.ids) {
-        picked[s].push_back(strip_ids[s][local_id]);
-      }
-    }));
+  auto run_shard = [&](size_t s) {
+    Dataset shard = dataset.Gather(strip_ids[s]);
+    InterchangeSampler::Options opt = base;
+    opt.seed = base.seed + s * 7919;
+    InterchangeSampler sampler(opt);
+    SampleSet local = sampler.Sample(shard, quota[s]);
+    picked[s].reserve(local.size());
+    for (size_t local_id : local.ids) {
+      picked[s].push_back(strip_ids[s][local_id]);
+    }
+  };
+  // Re-entrancy guard: when Sample() itself runs on a task of the
+  // shared pool (e.g. a catalog rung build whose sampler factory was
+  // handed the manager's pool), queueing shards and blocking on their
+  // futures can deadlock — every free worker may already be parked in
+  // an f.get() just like ours while the shard tasks sit queued behind
+  // them. Running the shards inline keeps this worker productive and
+  // cannot deadlock; the result is identical (shards are deterministic
+  // and independent).
+  if (pool->IsWorkerThread()) {
+    for (size_t s = 0; s < shards; ++s) {
+      if (quota[s] != 0) run_shard(s);
+    }
+  } else {
+    std::vector<std::future<void>> done;
+    done.reserve(shards);
+    for (size_t s = 0; s < shards; ++s) {
+      if (quota[s] == 0) continue;
+      done.push_back(pool->Submit([&run_shard, s]() { run_shard(s); }));
+    }
+    for (std::future<void>& f : done) f.get();
   }
-  for (std::future<void>& f : done) f.get();
 
   for (const auto& ids : picked) {
     out.ids.insert(out.ids.end(), ids.begin(), ids.end());

@@ -32,8 +32,10 @@ class ParallelInterchangeSampler : public Sampler {
     /// budget across shards.
     size_t census_cells_per_axis = 64;
     /// Workers to run shard tasks on. When null, each Sample() call
-    /// spins up a private pool sized to the shard count. Must NOT be a
-    /// pool this sampler itself runs on (see ThreadPool deadlock note).
+    /// spins up a private pool sized to the shard count. Sharing the
+    /// pool Sample() itself runs on is safe: when invoked from one of
+    /// its workers the shards run inline instead of queue-and-block
+    /// (which would deadlock once shards outnumber free workers).
     ThreadPool* pool = nullptr;
   };
 

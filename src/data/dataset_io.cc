@@ -11,12 +11,20 @@ namespace vas {
 Status WriteCsv(const Dataset& dataset, const std::string& path) {
   std::ofstream out(path);
   if (!out) return Status::IoError("cannot open for write: " + path);
-  out << "x,y,value\n";
+  // A value-less dataset writes two columns so the CSV round-trips with
+  // has_values() intact instead of growing an all-zero value column.
+  const bool with_values = dataset.has_values();
+  out << (with_values ? "x,y,value\n" : "x,y\n");
   char buf[128];
   for (size_t i = 0; i < dataset.size(); ++i) {
-    std::snprintf(buf, sizeof(buf), "%.17g,%.17g,%.17g\n",
-                  dataset.points[i].x, dataset.points[i].y,
-                  dataset.ValueAt(i));
+    if (with_values) {
+      std::snprintf(buf, sizeof(buf), "%.17g,%.17g,%.17g\n",
+                    dataset.points[i].x, dataset.points[i].y,
+                    dataset.values[i]);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.17g,%.17g\n", dataset.points[i].x,
+                    dataset.points[i].y);
+    }
     out << buf;
   }
   if (!out) return Status::IoError("write failed: " + path);

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "data/serial.h"
 #include "util/strings.h"
 
 namespace vas {
@@ -62,14 +63,24 @@ StatusOr<bool> CsvDatasetReader::Next(DatasetChunk* chunk) {
     auto y = ParseDouble(fields[1]);
     if (!x.ok()) return x.status();
     if (!y.ok()) return y.status();
-    double value = 0.0;
-    if (fields.size() >= 3) {
+    // The first data row decides whether the source has a value column;
+    // later rows must agree, so a 2-column file can never round-trip as
+    // a fabricated all-zero value column (and vice versa).
+    if (!values_decided_) {
+      values_decided_ = true;
+      has_values_ = fields.size() >= 3;
+    }
+    if (has_values_ != (fields.size() >= 3)) {
+      return Status::InvalidArgument(StrFormat(
+          "%s:%zu: expected %zu fields like the first row", path_.c_str(),
+          line_no_, has_values_ ? size_t{3} : size_t{2}));
+    }
+    if (has_values_) {
       auto v = ParseDouble(fields[2]);
       if (!v.ok()) return v.status();
-      value = *v;
+      chunk->values.push_back(*v);
     }
     chunk->points.push_back({*x, *y});
-    chunk->values.push_back(value);
   }
   Accumulate(*chunk);
   return !chunk->empty();
@@ -91,17 +102,17 @@ StatusOr<std::unique_ptr<BinaryDatasetReader>> BinaryDatasetReader::Open(
   if (!reader->in_) {
     return Status::IoError("cannot open for read: " + path);
   }
-  uint64_t magic = 0, n = 0, has_values = 0;
-  reader->in_.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-  reader->in_.read(reinterpret_cast<char*>(&n), sizeof(n));
-  reader->in_.read(reinterpret_cast<char*>(&has_values), sizeof(has_values));
-  if (!reader->in_ || magic != kBinaryMagic) {
+  auto magic = ReadU64(reader->in_, path);
+  auto n = ReadU64(reader->in_, path);
+  auto has_values = ReadU64(reader->in_, path);
+  if (!magic.ok() || !n.ok() || !has_values.ok() ||
+      *magic != kBinaryMagic) {
     return Status::InvalidArgument("not a VAS binary dataset: " + path);
   }
-  reader->total_rows_ = n;
-  reader->has_values_ = has_values != 0;
+  reader->total_rows_ = *n;
+  reader->has_values_ = *has_values != 0;
   reader->points_offset_ = kHeaderBytes;
-  reader->values_offset_ = kHeaderBytes + n * sizeof(Point);
+  reader->values_offset_ = kHeaderBytes + *n * sizeof(Point);
   return reader;
 }
 
@@ -113,16 +124,15 @@ StatusOr<bool> BinaryDatasetReader::Next(DatasetChunk* chunk) {
   chunk->points.resize(rows);
   in_.seekg(static_cast<std::streamoff>(points_offset_ +
                                         next_row_ * sizeof(Point)));
-  in_.read(reinterpret_cast<char*>(chunk->points.data()),
-           static_cast<std::streamsize>(rows * sizeof(Point)));
-  if (has_values_) {
+  Status read = ReadRaw(in_, chunk->points.data(), rows * sizeof(Point),
+                        path_);
+  if (read.ok() && has_values_) {
     chunk->values.resize(rows);
     in_.seekg(static_cast<std::streamoff>(values_offset_ +
                                           next_row_ * sizeof(double)));
-    in_.read(reinterpret_cast<char*>(chunk->values.data()),
-             static_cast<std::streamsize>(rows * sizeof(double)));
+    read = ReadRaw(in_, chunk->values.data(), rows * sizeof(double), path_);
   }
-  if (!in_) {
+  if (!read.ok()) {
     return Status::IoError("truncated binary dataset: " + path_);
   }
   next_row_ += rows;
@@ -158,14 +168,9 @@ StatusOr<std::unique_ptr<BinaryDatasetWriter>> BinaryDatasetWriter::Open(
     return Status::IoError("cannot open for write: " + path);
   }
   // Placeholder header; Finish() rewrites it with the real counts.
-  uint64_t magic = kBinaryMagic, n = 0, has_values = 0;
-  writer->out_.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
-  writer->out_.write(reinterpret_cast<const char*>(&n), sizeof(n));
-  writer->out_.write(reinterpret_cast<const char*>(&has_values),
-                     sizeof(has_values));
-  if (!writer->out_) {
-    return Status::IoError("write failed: " + path);
-  }
+  VAS_RETURN_IF_ERROR(WriteU64(writer->out_, kBinaryMagic, path));
+  VAS_RETURN_IF_ERROR(WriteU64(writer->out_, 0, path));
+  VAS_RETURN_IF_ERROR(WriteU64(writer->out_, 0, path));
   return writer;
 }
 
@@ -208,15 +213,11 @@ Status BinaryDatasetWriter::Append(const Point* points, const double* values,
     return Status::InvalidArgument(
         "chunk value column presence changed mid-stream: " + path_);
   }
-  out_.write(reinterpret_cast<const char*>(points),
-             static_cast<std::streamsize>(count * sizeof(Point)));
-  if (!out_) return Status::IoError("write failed: " + path_);
+  VAS_RETURN_IF_ERROR(WriteRaw(out_, points, count * sizeof(Point), path_));
   if (has_values_) {
-    values_spool_.write(reinterpret_cast<const char*>(values),
-                        static_cast<std::streamsize>(count * sizeof(double)));
-    if (!values_spool_) {
-      return Status::IoError("write failed: " + values_spool_path_);
-    }
+    VAS_RETURN_IF_ERROR(WriteRaw(values_spool_, values,
+                                 count * sizeof(double),
+                                 values_spool_path_));
   }
   rows_written_ += count;
   for (size_t i = 0; i < count; ++i) bounds_.Extend(points[i]);
@@ -244,13 +245,10 @@ Status BinaryDatasetWriter::Finish() {
     spool.close();
     std::remove(values_spool_path_.c_str());
   }
-  uint64_t magic = kBinaryMagic, n = rows_written_,
-           has_values = has_values_ ? 1 : 0;
   out_.seekp(0);
-  out_.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
-  out_.write(reinterpret_cast<const char*>(&n), sizeof(n));
-  out_.write(reinterpret_cast<const char*>(&has_values),
-             sizeof(has_values));
+  VAS_RETURN_IF_ERROR(WriteU64(out_, kBinaryMagic, path_));
+  VAS_RETURN_IF_ERROR(WriteU64(out_, rows_written_, path_));
+  VAS_RETURN_IF_ERROR(WriteU64(out_, has_values_ ? 1 : 0, path_));
   out_.flush();
   if (!out_) return Status::IoError("write failed: " + path_);
   out_.close();

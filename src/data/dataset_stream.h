@@ -83,16 +83,18 @@ class DatasetReader {
 };
 
 /// Streams an x,y[,value] CSV (same dialect ReadCsv accepts: optional
-/// header, blank lines skipped, malformed rows are errors). CSV sources
-/// always yield a value column, defaulting missing third fields to 0 —
-/// the same convention the materializing ReadCsv has always used.
+/// header, blank lines skipped, malformed rows are errors). Whether the
+/// source carries a value column is decided by the first data row —
+/// two-column CSVs stream value-less chunks instead of a fabricated
+/// all-zero column — and rows must agree with that decision (a
+/// mid-stream column-count flip is an error).
 class CsvDatasetReader : public DatasetReader {
  public:
   static StatusOr<std::unique_ptr<CsvDatasetReader>> Open(
       const std::string& path, size_t chunk_rows = kDefaultChunkRows);
 
   StatusOr<bool> Next(DatasetChunk* chunk) override;
-  bool has_values() const override { return true; }
+  bool has_values() const override { return has_values_; }
 
  private:
   CsvDatasetReader(const std::string& path, size_t chunk_rows);
@@ -101,6 +103,8 @@ class CsvDatasetReader : public DatasetReader {
   std::ifstream in_;
   size_t line_no_ = 0;
   bool seen_first_line_ = false;
+  bool values_decided_ = false;
+  bool has_values_ = false;
 };
 
 /// Streams the length-prefixed binary format WriteBinary produces. The

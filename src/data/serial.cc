@@ -1,0 +1,61 @@
+#include "data/serial.h"
+
+namespace vas {
+
+Status WriteRaw(std::ostream& out, const void* data, size_t bytes,
+                const std::string& path) {
+  out.write(reinterpret_cast<const char*>(data),
+            static_cast<std::streamsize>(bytes));
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Status ReadRaw(std::istream& in, void* data, size_t bytes,
+               const std::string& path) {
+  in.read(reinterpret_cast<char*>(data),
+          static_cast<std::streamsize>(bytes));
+  if (!in) return Status::IoError("truncated file: " + path);
+  return Status::OK();
+}
+
+Status WriteU64(std::ostream& out, uint64_t value, const std::string& path) {
+  return WriteRaw(out, &value, sizeof(value), path);
+}
+
+StatusOr<uint64_t> ReadU64(std::istream& in, const std::string& path) {
+  uint64_t value = 0;
+  VAS_RETURN_IF_ERROR(ReadRaw(in, &value, sizeof(value), path));
+  return value;
+}
+
+Status WriteLengthPrefixedString(std::ostream& out, const std::string& s,
+                                 const std::string& path) {
+  VAS_RETURN_IF_ERROR(WriteU64(out, s.size(), path));
+  return WriteRaw(out, s.data(), s.size(), path);
+}
+
+StatusOr<size_t> RemainingBytes(std::istream& in, const std::string& path) {
+  std::istream::pos_type cur = in.tellg();
+  if (cur == std::istream::pos_type(-1)) {
+    return Status::IoError("cannot seek: " + path);
+  }
+  in.seekg(0, std::ios::end);
+  std::istream::pos_type end = in.tellg();
+  in.seekg(cur);
+  if (!in || end < cur) return Status::IoError("cannot seek: " + path);
+  return static_cast<size_t>(end - cur);
+}
+
+StatusOr<std::string> ReadLengthPrefixedString(std::istream& in,
+                                               size_t max_len,
+                                               const std::string& path) {
+  VAS_ASSIGN_OR_RETURN(uint64_t len, ReadU64(in, path));
+  if (len > max_len) {
+    return Status::InvalidArgument("corrupt string length in " + path);
+  }
+  std::string s(static_cast<size_t>(len), '\0');
+  VAS_RETURN_IF_ERROR(ReadRaw(in, s.data(), s.size(), path));
+  return s;
+}
+
+}  // namespace vas

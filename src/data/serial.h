@@ -1,0 +1,50 @@
+// Shared primitives for the library's binary file formats. The dataset,
+// sample, and catalog formats all use the same framing — little-endian
+// uint64 scalars, length-prefixed strings, packed uint64 arrays — so the
+// raw stream plumbing (and its error reporting) lives here once instead
+// of being re-derived per format.
+#ifndef VAS_DATA_SERIAL_H_
+#define VAS_DATA_SERIAL_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "util/status.h"
+
+namespace vas {
+
+/// Writes `bytes` raw bytes; `path` names the destination in errors.
+Status WriteRaw(std::ostream& out, const void* data, size_t bytes,
+                const std::string& path);
+
+/// Reads exactly `bytes` raw bytes; IoError on short reads.
+Status ReadRaw(std::istream& in, void* data, size_t bytes,
+               const std::string& path);
+
+/// Writes one uint64 scalar.
+Status WriteU64(std::ostream& out, uint64_t value, const std::string& path);
+
+/// Reads one uint64 scalar.
+StatusOr<uint64_t> ReadU64(std::istream& in, const std::string& path);
+
+/// Writes a length-prefixed string (uint64 length, then the bytes).
+Status WriteLengthPrefixedString(std::ostream& out, const std::string& s,
+                                 const std::string& path);
+
+/// Reads a length-prefixed string, rejecting lengths above `max_len`
+/// (corrupt headers must not trigger huge allocations).
+StatusOr<std::string> ReadLengthPrefixedString(std::istream& in,
+                                               size_t max_len,
+                                               const std::string& path);
+
+/// Bytes left between the stream position and end-of-file. Readers
+/// check decoded element counts against this before allocating, so a
+/// corrupt header yields an error Status instead of a length_error /
+/// bad_alloc escaping the Status-based API.
+StatusOr<size_t> RemainingBytes(std::istream& in, const std::string& path);
+
+}  // namespace vas
+
+#endif  // VAS_DATA_SERIAL_H_

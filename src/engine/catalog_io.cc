@@ -1,0 +1,77 @@
+#include "engine/catalog_io.h"
+
+#include <cstdint>
+#include <fstream>
+#include <utility>
+#include <vector>
+
+#include "data/serial.h"
+#include "sampling/sample_io.h"
+
+namespace vas {
+
+namespace {
+constexpr uint64_t kCatalogMagic = 0x5641530043415431ULL;  // "VAS\0CAT1"
+}  // namespace
+
+Status WriteCatalog(const SampleCatalog& catalog, const std::string& path) {
+  for (const SampleSet& rung : catalog.samples()) {
+    // Validate before opening: a rejected write must not have truncated
+    // a previously valid catalog at `path`.
+    if (rung.has_density() && rung.density.size() != rung.ids.size()) {
+      return Status::FailedPrecondition(
+          "density column length does not match ids");
+    }
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  VAS_RETURN_IF_ERROR(WriteU64(out, kCatalogMagic, path));
+  VAS_RETURN_IF_ERROR(WriteU64(out, catalog.samples().size(), path));
+  for (const SampleSet& rung : catalog.samples()) {
+    VAS_RETURN_IF_ERROR(WriteSampleSetTo(out, rung, path));
+  }
+  return Status::OK();
+}
+
+StatusOr<SampleCatalog> ReadCatalog(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  auto magic = ReadU64(in, path);
+  if (!magic.ok() || *magic != kCatalogMagic) {
+    return Status::InvalidArgument("not a VAS catalog file: " + path);
+  }
+  VAS_ASSIGN_OR_RETURN(uint64_t rungs, ReadU64(in, path));
+  // A rung body is at least its three header u64s; bound the count by
+  // the bytes actually present so corrupt headers fail cleanly.
+  VAS_ASSIGN_OR_RETURN(size_t remaining, RemainingBytes(in, path));
+  if (rungs > remaining / (3 * sizeof(uint64_t))) {
+    return Status::InvalidArgument("corrupt catalog header: " + path);
+  }
+  std::vector<SampleSet> samples;
+  samples.reserve(rungs);
+  for (uint64_t i = 0; i < rungs; ++i) {
+    VAS_ASSIGN_OR_RETURN(SampleSet rung, ReadSampleSetFrom(in, path));
+    samples.push_back(std::move(rung));
+  }
+  return SampleCatalog(std::move(samples));
+}
+
+Status ValidateCatalogAgainst(const SampleCatalog& catalog,
+                              size_t dataset_size) {
+  for (const SampleSet& rung : catalog.samples()) {
+    VAS_RETURN_IF_ERROR(ValidateSampleAgainst(rung, dataset_size));
+  }
+  return Status::OK();
+}
+
+size_t CatalogMemoryBytes(const SampleCatalog& catalog) {
+  size_t bytes = sizeof(SampleCatalog);
+  for (const SampleSet& rung : catalog.samples()) {
+    bytes += sizeof(SampleSet) + rung.method.capacity();
+    bytes += rung.ids.capacity() * sizeof(size_t);
+    bytes += rung.density.capacity() * sizeof(uint64_t);
+  }
+  return bytes;
+}
+
+}  // namespace vas

@@ -1,0 +1,44 @@
+// Catalog persistence (paper §II-B: the sample ladder is built once,
+// offline, and then served like any other index). A catalog file holds
+// every rung of one ladder in the sample framing the standalone sample
+// files use, under a single magic:
+//
+//   u64 magic "VAS\0CAT1"
+//   u64 rung count
+//   per rung (ascending by size):
+//     u64 method length, method bytes
+//     u64 id count n, u64 has_density
+//     n × u64 sample ids
+//     [n × u64 density counts]
+//
+// This is both the explicit save/load surface (vas_tool save-catalog /
+// load-catalog) and the spill format CatalogManager uses when evicting
+// cold catalogs under a memory budget.
+#ifndef VAS_ENGINE_CATALOG_IO_H_
+#define VAS_ENGINE_CATALOG_IO_H_
+
+#include <string>
+
+#include "engine/sample_catalog.h"
+#include "util/status.h"
+
+namespace vas {
+
+/// Writes every rung of `catalog` to `path`, overwriting.
+Status WriteCatalog(const SampleCatalog& catalog, const std::string& path);
+
+/// Reads a catalog written by WriteCatalog. Validates structure but not
+/// id range; pair with ValidateCatalogAgainst() before serving.
+StatusOr<SampleCatalog> ReadCatalog(const std::string& path);
+
+/// Checks every rung's ids against a dataset of `dataset_size` rows.
+Status ValidateCatalogAgainst(const SampleCatalog& catalog,
+                              size_t dataset_size);
+
+/// Approximate heap footprint of a resident catalog — the accounting
+/// unit of CatalogManager's memory budget.
+size_t CatalogMemoryBytes(const SampleCatalog& catalog);
+
+}  // namespace vas
+
+#endif  // VAS_ENGINE_CATALOG_IO_H_

@@ -1,10 +1,84 @@
 #include "engine/catalog_manager.h"
 
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <random>
 #include <utility>
+
+#include "engine/catalog_io.h"
+#include "util/logging.h"
 
 namespace vas {
 
-CatalogManager::CatalogManager(size_t num_threads) : pool_(num_threads) {}
+namespace {
+
+/// Spill files live in one shared directory; a per-manager token keeps
+/// concurrent managers (or processes) from clobbering each other.
+/// std::random_device may legally be deterministic, so the clock is
+/// folded in — two processes can then only collide by also starting on
+/// the same tick.
+std::string MakeSpillToken() {
+  uint64_t entropy = (static_cast<uint64_t>(std::random_device{}()) << 32) ^
+                     static_cast<uint64_t>(std::random_device{}());
+  entropy ^= static_cast<uint64_t>(std::chrono::high_resolution_clock::now()
+                                       .time_since_epoch()
+                                       .count());
+  return std::to_string(entropy);
+}
+
+std::string ResolveSpillDir(const std::string& configured) {
+  if (!configured.empty()) return configured;
+  std::error_code ec;
+  auto dir = std::filesystem::temp_directory_path(ec);
+  return ec ? std::string(".") : dir.string();
+}
+
+/// "table/x:y" with path-hostile characters flattened, so the key stays
+/// readable in the spill directory.
+std::string SanitizeForFilename(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
+    if (!keep) c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+CatalogManager::CatalogManager(size_t num_threads)
+    : CatalogManager(Options{num_threads, 0, std::string()}) {}
+
+CatalogManager::CatalogManager(const Options& options)
+    : options_(Options{options.num_threads, options.memory_budget_bytes,
+                       ResolveSpillDir(options.spill_dir)}),
+      spill_token_(MakeSpillToken()),
+      pool_(options.num_threads) {}
+
+CatalogManager::~CatalogManager() {
+  // Drain the pool first: every rung task and finalize task completes
+  // before spill cleanup, so a late finalization cannot create a spill
+  // file after we removed them. Spill files are cache state owned by
+  // this manager.
+  pool_.Shutdown();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, entry] : entries_) {
+    if (!entry->spill_path.empty()) std::remove(entry->spill_path.c_str());
+  }
+}
+
+Status CatalogManager::Insert(const CatalogKey& key,
+                              std::shared_ptr<Entry> entry) {
+  auto [it, inserted] = entries_.try_emplace(key, std::move(entry));
+  if (!inserted) {
+    return Status::InvalidArgument("catalog already registered: " +
+                                   key.ToString());
+  }
+  TouchLocked(*it->second);
+  return Status::OK();
+}
 
 Status CatalogManager::StartBuild(const CatalogKey& key,
                                   std::shared_ptr<const vas::Dataset> dataset,
@@ -13,76 +87,293 @@ Status CatalogManager::StartBuild(const CatalogKey& key,
   if (dataset == nullptr) {
     return Status::InvalidArgument("null dataset for " + key.ToString());
   }
-  SampleCatalog::Builder* builder = nullptr;
+  auto entry = std::make_shared<Entry>();
+  entry->dataset = dataset;
+  entry->builder = std::make_shared<SampleCatalog::Builder>(
+      std::move(dataset), std::move(sampler_factory), std::move(options),
+      &pool_);
+  entry->rungs_total = entry->builder->rungs_total();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    auto [it, inserted] = entries_.try_emplace(key);
-    if (!inserted) {
-      return Status::InvalidArgument("catalog already registered: " +
-                                     key.ToString());
-    }
-    it->second.dataset = dataset;
-    it->second.builder = std::make_unique<SampleCatalog::Builder>(
-        std::move(dataset), std::move(sampler_factory), std::move(options),
-        &pool_);
-    builder = it->second.builder.get();
+    VAS_RETURN_IF_ERROR(Insert(key, entry));
   }
   // Outside the map lock: submission is cheap, but a null pool would
   // build inline and serving queries must not stall behind it.
-  builder->Start();
+  entry->builder->Start();
+  // Eager finalization: fold the finished ladder into the residency
+  // accounting even when no query ever touches this key — otherwise it
+  // would sit inside the Builder, invisible to the memory budget. The
+  // task is queued behind this build's rung tasks, so it only ever
+  // waits on rungs already running on other workers (never on queued
+  // work) and cannot deadlock the pool.
+  pool_.Submit([this, key, entry, builder = entry->builder]() {
+    builder->Wait();
+    Finalize(key, entry, builder);
+  });
   return Status::OK();
 }
 
-const CatalogManager::Entry* CatalogManager::Find(
+Status CatalogManager::AddCatalog(const CatalogKey& key,
+                                  std::shared_ptr<const Dataset> dataset,
+                                  SampleCatalog catalog) {
+  if (dataset == nullptr) {
+    return Status::InvalidArgument("null dataset for " + key.ToString());
+  }
+  if (catalog.samples().empty()) {
+    return Status::InvalidArgument("empty catalog for " + key.ToString());
+  }
+  VAS_RETURN_IF_ERROR(ValidateCatalogAgainst(catalog, dataset->size()));
+  auto entry = std::make_shared<Entry>();
+  entry->dataset = std::move(dataset);
+  entry->rungs_total = catalog.samples().size();
+  entry->catalog = std::make_shared<const SampleCatalog>(std::move(catalog));
+  entry->bytes = CatalogMemoryBytes(*entry->catalog);
+  std::lock_guard<std::mutex> lock(mu_);
+  VAS_RETURN_IF_ERROR(Insert(key, entry));
+  resident_bytes_ += entry->bytes;
+  EnforceBudgetLocked(entry.get());
+  return Status::OK();
+}
+
+Status CatalogManager::LoadCatalog(const CatalogKey& key,
+                                   std::shared_ptr<const Dataset> dataset,
+                                   const std::string& path) {
+  VAS_ASSIGN_OR_RETURN(SampleCatalog catalog, ReadCatalog(path));
+  return AddCatalog(key, std::move(dataset), std::move(catalog));
+}
+
+Status CatalogManager::SaveCatalog(const CatalogKey& key,
+                                   const std::string& path) {
+  std::shared_ptr<Entry> entry = FindEntry(key);
+  if (entry == nullptr) {
+    return Status::NotFound("no catalog registered: " + key.ToString());
+  }
+  auto snapshot = Resolve(key, entry, WaitMode::kAll);
+  if (!snapshot.ok()) return snapshot.status();
+  return WriteCatalog(**snapshot, path);
+}
+
+Status CatalogManager::Drop(const CatalogKey& key) {
+  std::string spill_path;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      return Status::NotFound("no catalog registered: " + key.ToString());
+    }
+    Entry& entry = *it->second;
+    if (entry.builder != nullptr && !entry.builder->done()) {
+      return Status::FailedPrecondition("build still running: " +
+                                        key.ToString());
+    }
+    if (entry.catalog != nullptr) resident_bytes_ -= entry.bytes;
+    spill_path = entry.spill_path;
+    entries_.erase(it);
+  }
+  if (!spill_path.empty()) std::remove(spill_path.c_str());
+  return Status::OK();
+}
+
+std::shared_ptr<CatalogManager::Entry> CatalogManager::FindEntry(
     const CatalogKey& key) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(key);
-  return it == entries_.end() ? nullptr : &it->second;
+  return it == entries_.end() ? nullptr : it->second;
+}
+
+void CatalogManager::TouchLocked(Entry& entry) const {
+  entry.last_used = ++use_clock_;
+}
+
+void CatalogManager::EnforceBudgetLocked(const Entry* keep) const {
+  if (options_.memory_budget_bytes == 0) return;
+  while (resident_bytes_ > options_.memory_budget_bytes) {
+    Entry* victim = nullptr;
+    const CatalogKey* victim_key = nullptr;
+    for (const auto& [key, entry] : entries_) {
+      if (entry.get() == keep || entry->builder != nullptr ||
+          entry->catalog == nullptr) {
+        continue;
+      }
+      if (victim == nullptr || entry->last_used < victim->last_used) {
+        victim = entry.get();
+        victim_key = &key;
+      }
+    }
+    if (victim == nullptr) return;  // nothing evictable; budget best-effort
+    if (!victim->spill_valid) {
+      if (victim->spill_path.empty()) {
+        // The sequence number keeps the path unique even when distinct
+        // keys sanitize to the same name ("t:1" and "t_1" both flatten
+        // to "t_1"); the sanitized key is readability only.
+        victim->spill_path =
+            options_.spill_dir + "/vas_spill_" + spill_token_ + "_" +
+            std::to_string(++spill_seq_) + "_" +
+            SanitizeForFilename(victim_key->ToString()) + ".vascat";
+      }
+      Status spilled = WriteCatalog(*victim->catalog, victim->spill_path);
+      if (!spilled.ok()) {
+        // Dropping an unpersisted ladder would lose it for good; keep it
+        // resident and stop evicting.
+        VAS_LOG(WARN) << "catalog spill failed for "
+                      << victim_key->ToString() << ": "
+                      << spilled.ToString();
+        return;
+      }
+      victim->spill_valid = true;
+    }
+    victim->catalog = nullptr;
+    resident_bytes_ -= victim->bytes;
+    ++evictions_;
+  }
+}
+
+Status CatalogManager::ReloadLocked(const CatalogKey& key,
+                                    Entry& entry) const {
+  if (!entry.spill_valid) {
+    return Status::Internal("catalog neither resident nor spilled: " +
+                            key.ToString());
+  }
+  VAS_ASSIGN_OR_RETURN(SampleCatalog loaded, ReadCatalog(entry.spill_path));
+  // A damaged (or swapped) spill file must never reach a session: ids
+  // out of range for the entry's dataset would index out of bounds.
+  Status valid = ValidateCatalogAgainst(loaded, entry.dataset->size());
+  if (!valid.ok()) {
+    return Status::Internal("spill file corrupt for " + key.ToString() +
+                            ": " + valid.ToString());
+  }
+  entry.catalog = std::make_shared<const SampleCatalog>(std::move(loaded));
+  entry.bytes = CatalogMemoryBytes(*entry.catalog);
+  resident_bytes_ += entry.bytes;
+  ++reloads_;
+  EnforceBudgetLocked(&entry);
+  return Status::OK();
+}
+
+void CatalogManager::Finalize(
+    const CatalogKey& key, const std::shared_ptr<Entry>& entry,
+    const std::shared_ptr<SampleCatalog::Builder>& builder) const {
+  // Wait() returns immediately — the caller observed done() — and
+  // yields the builder's final published snapshot.
+  std::shared_ptr<const SampleCatalog> catalog = builder->Wait();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entry->builder != builder) return;  // a racing caller finalized
+  entry->builder = nullptr;
+  entry->catalog = std::move(catalog);
+  entry->bytes = CatalogMemoryBytes(*entry->catalog);
+  // A concurrent Drop() may have unmapped the entry while we waited;
+  // its handle still serves the finished ladder to in-flight callers,
+  // but a ghost entry must not enter the residency accounting (the
+  // bytes could never be evicted back out).
+  auto it = entries_.find(key);
+  if (it == entries_.end() || it->second != entry) return;
+  resident_bytes_ += entry->bytes;
+  TouchLocked(*entry);
+  EnforceBudgetLocked(entry.get());
+}
+
+StatusOr<std::shared_ptr<const SampleCatalog>> CatalogManager::Resolve(
+    const CatalogKey& key, const std::shared_ptr<Entry>& entry,
+    WaitMode mode) const {
+  for (;;) {
+    std::shared_ptr<SampleCatalog::Builder> builder;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      builder = entry->builder;
+      if (builder == nullptr) {
+        // Finalized (or registered pre-built): serve the resident
+        // ladder, transparently reloading it if the budget evicted it.
+        // An entry unmapped by a concurrent Drop() still serves its
+        // in-memory ladder to this in-flight handle, but is gone once
+        // spilled (Drop deleted the spill file) and never re-enters
+        // the LRU accounting.
+        auto it = entries_.find(key);
+        bool mapped = it != entries_.end() && it->second == entry;
+        if (entry->catalog == nullptr) {
+          if (!mapped) {
+            return Status::NotFound("no catalog registered: " +
+                                    key.ToString());
+          }
+          VAS_RETURN_IF_ERROR(ReloadLocked(key, *entry));
+        }
+        if (mapped) TouchLocked(*entry);
+        return entry->catalog;
+      }
+    }
+    // Build in flight: wait (or peek) against the builder with no
+    // manager lock held, so other keys keep serving.
+    std::shared_ptr<const SampleCatalog> snapshot;
+    switch (mode) {
+      case WaitMode::kNone:
+        snapshot = builder->Snapshot();
+        break;
+      case WaitMode::kFirstRung:
+        snapshot = builder->WaitForRung(1);
+        break;
+      case WaitMode::kAll:
+        snapshot = builder->Wait();
+        break;
+    }
+    if (!builder->done()) {
+      if (snapshot == nullptr) {
+        return Status::FailedPrecondition("no rung built yet: " +
+                                          key.ToString());
+      }
+      return snapshot;
+    }
+    // The ladder just completed: move the product out of the builder
+    // (freeing its working copy) and take the resident path above.
+    Finalize(key, entry, builder);
+  }
 }
 
 StatusOr<CatalogManager::BuildStatus> CatalogManager::GetStatus(
     const CatalogKey& key) const {
-  const Entry* entry = Find(key);
-  if (entry == nullptr) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
     return Status::NotFound("no catalog registered: " + key.ToString());
   }
+  const Entry& entry = *it->second;
   BuildStatus status;
-  status.rungs_total = entry->builder->rungs_total();
-  status.rungs_ready = entry->builder->rungs_ready();
-  status.done = entry->builder->done();
+  status.rungs_total = entry.rungs_total;
+  if (entry.builder != nullptr) {
+    status.rungs_ready = entry.builder->rungs_ready();
+    status.done = entry.builder->done();
+  } else {
+    status.rungs_ready = entry.rungs_total;
+    status.done = true;
+    status.resident = entry.catalog != nullptr;
+    status.memory_bytes = entry.bytes;
+  }
   return status;
 }
 
 StatusOr<std::shared_ptr<const SampleCatalog>> CatalogManager::Snapshot(
     const CatalogKey& key) const {
-  const Entry* entry = Find(key);
+  std::shared_ptr<Entry> entry = FindEntry(key);
   if (entry == nullptr) {
     return Status::NotFound("no catalog registered: " + key.ToString());
   }
-  std::shared_ptr<const SampleCatalog> snapshot = entry->builder->Snapshot();
-  if (snapshot == nullptr) {
-    return Status::FailedPrecondition("no rung built yet: " +
-                                      key.ToString());
-  }
-  return snapshot;
+  return Resolve(key, entry, WaitMode::kNone);
 }
 
 StatusOr<std::shared_ptr<const SampleCatalog>>
 CatalogManager::WaitForFirstRung(const CatalogKey& key) const {
-  const Entry* entry = Find(key);
+  std::shared_ptr<Entry> entry = FindEntry(key);
   if (entry == nullptr) {
     return Status::NotFound("no catalog registered: " + key.ToString());
   }
-  return entry->builder->WaitForRung(1);
+  return Resolve(key, entry, WaitMode::kFirstRung);
 }
 
 StatusOr<std::shared_ptr<const SampleCatalog>> CatalogManager::WaitUntilDone(
     const CatalogKey& key) const {
-  const Entry* entry = Find(key);
+  std::shared_ptr<Entry> entry = FindEntry(key);
   if (entry == nullptr) {
     return Status::NotFound("no catalog registered: " + key.ToString());
   }
-  return entry->builder->Wait();
+  return Resolve(key, entry, WaitMode::kAll);
 }
 
 std::vector<CatalogKey> CatalogManager::Keys() const {
@@ -95,11 +386,21 @@ std::vector<CatalogKey> CatalogManager::Keys() const {
 
 StatusOr<std::shared_ptr<const Dataset>> CatalogManager::DatasetFor(
     const CatalogKey& key) const {
-  const Entry* entry = Find(key);
+  std::shared_ptr<Entry> entry = FindEntry(key);
   if (entry == nullptr) {
     return Status::NotFound("no catalog registered: " + key.ToString());
   }
   return entry->dataset;
+}
+
+CatalogManager::MemoryStats CatalogManager::memory_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MemoryStats stats;
+  stats.budget_bytes = options_.memory_budget_bytes;
+  stats.resident_bytes = resident_bytes_;
+  stats.evictions = evictions_;
+  stats.reloads = reloads_;
+  return stats;
 }
 
 }  // namespace vas

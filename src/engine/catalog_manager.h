@@ -5,6 +5,13 @@
 // shared ThreadPool, and queries always see the best ladder built so
 // far, so a session can start plotting from the smallest rung while the
 // larger rungs are still sampling.
+//
+// Catalogs have a full lifecycle: a finished ladder can be saved to a
+// catalog file (SaveCatalog), a previously saved ladder can be
+// registered without rebuilding (LoadCatalog / AddCatalog), and under a
+// configured memory budget cold catalogs are transparently spilled to
+// disk LRU-first and reloaded on their next access — so the set of
+// catalogs a server holds is bounded by disk, not RAM.
 #ifndef VAS_ENGINE_CATALOG_MANAGER_H_
 #define VAS_ENGINE_CATALOG_MANAGER_H_
 
@@ -42,20 +49,47 @@ struct CatalogKey {
 
 /// Owns named catalog builds and the worker pool they run on. All
 /// methods are thread-safe. The destructor blocks until every in-flight
-/// rung task has finished.
+/// rung task has finished, then deletes the spill files it created.
 class CatalogManager {
  public:
+  struct Options {
+    /// Build pool size; 0 = hardware concurrency.
+    size_t num_threads = 0;
+    /// Total bytes of finished catalogs kept resident; exceeding the
+    /// budget spills least-recently-used catalogs to disk. 0 disables
+    /// eviction. In-flight builds and the most recently used catalog
+    /// are never evicted, so a budget smaller than one ladder degrades
+    /// to "one catalog resident at a time".
+    size_t memory_budget_bytes = 0;
+    /// Directory for spill files; empty = the system temp directory.
+    std::string spill_dir;
+  };
+
   /// Build progress for one key.
   struct BuildStatus {
     size_t rungs_ready = 0;
     size_t rungs_total = 0;
     bool done = false;
+    /// Whether the finished ladder is currently in memory (false while
+    /// spilled; meaningless before done).
+    bool resident = false;
+    /// Approximate footprint of the finished ladder (0 while building).
+    size_t memory_bytes = 0;
+  };
+
+  /// Aggregate accounting across every key.
+  struct MemoryStats {
+    size_t budget_bytes = 0;
+    size_t resident_bytes = 0;
+    size_t evictions = 0;
+    size_t reloads = 0;
   };
 
   /// `num_threads` sizes the shared build pool; 0 = hardware
-  /// concurrency.
+  /// concurrency. No memory budget: catalogs stay resident forever.
   explicit CatalogManager(size_t num_threads = 0);
-  ~CatalogManager() = default;
+  explicit CatalogManager(const Options& options);
+  ~CatalogManager();
 
   CatalogManager(const CatalogManager&) = delete;
   CatalogManager& operator=(const CatalogManager&) = delete;
@@ -69,17 +103,43 @@ class CatalogManager {
                     SamplerFactory sampler_factory,
                     SampleCatalog::Options options);
 
+  /// Registers an already-built ladder (e.g. one reloaded from a
+  /// catalog file) so it serves without rebuilding. The ids are
+  /// validated against the dataset. InvalidArgument for an empty
+  /// ladder or an already-registered key.
+  Status AddCatalog(const CatalogKey& key,
+                    std::shared_ptr<const Dataset> dataset,
+                    SampleCatalog catalog);
+
+  /// Reads the catalog file at `path` and registers it under `key` —
+  /// the cold-start path: serving begins at disk-load cost instead of
+  /// rebuild cost.
+  Status LoadCatalog(const CatalogKey& key,
+                     std::shared_ptr<const Dataset> dataset,
+                     const std::string& path);
+
+  /// Blocks until `key`'s ladder is complete and writes it to `path`.
+  Status SaveCatalog(const CatalogKey& key, const std::string& path);
+
+  /// Unregisters `key` and deletes its spill file. Snapshots already
+  /// handed out stay valid (they share ownership of the ladder); the
+  /// key may be registered again afterwards. NotFound when absent.
+  /// FailedPrecondition while the key's build is still running.
+  Status Drop(const CatalogKey& key);
+
   /// Build progress; NotFound for unregistered keys.
   StatusOr<BuildStatus> GetStatus(const CatalogKey& key) const;
 
   /// The catalog of every rung finished so far — the "best currently
-  /// available" ladder. NotFound for unregistered keys,
-  /// FailedPrecondition while no rung has landed yet.
+  /// available" ladder. A finished catalog that was evicted is
+  /// transparently reloaded from its spill file. NotFound for
+  /// unregistered keys, FailedPrecondition while no rung has landed
+  /// yet.
   StatusOr<std::shared_ptr<const SampleCatalog>> Snapshot(
       const CatalogKey& key) const;
 
-  /// Blocks until the first (smallest) rung is servable. NotFound for
-  /// unregistered keys.
+  /// Blocks until the first (smallest) rung is servable, reloading an
+  /// evicted ladder if needed. NotFound for unregistered keys.
   StatusOr<std::shared_ptr<const SampleCatalog>> WaitForFirstRung(
       const CatalogKey& key) const;
 
@@ -95,20 +155,95 @@ class CatalogManager {
   StatusOr<std::shared_ptr<const Dataset>> DatasetFor(
       const CatalogKey& key) const;
 
+  /// Memory accounting snapshot (racy by nature, exact under quiesce).
+  MemoryStats memory_stats() const;
+
+  /// The shared build pool — samplers that shard internally (e.g.
+  /// ParallelInterchangeSampler) may reuse it instead of spawning their
+  /// own: they detect via ThreadPool::IsWorkerThread() that a rung task
+  /// is already running here and fall back to inline shards, so sharing
+  /// cannot deadlock.
+  ThreadPool& pool() { return pool_; }
+
  private:
+  /// One registered catalog. State transitions (build finishing, spill,
+  /// reload) happen under the manager mutex; the entry itself is
+  /// reference-counted so a concurrent Drop() can never dangle an
+  /// accessor (handles outlive map erasure).
   struct Entry {
     std::shared_ptr<const vas::Dataset> dataset;
-    std::unique_ptr<SampleCatalog::Builder> builder;
+    size_t rungs_total = 0;
+    /// Live build; shared so waiters can block without holding the
+    /// manager mutex. Null once the ladder is finalized.
+    std::shared_ptr<SampleCatalog::Builder> builder;
+    /// The finished ladder; null while spilled to disk.
+    std::shared_ptr<const SampleCatalog> catalog;
+    /// Spill file holding a current copy of the ladder (catalogs are
+    /// immutable once finished, so one write serves every eviction).
+    std::string spill_path;
+    bool spill_valid = false;
+    size_t bytes = 0;
+    uint64_t last_used = 0;
   };
 
-  /// Looks up the entry for `key`; null when absent.
-  const Entry* Find(const CatalogKey& key) const;
+  enum class WaitMode { kNone, kFirstRung, kAll };
 
+  /// Handle lookup; null when absent.
+  std::shared_ptr<Entry> FindEntry(const CatalogKey& key) const;
+
+  /// Resolves the entry to a servable snapshot per `mode`, finalizing a
+  /// finished build and reloading a spilled ladder as needed. Blocking
+  /// waits happen without the manager mutex held.
+  StatusOr<std::shared_ptr<const SampleCatalog>> Resolve(
+      const CatalogKey& key, const std::shared_ptr<Entry>& entry,
+      WaitMode mode) const;
+
+  /// Registers `entry` under `key`; InvalidArgument when taken.
+  Status Insert(const CatalogKey& key, std::shared_ptr<Entry> entry);
+
+  /// Moves a finished build's product into the entry. Idempotent across
+  /// racing callers; `builder` is the build the caller observed done.
+  /// An entry `Drop()`ed while the wait was in flight still receives
+  /// its ladder (handles keep serving) but is excluded from residency
+  /// accounting.
+  void Finalize(const CatalogKey& key, const std::shared_ptr<Entry>& entry,
+                const std::shared_ptr<SampleCatalog::Builder>& builder) const;
+
+  /// Marks `entry` most recently used. Caller holds mu_.
+  void TouchLocked(Entry& entry) const;
+
+  /// Spills LRU catalogs until the budget holds, never touching
+  /// `keep` or entries still building. Caller holds mu_. Spill-file
+  /// write failures stop eviction (dropping an unpersisted ladder
+  /// would lose it) — the budget is best-effort. Note the spill write
+  /// runs under the manager mutex, stalling other keys for the
+  /// write's duration — the deliberate price of keeping every state
+  /// transition on one lock (evictions are budget-pressure events,
+  /// not steady-state serving); off-lock spilling is future work.
+  void EnforceBudgetLocked(const Entry* keep) const;
+
+  /// Reads the entry's spill file back into memory. Caller holds mu_;
+  /// the disk read runs under the mutex, which serializes reloads
+  /// across keys — acceptable because reloads are cache misses, and it
+  /// keeps every state transition on one lock.
+  Status ReloadLocked(const CatalogKey& key, Entry& entry) const;
+
+  const Options options_;
+  /// Per-manager token so concurrent processes sharing a spill dir
+  /// cannot clobber each other's files.
+  const std::string spill_token_;
   // Declared before entries_ so builders (which wait for their tasks)
   // are destroyed before the pool the tasks run on.
   ThreadPool pool_;
   mutable std::mutex mu_;
-  std::map<CatalogKey, Entry> entries_;
+  std::map<CatalogKey, std::shared_ptr<Entry>> entries_;
+  mutable uint64_t use_clock_ = 0;
+  /// Makes spill paths unique even when distinct keys sanitize to the
+  /// same filename fragment.
+  mutable uint64_t spill_seq_ = 0;
+  mutable size_t resident_bytes_ = 0;
+  mutable size_t evictions_ = 0;
+  mutable size_t reloads_ = 0;
 };
 
 }  // namespace vas

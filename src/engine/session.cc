@@ -86,13 +86,25 @@ InteractiveSession::PlotResult InteractiveSession::RequestPlot(
   if (whole_domain) {
     full_matches = dataset_->size();
   } else {
-    for (const Point& p : dataset_->points) {
-      if (request.viewport.Contains(p)) ++full_matches;
-    }
+    full_matches = CountInViewport(request.viewport);
   }
   result.estimated_viz_seconds = model_.SecondsFor(result.tuples.size());
   result.estimated_full_viz_seconds = model_.SecondsFor(full_matches);
   return result;
+}
+
+size_t InteractiveSession::CountInViewport(const Rect& viewport) const {
+  if (dataset_->empty()) return 0;
+  std::call_once(count_grid_once_, [this]() {
+    // 64x64 mirrors the parallel sampler's census resolution: coarse
+    // enough to build in one cheap pass, fine enough that a zoom
+    // viewport touches few boundary cells.
+    auto grid =
+        std::make_unique<UniformGrid>(dataset_->Bounds(), 64, 64);
+    grid->Assign(dataset_->points);
+    count_grid_ = std::move(grid);
+  });
+  return count_grid_->CountInRect(viewport, dataset_->points);
 }
 
 }  // namespace vas

@@ -15,11 +15,13 @@
 #define VAS_ENGINE_SESSION_H_
 
 #include <memory>
+#include <mutex>
 
 #include "engine/catalog_manager.h"
 #include "engine/sample_catalog.h"
 #include "engine/table.h"
 #include "geom/rect.h"
+#include "index/uniform_grid.h"
 
 namespace vas {
 
@@ -72,11 +74,22 @@ class InteractiveSession {
   const Dataset& dataset() const { return *dataset_; }
 
  private:
+  /// Exact count of dataset points inside `viewport`, answered from the
+  /// session's count grid (built lazily on the first zoomed request)
+  /// instead of rescanning every point per plot.
+  size_t CountInViewport(const Rect& viewport) const;
+
   std::shared_ptr<const Dataset> dataset_;
   std::unique_ptr<SampleCatalog> owned_catalog_;
   CatalogManager* manager_ = nullptr;
   CatalogKey key_;
   VizTimeModel model_;
+
+  /// Cell-aggregate index over dataset_->points for viewport counting.
+  /// One O(n) build amortized across every plot of the session; guarded
+  /// by call_once so concurrent RequestPlot callers stay race-free.
+  mutable std::once_flag count_grid_once_;
+  mutable std::unique_ptr<UniformGrid> count_grid_;
 };
 
 }  // namespace vas

@@ -53,6 +53,40 @@ size_t UniformGrid::CountInCell(size_t cell) const {
   return PointsInCell(cell).size();
 }
 
+size_t UniformGrid::CountInRect(const Rect& rect,
+                                const std::vector<Point>& points) const {
+  VAS_CHECK_MSG(!cells_.empty(), "Assign() not called");
+  if (rect.empty()) return 0;
+  // CellOf clamps, so a rect reaching past the domain resolves to the
+  // border cells and the per-point checks below keep the count exact.
+  size_t lo = CellOf({rect.min_x, rect.min_y});
+  size_t hi = CellOf({rect.max_x, rect.max_y});
+  size_t ix0 = lo % nx_, iy0 = lo / nx_;
+  size_t ix1 = hi % nx_, iy1 = hi / nx_;
+  size_t count = 0;
+  for (size_t iy = iy0; iy <= iy1; ++iy) {
+    for (size_t ix = ix0; ix <= ix1; ++ix) {
+      size_t cell = iy * nx_ + ix;
+      // Border cells also hold points clamped in from outside the
+      // domain, so their geometric bounds say nothing about their
+      // contents — always scan them point by point.
+      bool border = ix == 0 || ix + 1 == nx_ || iy == 0 || iy + 1 == ny_;
+      Rect cb = CellBounds(cell);
+      bool covered = !border && rect.min_x <= cb.min_x &&
+                     cb.max_x <= rect.max_x && rect.min_y <= cb.min_y &&
+                     cb.max_y <= rect.max_y;
+      if (covered) {
+        count += cells_[cell].size();
+      } else {
+        for (size_t id : cells_[cell]) {
+          if (rect.Contains(points[id])) ++count;
+        }
+      }
+    }
+  }
+  return count;
+}
+
 size_t UniformGrid::NumOccupiedCells() const {
   VAS_CHECK_MSG(!cells_.empty(), "Assign() not called");
   size_t n = 0;

@@ -41,6 +41,14 @@ class UniformGrid {
   /// After Assign(): number of points in `cell`.
   size_t CountInCell(size_t cell) const;
 
+  /// After Assign(): exact number of `points` inside `rect`, answered
+  /// from cell aggregates — whole cells covered by `rect` contribute
+  /// their count, only boundary cells scan individual points. `points`
+  /// must be the vector Assign() indexed. O(cells in range + boundary
+  /// points) instead of O(n).
+  size_t CountInRect(const Rect& rect,
+                     const std::vector<Point>& points) const;
+
   /// After Assign(): number of non-empty cells.
   size_t NumOccupiedCells() const;
 

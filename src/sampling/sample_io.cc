@@ -3,72 +3,88 @@
 #include <cstdint>
 #include <fstream>
 
+#include "data/serial.h"
+
 namespace vas {
 
 namespace {
 constexpr uint64_t kSampleMagic = 0x5641530053414d50ULL;  // "VAS\0SAMP"
+constexpr size_t kMaxMethodLen = 4096;
 }  // namespace
+
+Status WriteSampleSetTo(std::ostream& out, const SampleSet& sample,
+                        const std::string& path) {
+  if (sample.has_density() && sample.density.size() != sample.ids.size()) {
+    return Status::FailedPrecondition(
+        "density column length does not match ids");
+  }
+  VAS_RETURN_IF_ERROR(WriteLengthPrefixedString(out, sample.method, path));
+  uint64_t n = sample.ids.size();
+  VAS_RETURN_IF_ERROR(WriteU64(out, n, path));
+  VAS_RETURN_IF_ERROR(WriteU64(out, sample.has_density() ? 1 : 0, path));
+  static_assert(sizeof(size_t) == sizeof(uint64_t),
+                "sample format assumes 64-bit size_t");
+  VAS_RETURN_IF_ERROR(
+      WriteRaw(out, sample.ids.data(), n * sizeof(uint64_t), path));
+  if (sample.has_density()) {
+    VAS_RETURN_IF_ERROR(
+        WriteRaw(out, sample.density.data(), n * sizeof(uint64_t), path));
+  }
+  return Status::OK();
+}
+
+StatusOr<SampleSet> ReadSampleSetFrom(std::istream& in,
+                                      const std::string& path) {
+  SampleSet sample;
+  auto method = ReadLengthPrefixedString(in, kMaxMethodLen, path);
+  if (!method.ok()) {
+    return Status::InvalidArgument("corrupt method field: " + path);
+  }
+  sample.method = std::move(*method);
+  VAS_ASSIGN_OR_RETURN(uint64_t n, ReadU64(in, path));
+  VAS_ASSIGN_OR_RETURN(uint64_t has_density, ReadU64(in, path));
+  if (has_density > 1) {
+    return Status::InvalidArgument("corrupt sample header: " + path);
+  }
+  // The id (and density) arrays must fit in the bytes actually left in
+  // the stream — a corrupt count must not drive a huge allocation.
+  VAS_ASSIGN_OR_RETURN(size_t remaining, RemainingBytes(in, path));
+  size_t max_elems = remaining / sizeof(uint64_t);
+  if (n > max_elems || (has_density && 2 * n > max_elems)) {
+    return Status::InvalidArgument("corrupt sample header: " + path);
+  }
+  sample.ids.resize(n);
+  VAS_RETURN_IF_ERROR(
+      ReadRaw(in, sample.ids.data(), n * sizeof(uint64_t), path));
+  if (has_density) {
+    sample.density.resize(n);
+    VAS_RETURN_IF_ERROR(
+        ReadRaw(in, sample.density.data(), n * sizeof(uint64_t), path));
+  }
+  return sample;
+}
 
 Status WriteSampleSet(const SampleSet& sample, const std::string& path) {
   if (sample.has_density() && sample.density.size() != sample.ids.size()) {
+    // Validate before opening: a rejected write must not have truncated
+    // a previously valid file at `path`.
     return Status::FailedPrecondition(
         "density column length does not match ids");
   }
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::IoError("cannot open for write: " + path);
-  uint64_t magic = kSampleMagic;
-  uint64_t method_len = sample.method.size();
-  uint64_t n = sample.ids.size();
-  uint64_t has_density = sample.has_density() ? 1 : 0;
-  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
-  out.write(reinterpret_cast<const char*>(&method_len), sizeof(method_len));
-  out.write(sample.method.data(),
-            static_cast<std::streamsize>(method_len));
-  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
-  out.write(reinterpret_cast<const char*>(&has_density),
-            sizeof(has_density));
-  static_assert(sizeof(size_t) == sizeof(uint64_t),
-                "sample format assumes 64-bit size_t");
-  out.write(reinterpret_cast<const char*>(sample.ids.data()),
-            static_cast<std::streamsize>(n * sizeof(uint64_t)));
-  if (has_density) {
-    out.write(reinterpret_cast<const char*>(sample.density.data()),
-              static_cast<std::streamsize>(n * sizeof(uint64_t)));
-  }
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::OK();
+  VAS_RETURN_IF_ERROR(WriteU64(out, kSampleMagic, path));
+  return WriteSampleSetTo(out, sample, path);
 }
 
 StatusOr<SampleSet> ReadSampleSet(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open for read: " + path);
-  uint64_t magic = 0, method_len = 0, n = 0, has_density = 0;
-  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-  if (!in || magic != kSampleMagic) {
+  auto magic = ReadU64(in, path);
+  if (!magic.ok() || *magic != kSampleMagic) {
     return Status::InvalidArgument("not a VAS sample file: " + path);
   }
-  in.read(reinterpret_cast<char*>(&method_len), sizeof(method_len));
-  if (!in || method_len > 4096) {
-    return Status::InvalidArgument("corrupt method field: " + path);
-  }
-  SampleSet sample;
-  sample.method.resize(method_len);
-  in.read(sample.method.data(), static_cast<std::streamsize>(method_len));
-  in.read(reinterpret_cast<char*>(&n), sizeof(n));
-  in.read(reinterpret_cast<char*>(&has_density), sizeof(has_density));
-  if (!in || has_density > 1) {
-    return Status::InvalidArgument("corrupt sample header: " + path);
-  }
-  sample.ids.resize(n);
-  in.read(reinterpret_cast<char*>(sample.ids.data()),
-          static_cast<std::streamsize>(n * sizeof(uint64_t)));
-  if (has_density) {
-    sample.density.resize(n);
-    in.read(reinterpret_cast<char*>(sample.density.data()),
-            static_cast<std::streamsize>(n * sizeof(uint64_t)));
-  }
-  if (!in) return Status::IoError("truncated sample file: " + path);
-  return sample;
+  return ReadSampleSetFrom(in, path);
 }
 
 Status ValidateSampleAgainst(const SampleSet& sample, size_t dataset_size) {

@@ -142,12 +142,21 @@ class StatusOr {
     if (!_vas_status.ok()) return _vas_status;      \
   } while (false)
 
+// Two-level paste so __LINE__ expands before concatenation — otherwise
+// every use shares the literal name `_vas_result___LINE__` and two uses
+// in one scope collide.
+#define VAS_STATUS_CONCAT_INNER(a, b) a##b
+#define VAS_STATUS_CONCAT(a, b) VAS_STATUS_CONCAT_INNER(a, b)
+
 /// Evaluates a StatusOr expression, propagating errors and otherwise
 /// assigning the value to `lhs`.
-#define VAS_ASSIGN_OR_RETURN(lhs, expr)             \
-  auto _vas_result_##__LINE__ = (expr);             \
-  if (!_vas_result_##__LINE__.ok())                 \
-    return _vas_result_##__LINE__.status();         \
-  lhs = std::move(_vas_result_##__LINE__).value()
+#define VAS_ASSIGN_OR_RETURN(lhs, expr) \
+  VAS_ASSIGN_OR_RETURN_IMPL(VAS_STATUS_CONCAT(_vas_result_, __LINE__), lhs, \
+                            expr)
+
+#define VAS_ASSIGN_OR_RETURN_IMPL(result, lhs, expr) \
+  auto result = (expr);                              \
+  if (!result.ok()) return result.status();          \
+  lhs = std::move(result).value()
 
 #endif  // VAS_UTIL_STATUS_H_

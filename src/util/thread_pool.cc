@@ -6,6 +6,13 @@
 
 namespace vas {
 
+namespace {
+/// The pool whose WorkerLoop owns the calling thread (null on non-pool
+/// threads). A worker thread belongs to exactly one pool for its whole
+/// life, so a plain thread_local pointer suffices.
+thread_local const ThreadPool* tls_worker_pool = nullptr;
+}  // namespace
+
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
@@ -17,6 +24,8 @@ ThreadPool::ThreadPool(size_t num_threads) {
 }
 
 ThreadPool::~ThreadPool() { Shutdown(); }
+
+bool ThreadPool::IsWorkerThread() const { return tls_worker_pool == this; }
 
 size_t ThreadPool::pending() const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -47,6 +56,7 @@ void ThreadPool::Shutdown() {
 }
 
 void ThreadPool::WorkerLoop() {
+  tls_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {

@@ -27,8 +27,10 @@ namespace vas {
 /// Deadlock note: a task running *on* the pool must not Submit() to the
 /// same pool and block on the returned future — with every worker busy
 /// waiting, the queued task can never start. Nested parallelism should
-/// use its own pool (ParallelInterchangeSampler does exactly that when
-/// given no external pool).
+/// either use its own pool or check IsWorkerThread() and run the nested
+/// work inline (ParallelInterchangeSampler does both: a private pool
+/// when given none, inline shards when invoked from a worker of the
+/// pool it was configured with).
 class ThreadPool {
  public:
   /// Starts `num_threads` workers; 0 means hardware concurrency.
@@ -41,6 +43,11 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   size_t num_threads() const { return workers_.size(); }
+
+  /// True when the calling thread is one of *this* pool's workers — the
+  /// re-entrancy probe for code that may run either on or off the pool
+  /// and must not queue-and-block onto itself.
+  bool IsWorkerThread() const;
 
   /// Tasks queued but not yet started (snapshot; racy by nature).
   size_t pending() const;

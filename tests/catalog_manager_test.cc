@@ -1,15 +1,21 @@
 // CatalogManager: the async catalog service — registration, status
-// polling, progressive serving through InteractiveSession, and the
-// headline property: over a 1M-point dataset the smallest rung is
-// servable (and served) while the largest rung is still building.
+// polling, progressive serving through InteractiveSession, the
+// headline property (over a 1M-point dataset the smallest rung is
+// servable while the largest is still building), and the persistence
+// lifecycle: save/load, memory-budget LRU eviction to spill files, and
+// transparent reload on the next access.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <future>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
+#include <vector>
 
+#include "core/parallel.h"
 #include "engine/catalog_manager.h"
 #include "engine/session.h"
 #include "sampling/uniform_sampler.h"
@@ -237,6 +243,321 @@ TEST(CatalogManagerTest, RejectsNullDataset) {
                    .StartBuild(CatalogKey{"t"}, nullptr, UniformFactory(7),
                                NoDensityLadder({10}))
                    .ok());
+}
+
+// ---------------------------------------------------------------------------
+// Persistence lifecycle: save, load, evict under budget, reload.
+
+TEST(CatalogManagerTest, SaveThenLoadServesIdenticalLadder) {
+  test::ScopedTempFile file("vas_manager_saved.vascat");
+  auto d = std::make_shared<Dataset>(test::Skewed(2000));
+  d->CacheBounds();
+  CatalogKey key{"geo", "x", "y"};
+
+  CatalogManager builder_side(2);
+  ASSERT_TRUE(builder_side
+                  .StartBuild(key, d, UniformFactory(9),
+                              NoDensityLadder({100, 800}))
+                  .ok());
+  ASSERT_TRUE(builder_side.SaveCatalog(key, file.path()).ok());
+  auto built = builder_side.WaitUntilDone(key);
+  ASSERT_TRUE(built.ok());
+
+  // A fresh manager (think: a restarted server) loads the file and
+  // serves the exact same ladder without rebuilding.
+  CatalogManager serving_side(1);
+  ASSERT_TRUE(serving_side.LoadCatalog(key, d, file.path()).ok());
+  auto loaded = serving_side.Snapshot(key);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ((*loaded)->samples().size(), (*built)->samples().size());
+  for (size_t r = 0; r < (*built)->samples().size(); ++r) {
+    EXPECT_EQ((*loaded)->samples()[r].ids, (*built)->samples()[r].ids);
+  }
+  auto status = serving_side.GetStatus(key);
+  ASSERT_TRUE(status.ok());
+  EXPECT_TRUE(status->done);
+  EXPECT_TRUE(status->resident);
+  EXPECT_EQ(status->rungs_total, 2u);
+}
+
+TEST(CatalogManagerTest, SaveCatalogOfUnknownKeyIsNotFound) {
+  CatalogManager manager(1);
+  EXPECT_EQ(manager.SaveCatalog(CatalogKey{"nope"}, "/tmp/x").code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(manager
+                .LoadCatalog(CatalogKey{"nope"}, nullptr,
+                             "/nonexistent/file.vascat")
+                .code(),
+            StatusCode::kIoError);
+}
+
+TEST(CatalogManagerTest, AddCatalogValidatesAgainstDataset) {
+  CatalogManager manager(1);
+  auto d = std::make_shared<Dataset>(test::Skewed(100));
+  SampleSet rung;
+  rung.method = "bogus";
+  rung.ids = {0, 5, 1000};  // 1000 is out of range for 100 rows
+  EXPECT_EQ(manager
+                .AddCatalog(CatalogKey{"t"}, d,
+                            SampleCatalog({rung}))
+                .code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(manager.AddCatalog(CatalogKey{"t"}, d, SampleCatalog({})).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CatalogManagerTest, EvictsLruUnderBudgetAndReloadsOnAccess) {
+  auto d = std::make_shared<Dataset>(test::Skewed(4000));
+  d->CacheBounds();
+  CatalogManager::Options options;
+  options.num_threads = 2;
+  // Roomy enough for one ~{100,800}-rung ladder, not for two.
+  options.memory_budget_bytes = 12 * 1024;
+  CatalogManager manager(options);
+
+  CatalogKey k1{"first"};
+  CatalogKey k2{"second"};
+  ASSERT_TRUE(manager
+                  .StartBuild(k1, d, UniformFactory(1),
+                              NoDensityLadder({100, 800}))
+                  .ok());
+  auto before = manager.WaitUntilDone(k1);
+  ASSERT_TRUE(before.ok());
+  std::vector<std::vector<size_t>> pre_evict_ids;
+  for (const SampleSet& s : (*before)->samples()) {
+    pre_evict_ids.push_back(s.ids);
+  }
+
+  ASSERT_TRUE(manager
+                  .StartBuild(k2, d, UniformFactory(2),
+                              NoDensityLadder({100, 800}))
+                  .ok());
+  ASSERT_TRUE(manager.WaitUntilDone(k2).ok());
+
+  // Finalizing k2 pushed the total over budget: k1 (least recently
+  // used) must have been spilled.
+  auto s1 = manager.GetStatus(k1);
+  auto s2 = manager.GetStatus(k2);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_FALSE(s1->resident);
+  EXPECT_TRUE(s2->resident);
+  auto stats = manager.memory_stats();
+  EXPECT_GE(stats.evictions, 1u);
+  EXPECT_LE(stats.resident_bytes, stats.budget_bytes);
+
+  // The next access reloads k1 transparently and serves the exact rung
+  // ids the pre-evict snapshot held.
+  auto after = manager.Snapshot(k1);
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ((*after)->samples().size(), pre_evict_ids.size());
+  for (size_t r = 0; r < pre_evict_ids.size(); ++r) {
+    EXPECT_EQ((*after)->samples()[r].ids, pre_evict_ids[r]);
+  }
+  EXPECT_GE(manager.memory_stats().reloads, 1u);
+}
+
+TEST(CatalogManagerTest, ManagerBackedSessionSurvivesEvictReloadCycle) {
+  auto d = std::make_shared<Dataset>(test::Skewed(3000));
+  d->CacheBounds();
+  CatalogManager::Options options;
+  options.num_threads = 1;
+  options.memory_budget_bytes = 12 * 1024;
+  CatalogManager manager(options);
+
+  CatalogKey key{"session"};
+  ASSERT_TRUE(manager
+                  .StartBuild(key, d, UniformFactory(3),
+                              NoDensityLadder({200, 1000}))
+                  .ok());
+  ASSERT_TRUE(manager.WaitUntilDone(key).ok());
+  InteractiveSession session(d, &manager, key, VizTimeModel{1e-6, 0.0});
+  InteractiveSession::PlotRequest req;
+  req.time_budget_seconds = 3600.0;
+  auto first = session.RequestPlot(req);
+  EXPECT_EQ(first.catalog_sample_size, 1000u);
+
+  // Force the session's ladder out of memory, then plot again: the
+  // session must transparently reload and serve identical tuples.
+  CatalogKey other{"other"};
+  ASSERT_TRUE(manager
+                  .StartBuild(other, d, UniformFactory(4),
+                              NoDensityLadder({200, 1000}))
+                  .ok());
+  ASSERT_TRUE(manager.WaitUntilDone(other).ok());
+  ASSERT_TRUE(manager.Snapshot(other).ok());  // touch: session key is LRU
+  auto evicted = manager.GetStatus(key);
+  ASSERT_TRUE(evicted.ok());
+  ASSERT_FALSE(evicted->resident);
+
+  auto again = session.RequestPlot(req);
+  EXPECT_EQ(again.catalog_sample_size, first.catalog_sample_size);
+  ASSERT_EQ(again.tuples.points.size(), first.tuples.points.size());
+  for (size_t i = 0; i < first.tuples.points.size(); ++i) {
+    EXPECT_EQ(again.tuples.points[i], first.tuples.points[i]);
+  }
+}
+
+TEST(CatalogManagerTest, ConcurrentSnapshotsDuringEvictionAreSafe) {
+  // Three catalogs under a budget that fits roughly one: every access
+  // can trigger an evict (of someone else) + reload. Hammer Snapshot
+  // from several threads; under TSan this also proves the transitions
+  // are race-free, and every caller must always see a complete ladder.
+  auto d = std::make_shared<Dataset>(test::Skewed(2000));
+  d->CacheBounds();
+  CatalogManager::Options options;
+  options.num_threads = 2;
+  options.memory_budget_bytes = 8 * 1024;
+  CatalogManager manager(options);
+
+  std::vector<CatalogKey> keys = {CatalogKey{"a"}, CatalogKey{"b"},
+                                  CatalogKey{"c"}};
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_TRUE(manager
+                    .StartBuild(keys[i], d, UniformFactory(10 + i),
+                                NoDensityLadder({100, 600}))
+                    .ok());
+    ASSERT_TRUE(manager.WaitUntilDone(keys[i]).ok());
+  }
+
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int i = 0; i < 50; ++i) {
+        const CatalogKey& key = keys[(t + i) % keys.size()];
+        auto snapshot = manager.Snapshot(key);
+        if (!snapshot.ok() || (*snapshot)->samples().size() != 2u) {
+          failed = true;
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_FALSE(failed.load());
+  auto stats = manager.memory_stats();
+  EXPECT_GE(stats.evictions, 1u);
+  EXPECT_GE(stats.reloads, 1u);
+}
+
+TEST(CatalogManagerTest, FinishedBuildsEnterAccountingWithoutAnyAccess) {
+  // The memory budget must see builds that finish but are never
+  // queried: a finalize task queued behind the rung tasks folds the
+  // ladder into the residency accounting on its own.
+  CatalogManager manager(1);
+  auto d = std::make_shared<Dataset>(test::Skewed(1000));
+  d->CacheBounds();
+  ASSERT_TRUE(manager
+                  .StartBuild(CatalogKey{"idle"}, d, UniformFactory(8),
+                              NoDensityLadder({100, 500}))
+                  .ok());
+  // No Snapshot/Wait* call anywhere: the accounting must still appear.
+  for (int i = 0; i < 500 && manager.memory_stats().resident_bytes == 0;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GT(manager.memory_stats().resident_bytes, 0u);
+  auto status = manager.GetStatus(CatalogKey{"idle"});
+  ASSERT_TRUE(status.ok());
+  EXPECT_TRUE(status->done);
+  EXPECT_TRUE(status->resident);
+  EXPECT_GT(status->memory_bytes, 0u);
+}
+
+TEST(CatalogManagerTest, CollidingSanitizedKeysSpillToDistinctFiles) {
+  // "t:1" and "t_1" flatten to the same filename fragment; the spill
+  // paths must still be distinct or the two ladders would overwrite
+  // each other on disk and reload each other's samples.
+  auto d = std::make_shared<Dataset>(test::Skewed(2000));
+  d->CacheBounds();
+  CatalogManager::Options options;
+  options.num_threads = 1;
+  options.memory_budget_bytes = 1;  // evict everything not in use
+  CatalogManager manager(options);
+
+  CatalogKey colon{"t:1"};
+  CatalogKey underscore{"t_1"};
+  ASSERT_TRUE(manager
+                  .StartBuild(colon, d, UniformFactory(21),
+                              NoDensityLadder({100, 400}))
+                  .ok());
+  ASSERT_TRUE(manager
+                  .StartBuild(underscore, d, UniformFactory(22),
+                              NoDensityLadder({100, 400}))
+                  .ok());
+  auto colon_before = manager.WaitUntilDone(colon);
+  auto underscore_before = manager.WaitUntilDone(underscore);
+  ASSERT_TRUE(colon_before.ok());
+  ASSERT_TRUE(underscore_before.ok());
+  // Different seeds: the two ladders genuinely differ.
+  ASSERT_NE((*colon_before)->samples()[0].ids,
+            (*underscore_before)->samples()[0].ids);
+
+  // Bounce both through spill + reload a few times; each must always
+  // come back with its own ids.
+  for (int round = 0; round < 3; ++round) {
+    auto colon_after = manager.Snapshot(colon);
+    ASSERT_TRUE(colon_after.ok());
+    EXPECT_EQ((*colon_after)->samples()[0].ids,
+              (*colon_before)->samples()[0].ids);
+    auto underscore_after = manager.Snapshot(underscore);
+    ASSERT_TRUE(underscore_after.ok());
+    EXPECT_EQ((*underscore_after)->samples()[0].ids,
+              (*underscore_before)->samples()[0].ids);
+  }
+  EXPECT_GE(manager.memory_stats().evictions, 2u);
+}
+
+TEST(CatalogManagerTest, DropUnregistersAndAllowsReRegistration) {
+  CatalogManager manager(1);
+  CatalogKey key{"geo"};
+  auto d = std::make_shared<Dataset>(test::Skewed(500));
+  d->CacheBounds();
+  ASSERT_TRUE(manager
+                  .StartBuild(key, d, UniformFactory(1),
+                              NoDensityLadder({50}))
+                  .ok());
+  ASSERT_TRUE(manager.WaitUntilDone(key).ok());
+  // A snapshot handed out before Drop stays valid afterwards.
+  auto held = manager.Snapshot(key);
+  ASSERT_TRUE(held.ok());
+  ASSERT_TRUE(manager.Drop(key).ok());
+  EXPECT_EQ(manager.Snapshot(key).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(manager.Drop(key).code(), StatusCode::kNotFound);
+  EXPECT_EQ((*held)->samples().size(), 1u);
+  // The key is free again.
+  EXPECT_TRUE(manager
+                  .StartBuild(key, d, UniformFactory(2),
+                              NoDensityLadder({50}))
+                  .ok());
+}
+
+// Regression for the pool re-entrancy deadlock: a rung build task runs
+// on the manager's pool and its sampler shards onto that same pool.
+// Before ParallelInterchangeSampler learned to run shards inline when
+// already on a worker, shards >= free workers deadlocked the build.
+TEST(CatalogManagerTest, RungBuildMayShardOntoTheManagersOwnPool) {
+  auto d = std::make_shared<Dataset>(test::Skewed(3000));
+  d->CacheBounds();
+  CatalogManager manager(1);  // one worker: zero free workers mid-rung
+  ParallelInterchangeSampler::Options popt;
+  popt.num_shards = 4;
+  popt.base.max_passes = 1;
+  popt.pool = &manager.pool();
+  SamplerFactory factory = [popt]() {
+    return std::make_unique<ParallelInterchangeSampler>(popt);
+  };
+  CatalogKey key{"sharded"};
+  ASSERT_TRUE(manager
+                  .StartBuild(key, d, std::move(factory),
+                              NoDensityLadder({64, 256}))
+                  .ok());
+  auto catalog = manager.WaitUntilDone(key);
+  ASSERT_TRUE(catalog.ok());
+  ASSERT_EQ((*catalog)->samples().size(), 2u);
+  EXPECT_EQ((*catalog)->samples()[0].size(), 64u);
+  EXPECT_EQ((*catalog)->samples()[1].size(), 256u);
 }
 
 }  // namespace

@@ -3,6 +3,8 @@
 // binary writer, and the CSV -> binary ingest pipeline vas_tool uses.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <vector>
 
@@ -179,6 +181,46 @@ TEST_F(DatasetStreamTest, IngestConvertsCsvToBinaryWithProgress) {
     EXPECT_DOUBLE_EQ(back->points[i].y, d.points[i].y);
     EXPECT_DOUBLE_EQ(back->values[i], d.values[i]);
   }
+}
+
+TEST_F(DatasetStreamTest, ValuelessCsvIngestsWithoutFabricatedValues) {
+  // Regression: 2-column CSVs used to stream a fabricated all-zero
+  // value column, so IngestToBinary stamped has_values=true and wrote 8
+  // bytes/row of zeros — poisoning every Dataset::has_values() consumer
+  // downstream and inflating the binary.
+  {
+    std::ofstream out(csv_.path());
+    out << "x,y\n";
+    for (int i = 0; i < 100; ++i) out << i << "," << 2 * i << "\n";
+  }
+  auto reader = CsvDatasetReader::Open(csv_.path(), 32);
+  ASSERT_TRUE(reader.ok());
+  auto stats = IngestToBinary(**reader, out_.path());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->rows, 100u);
+  EXPECT_FALSE(stats->has_values);
+  EXPECT_FALSE((*reader)->has_values());
+
+  // The binary holds header + points only: no trailing value section.
+  EXPECT_EQ(std::filesystem::file_size(out_.path()),
+            3 * sizeof(uint64_t) + 100 * sizeof(Point));
+  auto back = ReadBinary(out_.path());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->size(), 100u);
+  EXPECT_FALSE(back->has_values());
+  EXPECT_EQ(back->points[7], (Point{7, 14}));
+
+  // With a third column the value column is real, not defaulted.
+  {
+    std::ofstream out(csv_.path());
+    out << "x,y,value\n1,2,3\n4,5,6\n";
+  }
+  auto with_values = CsvDatasetReader::Open(csv_.path(), 32);
+  ASSERT_TRUE(with_values.ok());
+  auto d = MaterializeDataset(**with_values, "v");
+  ASSERT_TRUE(d.ok());
+  ASSERT_TRUE(d->has_values());
+  EXPECT_DOUBLE_EQ(d->values[1], 6.0);
 }
 
 TEST_F(DatasetStreamTest, CsvErrorsSurfaceMidStream) {

@@ -145,7 +145,33 @@ TEST_F(IoRoundTripTest, ReadCsvAcceptsTwoFieldRows) {
   ASSERT_TRUE(back.ok());
   ASSERT_EQ(back->size(), 2u);
   EXPECT_EQ(back->points[1], (Point{3.5, 4.5}));
-  EXPECT_DOUBLE_EQ(back->values[0], 0.0);  // missing value defaults to 0
+  // A 2-column CSV is value-less — no fabricated all-zero column.
+  EXPECT_FALSE(back->has_values());
+  EXPECT_DOUBLE_EQ(back->ValueAt(0), 0.0);
+}
+
+TEST_F(IoRoundTripTest, ValuelessCsvRoundTripPreservesHasValues) {
+  Dataset d;
+  d.name = "noval";
+  d.points = {{1, 2}, {3, 4}, {5, 6}};
+  ASSERT_TRUE(WriteCsv(d, path()).ok());
+  auto back = ReadCsv(path());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->points, d.points);
+  EXPECT_FALSE(back->has_values());
+}
+
+TEST_F(IoRoundTripTest, ReadCsvRejectsMidStreamColumnCountFlips) {
+  {
+    std::ofstream out(path());
+    out << "x,y\n1,2\n3,4,5\n";
+  }
+  EXPECT_FALSE(ReadCsv(path()).ok());
+  {
+    std::ofstream out(path());
+    out << "x,y,value\n1,2,3\n4,5\n";
+  }
+  EXPECT_FALSE(ReadCsv(path()).ok());
 }
 
 TEST_F(IoRoundTripTest, ReadCsvSkipsBlankLinesAndHeader) {

@@ -143,6 +143,39 @@ TEST(InteractiveSessionTest, ServesViewportFilteredSample) {
   }
 }
 
+TEST(InteractiveSessionTest, ViewportCountMatchesBruteForceRescan) {
+  // full_matches is now answered from the session's count grid instead
+  // of an O(n) rescan per plot; the grid-backed count must stay exact.
+  Dataset d = Skewed(8000);
+  UniformReservoirSampler sampler(2);
+  SampleCatalog::Options copt;
+  copt.ladder = {200};
+  copt.embed_density = false;
+  auto catalog = std::make_unique<SampleCatalog>(d, sampler, copt);
+  Dataset copy = d;  // session takes ownership; keep one for counting
+  InteractiveSession session(std::move(copy), std::move(catalog),
+                             VizTimeModel{1.0, 0.0});  // 1 s per point
+  Rect b = d.Bounds();
+  const Rect viewports[] = {
+      Rect::Of(b.min_x, b.min_y, b.Center().x, b.Center().y),
+      Rect::Of(b.Center().x, b.Center().y, b.max_x, b.max_y),
+      Rect::Of(b.min_x - 100, b.min_y - 100, b.min_x - 1, b.min_y - 1),
+      b.Inflated(10.0),
+  };
+  for (const Rect& viewport : viewports) {
+    InteractiveSession::PlotRequest req;
+    req.viewport = viewport;
+    size_t brute = 0;
+    for (const Point& p : d.points) {
+      if (viewport.Contains(p)) ++brute;
+    }
+    auto plot = session.RequestPlot(req);
+    // per_point_seconds = 1, overhead = 0: the estimate IS the count.
+    EXPECT_DOUBLE_EQ(plot.estimated_full_viz_seconds,
+                     static_cast<double>(brute));
+  }
+}
+
 TEST(InteractiveSessionTest, EmptyViewportIntersection) {
   Dataset d = Skewed(2000);
   UniformReservoirSampler sampler(1);

@@ -2,6 +2,8 @@
 // quality/validity parity with the single-threaded sampler.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <future>
 #include <numeric>
 #include <set>
 
@@ -133,6 +135,30 @@ TEST(ParallelSamplerTest, DeterministicAcrossRuns) {
   SampleSet a = ParallelInterchangeSampler(opt).Sample(d, 200);
   SampleSet b = ParallelInterchangeSampler(opt).Sample(d, 200);
   EXPECT_EQ(a.ids, b.ids);
+}
+
+TEST(ParallelSamplerTest, SharedPoolFromWithinPoolTaskDoesNotDeadlock) {
+  // Regression: Sample() used to queue one task per shard and block on
+  // the futures. Invoked *from* a task of the same pool (the async
+  // catalog builder does exactly this when the rung sampler shares the
+  // build pool), the blocked worker starved its own shard tasks and the
+  // whole pool deadlocked once shards >= free workers. Shards now run
+  // inline in that situation — and must produce the identical sample.
+  Dataset d = test::Skewed(20000);
+  ThreadPool pool(1);  // one worker: zero free workers inside the task
+
+  ParallelInterchangeSampler::Options opt;
+  opt.num_shards = 4;
+  opt.base.max_passes = 1;
+  SampleSet outside = ParallelInterchangeSampler(opt).Sample(d, 100);
+
+  opt.pool = &pool;
+  auto inside = pool.Submit(
+      [&]() { return ParallelInterchangeSampler(opt).Sample(d, 100); });
+  ASSERT_EQ(inside.wait_for(std::chrono::seconds(60)),
+            std::future_status::ready);
+  SampleSet from_task = inside.get();
+  EXPECT_EQ(from_task.ids, outside.ids);  // sharding is deterministic
 }
 
 TEST(ParallelSamplerTest, EdgeCases) {

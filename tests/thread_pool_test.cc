@@ -83,6 +83,26 @@ TEST(ThreadPoolTest, TasksRunConcurrentlyAcrossWorkers) {
             std::future_status::ready);
 }
 
+TEST(ThreadPoolTest, IsWorkerThreadIdentifiesOwnPoolOnly) {
+  ThreadPool pool(2);
+  ThreadPool other(1);
+  EXPECT_FALSE(pool.IsWorkerThread());  // caller is not a worker
+  // A task sees itself on its own pool and only that pool.
+  auto f = pool.Submit([&]() {
+    return pool.IsWorkerThread() && !other.IsWorkerThread();
+  });
+  EXPECT_TRUE(f.get());
+  // Nested: a task on `other` submitting to `pool` is not a `pool`
+  // worker, so queue-and-wait across distinct pools stays legal.
+  auto nested = other.Submit([&]() {
+    bool on_other = other.IsWorkerThread();
+    bool on_pool = pool.IsWorkerThread();
+    auto inner = pool.Submit([&]() { return pool.IsWorkerThread(); });
+    return on_other && !on_pool && inner.get();
+  });
+  EXPECT_TRUE(nested.get());
+}
+
 TEST(ThreadPoolTest, PropagatesTaskExceptionsThroughFuture) {
   ThreadPool pool(1);
   auto f = pool.Submit([]() -> int { throw std::runtime_error("boom"); });

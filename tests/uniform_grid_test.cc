@@ -92,6 +92,46 @@ TEST(UniformGridTest, AsymmetricGridShape) {
   EXPECT_EQ(grid.CellOf({3.5, 1.5}), 13u);
 }
 
+TEST(UniformGridTest, CountInRectMatchesBruteForce) {
+  // The cell-aggregate count must be exactly the brute-force count for
+  // arbitrary query rectangles — including ones poking past the domain
+  // and ones smaller than a single cell.
+  Rng rng(99);
+  std::vector<Point> points;
+  points.reserve(5000);
+  for (int i = 0; i < 5000; ++i) {
+    points.push_back({rng.Uniform(-3, 7), rng.Uniform(0, 10)});
+  }
+  UniformGrid grid(Rect::Of(-3, 0, 7, 10), 16, 16);
+  grid.Assign(points);
+
+  for (int q = 0; q < 200; ++q) {
+    double x0 = rng.Uniform(-5, 9), x1 = rng.Uniform(-5, 9);
+    double y0 = rng.Uniform(-2, 12), y1 = rng.Uniform(-2, 12);
+    Rect rect = Rect::Of(std::min(x0, x1), std::min(y0, y1),
+                         std::max(x0, x1), std::max(y0, y1));
+    size_t brute = 0;
+    for (const Point& p : points) {
+      if (rect.Contains(p)) ++brute;
+    }
+    EXPECT_EQ(grid.CountInRect(rect, points), brute);
+  }
+}
+
+TEST(UniformGridTest, CountInRectEdgeCases) {
+  std::vector<Point> points = {{0, 0}, {5, 5}, {10, 10}, {20, 20}};
+  UniformGrid grid(Rect::Of(0, 0, 10, 10), 4, 4);
+  grid.Assign(points);  // (20,20) clamps into the far corner cell
+  // Empty rect matches nothing.
+  EXPECT_EQ(grid.CountInRect(Rect{}, points), 0u);
+  // The whole domain still excludes the clamped outside point.
+  EXPECT_EQ(grid.CountInRect(Rect::Of(0, 0, 10, 10), points), 3u);
+  // A rect past the domain picks the outside point up.
+  EXPECT_EQ(grid.CountInRect(Rect::Of(0, 0, 30, 30), points), 4u);
+  // Degenerate rect exactly on one point.
+  EXPECT_EQ(grid.CountInRect(Rect::Of(5, 5, 5, 5), points), 1u);
+}
+
 TEST(UniformGridTest, DensestCell) {
   std::vector<Point> pts;
   for (int i = 0; i < 50; ++i) pts.push_back({0.5, 0.5});  // all in cell 0

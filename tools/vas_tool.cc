@@ -4,7 +4,11 @@
 //   vas_tool generate      --kind=geolife --n=1000000 --out=data.csv
 //   vas_tool ingest        --in=data.csv --out=data.bin
 //   vas_tool build-catalog --in=data.bin --ladder=1000,10000,100000
-//                          --out=catalog
+//                          --out=catalog --catalog-out=catalog.vascat
+//                          --memory-budget=268435456
+//   vas_tool save-catalog  --in=data.bin --ladder=1000,10000,100000
+//                          --out=catalog.vascat
+//   vas_tool load-catalog  --in=data.bin --catalog=catalog.vascat
 //   vas_tool sample        --in=data.csv --k=10000 --method=vas
 //                          --density=true --out=sample.bin
 //   vas_tool render        --in=data.csv --sample=sample.bin --out=plot.ppm
@@ -14,9 +18,13 @@
 // `ingest` streams arbitrarily large CSVs into the binary format with
 // bounded memory; `build-catalog` runs the offline sample-ladder build
 // asynchronously, polling status so each rung is reported (and
-// servable) the moment it lands. Samples persist in the library's
-// binary format (see sampling/sample_io.h) so an offline build can be
-// reused across sessions, exactly like an index.
+// servable) the moment it lands, optionally under a serving memory
+// budget that spills cold catalogs to disk. `save-catalog` persists the
+// whole ladder into one catalog file (see engine/catalog_io.h) and
+// `load-catalog` serves from such a file at disk-load cost instead of
+// rebuild cost — the full persist → evict → serve lifecycle without
+// writing C++. Individual samples persist in the library's binary
+// format (see sampling/sample_io.h), exactly like an index.
 #include <chrono>
 #include <cstdio>
 #include <memory>
@@ -28,6 +36,7 @@
 #include "data/dataset_io.h"
 #include "data/dataset_stream.h"
 #include "engine/catalog_manager.h"
+#include "engine/session.h"
 #include "render/scatter_renderer.h"
 #include "util/flags.h"
 #include "util/stopwatch.h"
@@ -213,8 +222,29 @@ int CmdIngest(FlagSet& flags, int argc, char** argv) {
   return 0;
 }
 
-int CmdBuildCatalog(FlagSet& flags, int argc, char** argv) {
-  flags.Define("in", "data.bin", "input dataset (.csv or .bin)");
+/// Parses the shared --ladder/--method/--density/--passes/--budget
+/// build flags into catalog options and a sampler factory.
+Status ParseBuildFlags(const FlagSet& flags, SampleCatalog::Options* copt,
+                       SamplerFactory* factory) {
+  copt->ladder.clear();
+  for (const std::string& field : Split(flags.GetString("ladder"), ',')) {
+    auto k = ParseInt64(StripWhitespace(field));
+    if (!k.ok()) return k.status();
+    if (*k <= 0) {
+      return Status::InvalidArgument("ladder rungs must be positive");
+    }
+    copt->ladder.push_back(static_cast<size_t>(*k));
+  }
+  copt->embed_density = flags.GetBool("density");
+  InterchangeSampler::Options vopt;
+  vopt.max_passes = static_cast<size_t>(flags.GetInt("passes"));
+  vopt.time_budget_seconds = flags.GetDouble("budget");
+  VAS_ASSIGN_OR_RETURN(*factory,
+                       MakeSamplerFactory(flags.GetString("method"), vopt));
+  return Status::OK();
+}
+
+void DefineBuildFlags(FlagSet& flags) {
   flags.Define("ladder", "1000,10000,100000",
                "comma-separated rung sizes, ascending");
   flags.Define("method", "vas",
@@ -223,38 +253,40 @@ int CmdBuildCatalog(FlagSet& flags, int argc, char** argv) {
   flags.Define("passes", "4", "vas: max streaming passes");
   flags.Define("budget", "0", "vas: per-rung time budget in seconds");
   flags.Define("threads", "0", "build workers (0 = hardware concurrency)");
+}
+
+int CmdBuildCatalog(FlagSet& flags, int argc, char** argv) {
+  flags.Define("in", "data.bin", "input dataset (.csv or .bin)");
+  DefineBuildFlags(flags);
   flags.Define("poll-ms", "200", "status poll interval while building");
+  flags.Define("memory-budget", "0",
+               "serving memory budget in bytes (0 = unlimited; cold "
+               "catalogs spill to disk)");
   flags.Define("out", "catalog",
                "rung file prefix (writes <out>_k<size>.bin; empty = skip)");
+  flags.Define("catalog-out", "",
+               "also write the whole ladder to one catalog file");
   VAS_RETURN_IF_ERROR_INT(flags.Parse(argc, argv));
 
   SampleCatalog::Options copt;
-  copt.ladder.clear();
-  for (const std::string& field : Split(flags.GetString("ladder"), ',')) {
-    auto k = ParseInt64(StripWhitespace(field));
-    if (!k.ok()) return Fail(k.status());
-    if (*k <= 0) {
-      return Fail(Status::InvalidArgument("ladder rungs must be positive"));
-    }
-    copt.ladder.push_back(static_cast<size_t>(*k));
-  }
-  copt.embed_density = flags.GetBool("density");
-  InterchangeSampler::Options vopt;
-  vopt.max_passes = static_cast<size_t>(flags.GetInt("passes"));
-  vopt.time_budget_seconds = flags.GetDouble("budget");
-  auto factory = MakeSamplerFactory(flags.GetString("method"), vopt);
-  if (!factory.ok()) return Fail(factory.status());
+  SamplerFactory factory;
+  Status parsed = ParseBuildFlags(flags, &copt, &factory);
+  if (!parsed.ok()) return Fail(parsed);
 
   auto loaded = LoadInput(flags.GetString("in"));
   if (!loaded.ok()) return Fail(loaded.status());
   auto dataset = std::make_shared<Dataset>(std::move(*loaded));
   dataset->CacheBounds();  // the build shares one dataset across workers
 
-  CatalogManager manager(static_cast<size_t>(flags.GetInt("threads")));
+  CatalogManager::Options mopt;
+  mopt.num_threads = static_cast<size_t>(flags.GetInt("threads"));
+  mopt.memory_budget_bytes =
+      static_cast<size_t>(flags.GetInt("memory-budget"));
+  CatalogManager manager(mopt);
   CatalogKey key{flags.GetString("in"), "x", "y"};
   Stopwatch watch;
   Status started =
-      manager.StartBuild(key, dataset, std::move(*factory), copt);
+      manager.StartBuild(key, dataset, std::move(factory), copt);
   if (!started.ok()) return Fail(started);
 
   auto first = manager.WaitForFirstRung(key);
@@ -292,6 +324,100 @@ int CmdBuildCatalog(FlagSet& flags, int argc, char** argv) {
                   path.c_str());
     }
   }
+  std::string catalog_out = flags.GetString("catalog-out");
+  if (!catalog_out.empty()) {
+    Status s = manager.SaveCatalog(key, catalog_out);
+    if (!s.ok()) return Fail(s);
+    std::printf("wrote %zu-rung catalog -> %s\n",
+                (*catalog)->samples().size(), catalog_out.c_str());
+  }
+  auto stats = manager.memory_stats();
+  if (stats.budget_bytes > 0) {
+    std::printf(
+        "memory: %zu bytes resident of %zu budget (%zu evictions)\n",
+        stats.resident_bytes, stats.budget_bytes, stats.evictions);
+  }
+  return 0;
+}
+
+int CmdSaveCatalog(FlagSet& flags, int argc, char** argv) {
+  flags.Define("in", "data.bin", "input dataset (.csv or .bin)");
+  DefineBuildFlags(flags);
+  flags.Define("out", "catalog.vascat", "output catalog file");
+  VAS_RETURN_IF_ERROR_INT(flags.Parse(argc, argv));
+
+  SampleCatalog::Options copt;
+  SamplerFactory factory;
+  Status parsed = ParseBuildFlags(flags, &copt, &factory);
+  if (!parsed.ok()) return Fail(parsed);
+
+  auto loaded = LoadInput(flags.GetString("in"));
+  if (!loaded.ok()) return Fail(loaded.status());
+  auto dataset = std::make_shared<Dataset>(std::move(*loaded));
+  dataset->CacheBounds();
+
+  CatalogManager manager(static_cast<size_t>(flags.GetInt("threads")));
+  CatalogKey key{flags.GetString("in"), "x", "y"};
+  Stopwatch watch;
+  Status started = manager.StartBuild(key, dataset, std::move(factory), copt);
+  if (!started.ok()) return Fail(started);
+  Status saved = manager.SaveCatalog(key, flags.GetString("out"));
+  if (!saved.ok()) return Fail(saved);
+  auto status = manager.GetStatus(key);
+  if (!status.ok()) return Fail(status.status());
+  std::printf(
+      "built and saved %zu-rung catalog for %s in %.2fs -> %s (%zu bytes "
+      "resident)\n",
+      status->rungs_total, key.ToString().c_str(), watch.ElapsedSeconds(),
+      flags.GetString("out").c_str(), status->memory_bytes);
+  return 0;
+}
+
+int CmdLoadCatalog(FlagSet& flags, int argc, char** argv) {
+  flags.Define("in", "data.bin", "dataset the catalog was built from");
+  flags.Define("catalog", "catalog.vascat", "catalog file to load");
+  flags.Define("time-budget", "2.0",
+               "interactivity budget for the demo plot (seconds)");
+  VAS_RETURN_IF_ERROR_INT(flags.Parse(argc, argv));
+
+  auto loaded = LoadInput(flags.GetString("in"));
+  if (!loaded.ok()) return Fail(loaded.status());
+  auto dataset = std::make_shared<Dataset>(std::move(*loaded));
+  dataset->CacheBounds();
+
+  CatalogManager manager(1);
+  CatalogKey key{flags.GetString("in"), "x", "y"};
+  Stopwatch watch;
+  Status added =
+      manager.LoadCatalog(key, dataset, flags.GetString("catalog"));
+  if (!added.ok()) return Fail(added);
+  double load_secs = watch.ElapsedSeconds();
+
+  auto snapshot = manager.Snapshot(key);
+  if (!snapshot.ok()) return Fail(snapshot.status());
+  std::printf("loaded %zu-rung catalog for %s in %.3fs:\n",
+              (*snapshot)->samples().size(), key.ToString().c_str(),
+              load_secs);
+  for (const SampleSet& rung : (*snapshot)->samples()) {
+    std::printf("  %s rung: %zu points, density %s\n", rung.method.c_str(),
+                rung.size(), rung.has_density() ? "yes" : "no");
+  }
+
+  // Serve one whole-domain plot to prove the loaded ladder answers
+  // requests — no rebuild happened anywhere on this path.
+  InteractiveSession session(dataset, &manager, key,
+                             VizTimeModel::Tableau());
+  InteractiveSession::PlotRequest request;
+  request.time_budget_seconds = flags.GetDouble("time-budget");
+  watch.Restart();
+  auto plot = session.RequestPlot(request);
+  std::printf(
+      "served %zu of %s tuples in %.3fs (est. viz %.2fs vs %.2fs "
+      "unsampled)\n",
+      plot.tuples.size(),
+      FormatWithCommas(static_cast<int64_t>(dataset->size())).c_str(),
+      watch.ElapsedSeconds(), plot.estimated_viz_seconds,
+      plot.estimated_full_viz_seconds);
   return 0;
 }
 
@@ -390,8 +516,8 @@ int CmdInfo(FlagSet& flags, int argc, char** argv) {
 int Main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: %s <generate|ingest|build-catalog|sample|render|"
-                 "loss|info> [flags]\n",
+                 "usage: %s <generate|ingest|build-catalog|save-catalog|"
+                 "load-catalog|sample|render|loss|info> [flags]\n",
                  argv[0]);
     return 1;
   }
@@ -404,6 +530,12 @@ int Main(int argc, char** argv) {
   if (cmd == "ingest") return CmdIngest(flags, sub_argc, sub_argv);
   if (cmd == "build-catalog") {
     return CmdBuildCatalog(flags, sub_argc, sub_argv);
+  }
+  if (cmd == "save-catalog") {
+    return CmdSaveCatalog(flags, sub_argc, sub_argv);
+  }
+  if (cmd == "load-catalog") {
+    return CmdLoadCatalog(flags, sub_argc, sub_argv);
   }
   if (cmd == "sample") return CmdSample(flags, sub_argc, sub_argv);
   if (cmd == "render") return CmdRender(flags, sub_argc, sub_argv);
