@@ -49,11 +49,12 @@ std::string SanitizeForFilename(const std::string& name) {
 }  // namespace
 
 CatalogManager::CatalogManager(size_t num_threads)
-    : CatalogManager(Options{num_threads, 0, std::string()}) {}
+    : CatalogManager(Options{num_threads, 0, std::string(), nullptr}) {}
 
 CatalogManager::CatalogManager(const Options& options)
     : options_(Options{options.num_threads, options.memory_budget_bytes,
-                       ResolveSpillDir(options.spill_dir)}),
+                       ResolveSpillDir(options.spill_dir),
+                       options.on_rung_ready}),
       spill_token_(MakeSpillToken()),
       pool_(options.num_threads) {}
 
@@ -89,9 +90,16 @@ Status CatalogManager::StartBuild(const CatalogKey& key,
   }
   auto entry = std::make_shared<Entry>();
   entry->dataset = dataset;
+  SampleCatalog::Builder::RungCallback on_rung;
+  if (options_.on_rung_ready != nullptr) {
+    on_rung = [callback = options_.on_rung_ready, key](size_t ready,
+                                                       size_t total) {
+      callback(key, ready, total);
+    };
+  }
   entry->builder = std::make_shared<SampleCatalog::Builder>(
       std::move(dataset), std::move(sampler_factory), std::move(options),
-      &pool_);
+      &pool_, std::move(on_rung));
   entry->rungs_total = entry->builder->rungs_total();
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -128,10 +136,14 @@ Status CatalogManager::AddCatalog(const CatalogKey& key,
   entry->rungs_total = catalog.samples().size();
   entry->catalog = std::make_shared<const SampleCatalog>(std::move(catalog));
   entry->bytes = CatalogMemoryBytes(*entry->catalog);
-  std::lock_guard<std::mutex> lock(mu_);
-  VAS_RETURN_IF_ERROR(Insert(key, entry));
-  resident_bytes_ += entry->bytes;
-  EnforceBudgetLocked(entry.get());
+  std::vector<SpillJob> spills;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    VAS_RETURN_IF_ERROR(Insert(key, entry));
+    resident_bytes_ += entry->bytes;
+    EnforceBudgetLocked(entry.get(), &spills);
+  }
+  PerformSpills(std::move(spills));
   return Status::OK();
 }
 
@@ -185,51 +197,90 @@ void CatalogManager::TouchLocked(Entry& entry) const {
   entry.last_used = ++use_clock_;
 }
 
-void CatalogManager::EnforceBudgetLocked(const Entry* keep) const {
+void CatalogManager::EnforceBudgetLocked(const Entry* keep,
+                                         std::vector<SpillJob>* jobs) const {
   if (options_.memory_budget_bytes == 0) return;
-  while (resident_bytes_ > options_.memory_budget_bytes) {
-    Entry* victim = nullptr;
+  // Entries already spilling (here or on another thread) are as good as
+  // evicted — count them out of the projected residency so this pass
+  // queues only the additional evictions actually needed.
+  size_t pending = 0;
+  for (const auto& [key, entry] : entries_) {
+    if (entry->spilling) pending += entry->bytes;
+  }
+  while (resident_bytes_ - pending > options_.memory_budget_bytes) {
+    std::shared_ptr<Entry> victim;
     const CatalogKey* victim_key = nullptr;
     for (const auto& [key, entry] : entries_) {
       if (entry.get() == keep || entry->builder != nullptr ||
-          entry->catalog == nullptr) {
+          entry->catalog == nullptr || entry->spilling) {
         continue;
       }
       if (victim == nullptr || entry->last_used < victim->last_used) {
-        victim = entry.get();
+        victim = entry;
         victim_key = &key;
       }
     }
     if (victim == nullptr) return;  // nothing evictable; budget best-effort
-    if (!victim->spill_valid) {
-      if (victim->spill_path.empty()) {
-        // The sequence number keeps the path unique even when distinct
-        // keys sanitize to the same name ("t:1" and "t_1" both flatten
-        // to "t_1"); the sanitized key is readability only.
-        victim->spill_path =
-            options_.spill_dir + "/vas_spill_" + spill_token_ + "_" +
-            std::to_string(++spill_seq_) + "_" +
-            SanitizeForFilename(victim_key->ToString()) + ".vascat";
-      }
-      Status spilled = WriteCatalog(*victim->catalog, victim->spill_path);
-      if (!spilled.ok()) {
-        // Dropping an unpersisted ladder would lose it for good; keep it
-        // resident and stop evicting.
-        VAS_LOG(WARN) << "catalog spill failed for "
-                      << victim_key->ToString() << ": "
-                      << spilled.ToString();
-        return;
-      }
-      victim->spill_valid = true;
+    if (victim->spill_valid) {
+      // The spill file is already current: evict without touching disk.
+      victim->catalog = nullptr;
+      resident_bytes_ -= victim->bytes;
+      ++evictions_;
+      continue;
     }
-    victim->catalog = nullptr;
-    resident_bytes_ -= victim->bytes;
-    ++evictions_;
+    if (victim->spill_path.empty()) {
+      // The sequence number keeps the path unique even when distinct
+      // keys sanitize to the same name ("t:1" and "t_1" both flatten
+      // to "t_1"); the sanitized key is readability only.
+      victim->spill_path =
+          options_.spill_dir + "/vas_spill_" + spill_token_ + "_" +
+          std::to_string(++spill_seq_) + "_" +
+          SanitizeForFilename(victim_key->ToString()) + ".vascat";
+    }
+    // The write itself happens off-lock (PerformSpills); until it
+    // completes the ladder stays resident and servable.
+    victim->spilling = true;
+    pending += victim->bytes;
+    jobs->push_back(
+        SpillJob{*victim_key, victim, victim->catalog, victim->spill_path});
   }
 }
 
-Status CatalogManager::ReloadLocked(const CatalogKey& key,
-                                    Entry& entry) const {
+void CatalogManager::PerformSpills(std::vector<SpillJob> jobs) const {
+  for (SpillJob& job : jobs) {
+    // The expensive serialization runs with no manager lock held, so
+    // other keys' snapshots, builds, and reloads proceed concurrently.
+    Status written = WriteCatalog(*job.catalog, job.path);
+    bool mapped = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job.entry->spilling = false;
+      auto it = entries_.find(job.key);
+      mapped = it != entries_.end() && it->second == job.entry;
+      if (written.ok() && mapped) {
+        job.entry->spill_valid = true;
+        if (job.entry->catalog != nullptr) {
+          job.entry->catalog = nullptr;
+          resident_bytes_ -= job.entry->bytes;
+          ++evictions_;
+        }
+      }
+    }
+    if (!written.ok()) {
+      // Dropping an unpersisted ladder would lose it for good; it stays
+      // resident and the budget is best-effort.
+      VAS_LOG(WARN) << "catalog spill failed for " << job.key.ToString()
+                    << ": " << written.ToString();
+    } else if (!mapped) {
+      // Drop() raced the write and already deleted its spill path; the
+      // file just created would otherwise leak.
+      std::remove(job.path.c_str());
+    }
+  }
+}
+
+Status CatalogManager::ReloadLocked(const CatalogKey& key, Entry& entry,
+                                    std::vector<SpillJob>* jobs) const {
   if (!entry.spill_valid) {
     return Status::Internal("catalog neither resident nor spilled: " +
                             key.ToString());
@@ -246,7 +297,7 @@ Status CatalogManager::ReloadLocked(const CatalogKey& key,
   entry.bytes = CatalogMemoryBytes(*entry.catalog);
   resident_bytes_ += entry.bytes;
   ++reloads_;
-  EnforceBudgetLocked(&entry);
+  EnforceBudgetLocked(&entry, jobs);
   return Status::OK();
 }
 
@@ -256,20 +307,24 @@ void CatalogManager::Finalize(
   // Wait() returns immediately — the caller observed done() — and
   // yields the builder's final published snapshot.
   std::shared_ptr<const SampleCatalog> catalog = builder->Wait();
-  std::lock_guard<std::mutex> lock(mu_);
-  if (entry->builder != builder) return;  // a racing caller finalized
-  entry->builder = nullptr;
-  entry->catalog = std::move(catalog);
-  entry->bytes = CatalogMemoryBytes(*entry->catalog);
-  // A concurrent Drop() may have unmapped the entry while we waited;
-  // its handle still serves the finished ladder to in-flight callers,
-  // but a ghost entry must not enter the residency accounting (the
-  // bytes could never be evicted back out).
-  auto it = entries_.find(key);
-  if (it == entries_.end() || it->second != entry) return;
-  resident_bytes_ += entry->bytes;
-  TouchLocked(*entry);
-  EnforceBudgetLocked(entry.get());
+  std::vector<SpillJob> spills;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (entry->builder != builder) return;  // a racing caller finalized
+    entry->builder = nullptr;
+    entry->catalog = std::move(catalog);
+    entry->bytes = CatalogMemoryBytes(*entry->catalog);
+    // A concurrent Drop() may have unmapped the entry while we waited;
+    // its handle still serves the finished ladder to in-flight callers,
+    // but a ghost entry must not enter the residency accounting (the
+    // bytes could never be evicted back out).
+    auto it = entries_.find(key);
+    if (it == entries_.end() || it->second != entry) return;
+    resident_bytes_ += entry->bytes;
+    TouchLocked(*entry);
+    EnforceBudgetLocked(entry.get(), &spills);
+  }
+  PerformSpills(std::move(spills));
 }
 
 StatusOr<std::shared_ptr<const SampleCatalog>> CatalogManager::Resolve(
@@ -277,6 +332,10 @@ StatusOr<std::shared_ptr<const SampleCatalog>> CatalogManager::Resolve(
     WaitMode mode) const {
   for (;;) {
     std::shared_ptr<SampleCatalog::Builder> builder;
+    std::vector<SpillJob> spills;
+    bool finalized = false;
+    StatusOr<std::shared_ptr<const SampleCatalog>> resolved(
+        Status::Internal("unresolved"));
     {
       std::lock_guard<std::mutex> lock(mu_);
       builder = entry->builder;
@@ -287,18 +346,30 @@ StatusOr<std::shared_ptr<const SampleCatalog>> CatalogManager::Resolve(
         // in-memory ladder to this in-flight handle, but is gone once
         // spilled (Drop deleted the spill file) and never re-enters
         // the LRU accounting.
+        finalized = true;
         auto it = entries_.find(key);
         bool mapped = it != entries_.end() && it->second == entry;
-        if (entry->catalog == nullptr) {
-          if (!mapped) {
-            return Status::NotFound("no catalog registered: " +
-                                    key.ToString());
+        if (entry->catalog == nullptr && !mapped) {
+          resolved = Status::NotFound("no catalog registered: " +
+                                      key.ToString());
+        } else {
+          Status reloaded = entry->catalog == nullptr
+                                ? ReloadLocked(key, *entry, &spills)
+                                : Status::OK();
+          if (!reloaded.ok()) {
+            resolved = reloaded;
+          } else {
+            if (mapped) TouchLocked(*entry);
+            resolved = entry->catalog;
           }
-          VAS_RETURN_IF_ERROR(ReloadLocked(key, *entry));
         }
-        if (mapped) TouchLocked(*entry);
-        return entry->catalog;
       }
+    }
+    if (finalized) {
+      // Evictions the reload displaced are written only after the lock
+      // is released — the whole point of off-lock spilling.
+      PerformSpills(std::move(spills));
+      return resolved;
     }
     // Build in flight: wait (or peek) against the builder with no
     // manager lock held, so other keys keep serving.

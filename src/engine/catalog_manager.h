@@ -15,6 +15,7 @@
 #ifndef VAS_ENGINE_CATALOG_MANAGER_H_
 #define VAS_ENGINE_CATALOG_MANAGER_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -52,6 +53,15 @@ struct CatalogKey {
 /// rung task has finished, then deletes the spill files it created.
 class CatalogManager {
  public:
+  /// Invoked after each rung of a StartBuild() ladder lands, from the
+  /// worker that built it, with no manager lock held. Ready counts may
+  /// arrive out of order when rungs finish concurrently; treat a call
+  /// as "a (usually larger) rung is now servable for this key" — the
+  /// hook a serving layer uses to invalidate per-key render caches so
+  /// progressive refinement reaches clients.
+  using RungCallback = std::function<void(
+      const CatalogKey& key, size_t rungs_ready, size_t rungs_total)>;
+
   struct Options {
     /// Build pool size; 0 = hardware concurrency.
     size_t num_threads = 0;
@@ -63,6 +73,9 @@ class CatalogManager {
     size_t memory_budget_bytes = 0;
     /// Directory for spill files; empty = the system temp directory.
     std::string spill_dir;
+    /// Optional rung-upgrade notification hook (see RungCallback). Must
+    /// not call back into this manager's blocking waits.
+    RungCallback on_rung_ready;
   };
 
   /// Build progress for one key.
@@ -182,6 +195,10 @@ class CatalogManager {
     /// immutable once finished, so one write serves every eviction).
     std::string spill_path;
     bool spill_valid = false;
+    /// A spill write for this entry is in flight off-lock; the entry
+    /// stays resident (and servable) until the write completes, and no
+    /// second eviction may select it meanwhile.
+    bool spilling = false;
     size_t bytes = 0;
     uint64_t last_used = 0;
   };
@@ -212,21 +229,38 @@ class CatalogManager {
   /// Marks `entry` most recently used. Caller holds mu_.
   void TouchLocked(Entry& entry) const;
 
-  /// Spills LRU catalogs until the budget holds, never touching
-  /// `keep` or entries still building. Caller holds mu_. Spill-file
-  /// write failures stop eviction (dropping an unpersisted ladder
-  /// would lose it) — the budget is best-effort. Note the spill write
-  /// runs under the manager mutex, stalling other keys for the
-  /// write's duration — the deliberate price of keeping every state
-  /// transition on one lock (evictions are budget-pressure events,
-  /// not steady-state serving); off-lock spilling is future work.
-  void EnforceBudgetLocked(const Entry* keep) const;
+  /// One eviction whose ladder still needs writing to disk. Selected
+  /// under the manager mutex, written with no lock held.
+  struct SpillJob {
+    CatalogKey key;
+    std::shared_ptr<Entry> entry;
+    std::shared_ptr<const SampleCatalog> catalog;
+    std::string path;
+  };
+
+  /// Selects LRU victims until the budget holds, never touching `keep`,
+  /// entries still building, or entries already spilling. Caller holds
+  /// mu_. Victims whose spill file is already current are evicted
+  /// immediately; the rest are marked `spilling` and appended to
+  /// `jobs` for the caller to write *after releasing the mutex*
+  /// (PerformSpills) — serialization never blocks other keys' access.
+  void EnforceBudgetLocked(const Entry* keep,
+                           std::vector<SpillJob>* jobs) const;
+
+  /// Writes each job's ladder to its spill file with no lock held, then
+  /// re-locks briefly to complete (or on write failure, abort) the
+  /// eviction. A job whose entry was Drop()ed mid-write deletes the
+  /// file it just created. Callers run this on their own thread before
+  /// returning, so eviction post-conditions are unchanged.
+  void PerformSpills(std::vector<SpillJob> jobs) const;
 
   /// Reads the entry's spill file back into memory. Caller holds mu_;
   /// the disk read runs under the mutex, which serializes reloads
   /// across keys — acceptable because reloads are cache misses, and it
-  /// keeps every state transition on one lock.
-  Status ReloadLocked(const CatalogKey& key, Entry& entry) const;
+  /// keeps every state transition on one lock. Evictions the reload
+  /// itself triggers land in `jobs` for the caller to write off-lock.
+  Status ReloadLocked(const CatalogKey& key, Entry& entry,
+                      std::vector<SpillJob>* jobs) const;
 
   const Options options_;
   /// Per-manager token so concurrent processes sharing a spill dir

@@ -65,11 +65,13 @@ const SampleSet& SampleCatalog::ChooseBySize(size_t max_points) const {
 
 SampleCatalog::Builder::Builder(std::shared_ptr<const Dataset> dataset,
                                 SamplerFactory sampler_factory,
-                                Options options, ThreadPool* pool)
+                                Options options, ThreadPool* pool,
+                                RungCallback on_rung)
     : dataset_(std::move(dataset)),
       sampler_factory_(std::move(sampler_factory)),
       options_(std::move(options)),
       pool_(pool),
+      on_rung_(std::move(on_rung)),
       ladder_(ResolveLadder(options_.ladder, dataset_->size())) {
   VAS_CHECK(dataset_ != nullptr);
   VAS_CHECK(sampler_factory_ != nullptr);
@@ -106,15 +108,28 @@ void SampleCatalog::Builder::BuildRung(size_t k) {
   SampleSet s = sampler->Sample(*dataset_, k);
   if (options_.embed_density) EmbedDensity(*dataset_, &s);
 
-  std::lock_guard<std::mutex> lock(mu_);
-  ready_.insert(std::upper_bound(ready_.begin(), ready_.end(), s,
-                                 [](const SampleSet& a, const SampleSet& b) {
-                                   return a.size() < b.size();
-                                 }),
-                std::move(s));
-  snapshot_ = std::make_shared<const SampleCatalog>(ready_);
-  ++completed_;
-  rung_published_.notify_all();
+  // The callback (and the counts it is told) must be copied out under
+  // the lock: the moment the final publication is notified, a waiting
+  // destructor may free this builder, so nothing after the unlock may
+  // touch members.
+  RungCallback callback;
+  size_t ready = 0;
+  size_t total = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ready_.insert(std::upper_bound(ready_.begin(), ready_.end(), s,
+                                   [](const SampleSet& a, const SampleSet& b) {
+                                     return a.size() < b.size();
+                                   }),
+                  std::move(s));
+    snapshot_ = std::make_shared<const SampleCatalog>(ready_);
+    ++completed_;
+    callback = on_rung_;
+    ready = completed_;
+    total = ladder_.size();
+    rung_published_.notify_all();
+  }
+  if (callback) callback(ready, total);
 }
 
 std::shared_ptr<const SampleCatalog> SampleCatalog::Builder::Snapshot()

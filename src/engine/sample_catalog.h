@@ -81,11 +81,20 @@ class SampleCatalog {
 /// tasks never outlive the builder (or the dataset it shares).
 class SampleCatalog::Builder {
  public:
+  /// Invoked after each rung publication with (rungs ready, rungs
+  /// total). Calls arrive from whichever worker finished the rung, with
+  /// no lock held; when rungs finish concurrently the ready counts may
+  /// arrive out of order, so consumers should treat a call as "another
+  /// rung landed", not as an ordered sequence.
+  using RungCallback = std::function<void(size_t ready, size_t total)>;
+
   /// `pool` may be null, which makes Start() build every rung inline
   /// (the blocking path, useful for tests and degraded serving).
+  /// `on_rung` (optional) is notified after each rung lands — the hook
+  /// a serving layer uses to invalidate caches as sharper rungs arrive.
   Builder(std::shared_ptr<const Dataset> dataset,
           SamplerFactory sampler_factory, Options options,
-          ThreadPool* pool);
+          ThreadPool* pool, RungCallback on_rung = nullptr);
   ~Builder();
 
   Builder(const Builder&) = delete;
@@ -118,6 +127,7 @@ class SampleCatalog::Builder {
   SamplerFactory sampler_factory_;
   Options options_;
   ThreadPool* pool_;
+  RungCallback on_rung_;
   std::vector<size_t> ladder_;  // clamped, deduplicated, ascending
 
   mutable std::mutex mu_;

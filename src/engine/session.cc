@@ -88,6 +88,7 @@ InteractiveSession::PlotResult InteractiveSession::RequestPlot(
   } else {
     full_matches = CountInViewport(request.viewport);
   }
+  result.points_in_viewport = full_matches;
   result.estimated_viz_seconds = model_.SecondsFor(result.tuples.size());
   result.estimated_full_viz_seconds = model_.SecondsFor(full_matches);
   return result;

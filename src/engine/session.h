@@ -42,6 +42,10 @@ class InteractiveSession {
     /// sample has none).
     std::vector<uint64_t> density;
     size_t catalog_sample_size = 0;
+    /// Exact number of dataset tuples inside the viewport (the whole
+    /// dataset for an empty viewport), answered from the session's
+    /// cached count grid — what the plot would show unsampled.
+    size_t points_in_viewport = 0;
     double estimated_viz_seconds = 0.0;
     /// What rendering the *unsampled* viewport contents would cost.
     double estimated_full_viz_seconds = 0.0;

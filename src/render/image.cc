@@ -1,10 +1,96 @@
 #include "render/image.h"
 
+#include <algorithm>
+#include <array>
 #include <fstream>
 
 #include "util/logging.h"
 
 namespace vas {
+
+namespace {
+
+// --- PNG encoding helpers. The format is small enough to emit by hand:
+// chunks framed by length/type/CRC32, pixel data wrapped in a zlib
+// stream whose deflate payload uses stored (uncompressed) blocks.
+
+void AppendBe32(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>((v >> 24) & 0xff));
+  out->push_back(static_cast<char>((v >> 16) & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+  out->push_back(static_cast<char>(v & 0xff));
+}
+
+const std::array<uint32_t, 256>& Crc32Table() {
+  static const std::array<uint32_t, 256> table = []() {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t n = 0; n < 256; ++n) {
+      uint32_t c = n;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[n] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+uint32_t Crc32(const std::string& data) {
+  const auto& table = Crc32Table();
+  uint32_t crc = 0xffffffffu;
+  for (unsigned char byte : data) {
+    crc = table[(crc ^ byte) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+uint32_t Adler32(const std::string& data) {
+  // RFC 1950: two running sums modulo the largest prime below 2^16.
+  const uint32_t kMod = 65521;
+  uint32_t a = 1;
+  uint32_t b = 0;
+  for (unsigned char byte : data) {
+    a = (a + byte) % kMod;
+    b = (b + a) % kMod;
+  }
+  return (b << 16) | a;
+}
+
+/// Wraps `raw` in a zlib stream of stored deflate blocks (max 65535
+/// bytes each). Stored blocks trade size for zero codec dependency;
+/// tiles are small enough that the wire cost is acceptable.
+std::string ZlibStored(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size() + raw.size() / 65535 * 5 + 16);
+  out.push_back('\x78');  // CMF: deflate, 32K window
+  out.push_back('\x01');  // FLG: no dict, check bits make CMF*256+FLG % 31 == 0
+  size_t offset = 0;
+  do {
+    size_t block = std::min<size_t>(raw.size() - offset, 65535);
+    bool final = offset + block == raw.size();
+    out.push_back(final ? '\x01' : '\x00');  // BFINAL, BTYPE=00 (stored)
+    uint16_t len = static_cast<uint16_t>(block);
+    out.push_back(static_cast<char>(len & 0xff));
+    out.push_back(static_cast<char>((len >> 8) & 0xff));
+    out.push_back(static_cast<char>(~len & 0xff));
+    out.push_back(static_cast<char>((~len >> 8) & 0xff));
+    out.append(raw, offset, block);
+    offset += block;
+  } while (offset < raw.size());
+  AppendBe32(&out, Adler32(raw));
+  return out;
+}
+
+void AppendChunk(std::string* out, const char type[5], const std::string& data) {
+  AppendBe32(out, static_cast<uint32_t>(data.size()));
+  std::string body(type, 4);
+  body += data;
+  out->append(body);
+  AppendBe32(out, Crc32(body));
+}
+
+}  // namespace
 
 Image::Image(size_t width, size_t height, Rgb fill)
     : width_(width), height_(height), pixels_(width * height, fill) {
@@ -25,6 +111,40 @@ Status Image::WritePpm(const std::string& path) const {
   out << "P6\n" << width_ << " " << height_ << "\n255\n";
   out.write(reinterpret_cast<const char*>(pixels_.data()),
             static_cast<std::streamsize>(pixels_.size() * sizeof(Rgb)));
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+std::string Image::EncodePng() const {
+  // Raw scanline stream: every row prefixed by filter type 0 (None).
+  std::string raw;
+  raw.reserve(height_ * (1 + width_ * 3));
+  for (size_t y = 0; y < height_; ++y) {
+    raw.push_back('\0');
+    raw.append(reinterpret_cast<const char*>(&pixels_[y * width_]),
+               width_ * sizeof(Rgb));
+  }
+
+  std::string png("\x89PNG\r\n\x1a\n", 8);
+  std::string ihdr;
+  AppendBe32(&ihdr, static_cast<uint32_t>(width_));
+  AppendBe32(&ihdr, static_cast<uint32_t>(height_));
+  ihdr.push_back('\x08');  // bit depth
+  ihdr.push_back('\x02');  // color type: truecolor RGB
+  ihdr.push_back('\0');    // compression: deflate
+  ihdr.push_back('\0');    // filter method 0
+  ihdr.push_back('\0');    // no interlace
+  AppendChunk(&png, "IHDR", ihdr);
+  AppendChunk(&png, "IDAT", ZlibStored(raw));
+  AppendChunk(&png, "IEND", std::string());
+  return png;
+}
+
+Status Image::WritePng(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  std::string png = EncodePng();
+  out.write(png.data(), static_cast<std::streamsize>(png.size()));
   if (!out) return Status::IoError("write failed: " + path);
   return Status::OK();
 }

@@ -1,6 +1,7 @@
-// Minimal RGB8 raster image with PPM output. The renderer draws scatter
-// plots into it; the evaluation harness also reads pixels back (the
-// simulated clustering user counts blobs on the rendered bitmap).
+// Minimal RGB8 raster image with PPM and PNG output. The renderer draws
+// scatter plots into it; the evaluation harness also reads pixels back
+// (the simulated clustering user counts blobs on the rendered bitmap),
+// and the tile server encodes it to PNG for browser consumption.
 #ifndef VAS_RENDER_IMAGE_H_
 #define VAS_RENDER_IMAGE_H_
 
@@ -48,6 +49,16 @@ class Image {
 
   /// Binary PPM (P6).
   Status WritePpm(const std::string& path) const;
+
+  /// Encodes the raster as a complete PNG byte stream (8-bit RGB,
+  /// no interlace). Self-contained: the zlib stream uses stored
+  /// (uncompressed) deflate blocks, so no external codec is needed.
+  /// Deterministic — identical pixels yield identical bytes, which is
+  /// what lets the tile cache serve byte-identical responses.
+  std::string EncodePng() const;
+
+  /// EncodePng() written to `path`.
+  Status WritePng(const std::string& path) const;
 
  private:
   size_t width_;

@@ -1,0 +1,251 @@
+#include "service/http_routes.h"
+
+#include <cstdio>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace vas {
+
+namespace {
+
+HttpResponse JsonResponse(std::string body) {
+  HttpResponse response;
+  response.content_type = "application/json";
+  response.body = std::move(body);
+  return response;
+}
+
+HttpResponse ErrorResponse(const Status& status) {
+  int http = 500;
+  switch (status.code()) {
+    case StatusCode::kInvalidArgument:
+      http = 400;
+      break;
+    case StatusCode::kNotFound:
+      http = 404;
+      break;
+    case StatusCode::kFailedPrecondition:
+      http = 503;  // e.g. no rung servable yet — retryable
+      break;
+    default:
+      http = 500;
+      break;
+  }
+  HttpResponse response = JsonResponse(
+      "{\"error\":\"" + JsonEscape(status.ToString()) + "\"}\n");
+  response.status = http;
+  return response;
+}
+
+/// Doubles render compactly and stably for JSON ("%g" never emits the
+/// locale decimal comma because the C locale is never changed here).
+std::string JsonDouble(double v) { return StrFormat("%g", v); }
+
+std::string BuildStatusJson(const PlotService::TableInfo& info) {
+  std::string out = "{";
+  out += "\"table\":\"" + JsonEscape(info.key.table) + "\"";
+  out += ",\"x\":\"" + JsonEscape(info.key.x) + "\"";
+  out += ",\"y\":\"" + JsonEscape(info.key.y) + "\"";
+  out += ",\"rows\":" + std::to_string(info.rows);
+  out += ",\"rungs_ready\":" + std::to_string(info.build.rungs_ready);
+  out += ",\"rungs_total\":" + std::to_string(info.build.rungs_total);
+  out += std::string(",\"done\":") + (info.build.done ? "true" : "false");
+  out += std::string(",\"resident\":") +
+         (info.build.resident ? "true" : "false");
+  out += ",\"memory_bytes\":" + std::to_string(info.build.memory_bytes);
+  out += ",\"world\":[" + JsonDouble(info.world.min_x) + "," +
+         JsonDouble(info.world.min_y) + "," + JsonDouble(info.world.max_x) +
+         "," + JsonDouble(info.world.max_y) + "]";
+  out += "}";
+  return out;
+}
+
+/// Parses one unsigned tile coordinate; rejects junk and minus signs.
+bool ParseTileIndex(const std::string& s, uint32_t* out) {
+  auto value = ParseInt64(s);
+  if (!value.ok() || *value < 0 || *value > 0xffffffffll) return false;
+  *out = static_cast<uint32_t>(*value);
+  return true;
+}
+
+HttpResponse HandleTile(PlotService* service,
+                        const std::vector<std::string>& segments) {
+  // segments: ["tiles", table, z, x, "y.png"]
+  std::string last = segments[4];
+  if (last.size() <= 4 || last.substr(last.size() - 4) != ".png") {
+    HttpResponse response;
+    response.status = 404;
+    response.body = "tile paths end in .png\n";
+    return response;
+  }
+  TileKey tile;
+  if (!ParseTileIndex(segments[2], &tile.z) ||
+      !ParseTileIndex(segments[3], &tile.x) ||
+      !ParseTileIndex(last.substr(0, last.size() - 4), &tile.y)) {
+    HttpResponse response;
+    response.status = 400;
+    response.body = "bad tile coordinates\n";
+    return response;
+  }
+  auto result = service->RenderTile(segments[1], tile);
+  if (!result.ok()) return ErrorResponse(result.status());
+  HttpResponse response;
+  response.content_type = "image/png";
+  response.shared_body = result->png;
+  response.extra_headers.emplace_back("X-Vas-Rung",
+                                      std::to_string(result->sample_size));
+  response.extra_headers.emplace_back(
+      "X-Vas-Rungs-Ready", std::to_string(result->rungs_ready) + "/" +
+                               std::to_string(result->rungs_total));
+  response.extra_headers.emplace_back(
+      "X-Vas-Cache", result->cache_hit ? "hit" : "miss");
+  return response;
+}
+
+HttpResponse HandlePlot(PlotService* service, const HttpRequest& request) {
+  auto param = [&request](const char* name) -> const std::string* {
+    auto it = request.query.find(name);
+    return it == request.query.end() ? nullptr : &it->second;
+  };
+  const std::string* table = param("table");
+  if (table == nullptr) {
+    return ErrorResponse(
+        Status::InvalidArgument("missing ?table= parameter"));
+  }
+  Rect viewport;  // empty = whole domain
+  const char* names[4] = {"xmin", "ymin", "xmax", "ymax"};
+  double* slots[4] = {&viewport.min_x, &viewport.min_y, &viewport.max_x,
+                      &viewport.max_y};
+  size_t given = 0;
+  for (int i = 0; i < 4; ++i) {
+    const std::string* raw = param(names[i]);
+    if (raw == nullptr) continue;
+    auto value = ParseDouble(*raw);
+    if (!value.ok()) return ErrorResponse(value.status());
+    *slots[i] = *value;
+    ++given;
+  }
+  if (given != 0 && given != 4) {
+    return ErrorResponse(Status::InvalidArgument(
+        "viewport needs all of xmin/ymin/xmax/ymax (or none)"));
+  }
+  if (given == 4 && viewport.empty()) {
+    // An inverted rectangle would read as Rect::empty() == whole
+    // domain downstream — a silently wrong answer instead of an error.
+    return ErrorResponse(Status::InvalidArgument(
+        "inverted viewport: xmin must be <= xmax and ymin <= ymax"));
+  }
+  double budget = 2.0;
+  if (const std::string* raw = param("budget")) {
+    auto value = ParseDouble(*raw);
+    if (!value.ok()) return ErrorResponse(value.status());
+    budget = *value;
+  }
+  auto info = service->QueryViewport(*table, viewport, budget);
+  if (!info.ok()) return ErrorResponse(info.status());
+  std::string out = "{";
+  out += "\"table\":\"" + JsonEscape(*table) + "\"";
+  out += ",\"sample_size\":" + std::to_string(info->sample_size);
+  out += ",\"sample_points_in_viewport\":" +
+         std::to_string(info->sample_points_in_viewport);
+  out += ",\"points_in_viewport\":" +
+         std::to_string(info->points_in_viewport);
+  out += ",\"estimated_viz_seconds\":" +
+         JsonDouble(info->estimated_viz_seconds);
+  out += ",\"estimated_full_viz_seconds\":" +
+         JsonDouble(info->estimated_full_viz_seconds);
+  out += ",\"rungs_ready\":" + std::to_string(info->rungs_ready);
+  out += ",\"rungs_total\":" + std::to_string(info->rungs_total);
+  out += "}\n";
+  return JsonResponse(std::move(out));
+}
+
+HttpResponse HandleStatus(PlotService* service, const std::string& table) {
+  auto info = service->GetTable(table);
+  if (!info.ok()) return ErrorResponse(info.status());
+  auto memory = service->manager().memory_stats();
+  auto cache = service->cache_stats();
+  std::string out = "{";
+  out += "\"build\":" + BuildStatusJson(*info);
+  out += ",\"memory\":{";
+  out += "\"budget_bytes\":" + std::to_string(memory.budget_bytes);
+  out += ",\"resident_bytes\":" + std::to_string(memory.resident_bytes);
+  out += ",\"evictions\":" + std::to_string(memory.evictions);
+  out += ",\"reloads\":" + std::to_string(memory.reloads);
+  out += "}";
+  out += ",\"tile_cache\":{";
+  out += "\"hits\":" + std::to_string(cache.hits);
+  out += ",\"misses\":" + std::to_string(cache.misses);
+  out += ",\"evictions\":" + std::to_string(cache.evictions);
+  out += ",\"invalidated\":" + std::to_string(cache.invalidated);
+  out += ",\"entries\":" + std::to_string(cache.entries);
+  out += ",\"bytes\":" + std::to_string(cache.bytes);
+  out += "}}\n";
+  return JsonResponse(std::move(out));
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+HttpServer::Handler MakeServiceHandler(PlotService* service) {
+  return [service](const HttpRequest& request) -> HttpResponse {
+    if (request.path == "/healthz") {
+      HttpResponse response;
+      response.body = "ok\n";
+      return response;
+    }
+    if (request.path == "/catalogs") {
+      std::string out = "{\"catalogs\":[";
+      bool first = true;
+      for (const PlotService::TableInfo& info : service->Tables()) {
+        if (!first) out += ",";
+        first = false;
+        out += BuildStatusJson(info);
+      }
+      out += "]}\n";
+      return JsonResponse(std::move(out));
+    }
+    if (request.path == "/plot") return HandlePlot(service, request);
+
+    HttpResponse not_found;
+    not_found.status = 404;
+    not_found.body = "not found\n";
+    if (request.path.empty() || request.path[0] != '/') return not_found;
+
+    // Segment routes: /status/{table} and /tiles/{table}/{z}/{x}/{y}.png.
+    std::vector<std::string> segments;
+    for (const std::string& s : Split(request.path.substr(1), '/')) {
+      segments.push_back(s);
+    }
+    if (segments.size() == 2 && segments[0] == "status") {
+      return HandleStatus(service, segments[1]);
+    }
+    if (segments.size() == 5 && segments[0] == "tiles") {
+      return HandleTile(service, segments);
+    }
+    return not_found;
+  };
+}
+
+}  // namespace vas

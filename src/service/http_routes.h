@@ -1,0 +1,33 @@
+// Route table of the plot server: maps the HTTP surface onto
+// PlotService. Kept apart from HttpServer (which stays a generic
+// socket/parse layer) so the endpoints are unit-testable without
+// opening sockets.
+//
+//   GET /healthz                          liveness probe, "ok"
+//   GET /catalogs                         every registered table, JSON
+//   GET /status/{table}                   build/rung/eviction + cache state
+//   GET /tiles/{table}/{z}/{x}/{y}.png    rendered tile, image/png
+//   GET /plot?table=T&xmin=&ymin=&xmax=&ymax=&budget=
+//                                         viewport counts from the cached
+//                                         UniformGrid, JSON
+#ifndef VAS_SERVICE_HTTP_ROUTES_H_
+#define VAS_SERVICE_HTTP_ROUTES_H_
+
+#include <string>
+
+#include "service/http_server.h"
+#include "service/plot_service.h"
+
+namespace vas {
+
+/// Builds the request handler serving `service`'s tables. The service
+/// must outlive the returned handler.
+HttpServer::Handler MakeServiceHandler(PlotService* service);
+
+/// Escapes `s` for embedding in a JSON string literal. Exposed for
+/// tests.
+std::string JsonEscape(const std::string& s);
+
+}  // namespace vas
+
+#endif  // VAS_SERVICE_HTTP_ROUTES_H_

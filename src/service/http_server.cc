@@ -1,0 +1,345 @@
+#include "service/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace vas {
+
+namespace {
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string ToLower(std::string s) {
+  for (char& c : s) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return s;
+}
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+/// Sends the whole buffer, retrying partial writes. MSG_NOSIGNAL keeps
+/// a client that hung up from killing the process with SIGPIPE.
+bool SendAll(int fd, const char* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+void SetIoTimeout(int fd, int seconds) {
+  timeval tv{};
+  tv.tv_sec = seconds;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+std::string SerializeResponse(const HttpResponse& response,
+                              bool include_body) {
+  const std::string& body =
+      response.shared_body != nullptr ? *response.shared_body
+                                      : response.body;
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    ReasonPhrase(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: close\r\n";
+  for (const auto& [name, value] : response.extra_headers) {
+    out += name + ": " + value + "\r\n";
+  }
+  out += "\r\n";
+  if (include_body) out += body;
+  return out;
+}
+
+}  // namespace
+
+std::string UriDecode(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    if (in[i] == '%' && i + 2 < in.size()) {
+      int hi = HexDigit(in[i + 1]);
+      int lo = HexDigit(in[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>((hi << 4) | lo));
+        i += 2;
+        continue;
+      }
+    }
+    out.push_back(in[i]);
+  }
+  return out;
+}
+
+void ParseTarget(const std::string& target, std::string* path,
+                 std::map<std::string, std::string>* query) {
+  query->clear();
+  size_t qmark = target.find('?');
+  *path = UriDecode(target.substr(0, qmark));
+  if (qmark == std::string::npos) return;
+  for (const std::string& pair :
+       Split(target.substr(qmark + 1), '&')) {
+    if (pair.empty()) continue;
+    size_t eq = pair.find('=');
+    std::string key = UriDecode(pair.substr(0, eq));
+    std::string value =
+        eq == std::string::npos ? std::string() : UriDecode(pair.substr(eq + 1));
+    (*query)[key] = value;
+  }
+}
+
+HttpServer::HttpServer(Options options, Handler handler)
+    : options_(std::move(options)), handler_(std::move(handler)) {
+  VAS_CHECK(handler_ != nullptr);
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+Status HttpServer::Start() {
+  if (started_.exchange(true)) {
+    return Status::FailedPrecondition("server already started");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad bind address: " +
+                                   options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status status = Status::IoError("bind " + options_.bind_address + ":" +
+                                    std::to_string(options_.port) + ": " +
+                                    std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, 256) != 0) {
+    Status status =
+        Status::IoError(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  port_ = ntohs(bound.sin_port);
+
+  // +1: the accept loop occupies one worker for the server's lifetime;
+  // the remaining workers drain connection tasks.
+  pool_ = std::make_unique<ThreadPool>(
+      std::max<size_t>(1, options_.num_threads) + 1);
+  accept_exited_ = accept_exited_promise_.get_future().share();
+  pool_->Submit([this]() {
+    AcceptLoop();
+    accept_exited_promise_.set_value();
+  });
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  if (!started_.load()) return;
+  stopping_.store(true);
+  // The accept loop must observe the flag and exit before the pool may
+  // shut down: it can be between its stopping_ check and the Submit()
+  // handing off an accepted connection, and Submit() on a shut-down
+  // pool aborts. Every caller waits (Shutdown() is idempotent and safe
+  // to call concurrently, so the later caller just drains too).
+  if (accept_exited_.valid()) accept_exited_.wait();
+  if (pool_ != nullptr) pool_->Shutdown();
+  if (!fd_closed_.exchange(true) && listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void HttpServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    // Poll with a timeout so Stop() is observed promptly without
+    // resorting to cross-thread socket shutdown.
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    SetIoTimeout(fd, options_.io_timeout_seconds);
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    pool_->Submit([this, fd]() { HandleConnection(fd); });
+  }
+}
+
+void HttpServer::HandleConnection(int fd) {
+  std::string head;
+  char buffer[4096];
+  size_t header_end = std::string::npos;
+  while (head.size() < options_.max_request_bytes) {
+    ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) {
+      ::close(fd);
+      return;
+    }
+    // Resume the terminator scan just before the new bytes (the
+    // "\r\n\r\n" may straddle the read boundary) instead of rescanning
+    // the whole buffer — keeps trickled headers linear.
+    size_t scan_from = head.size() > 3 ? head.size() - 3 : 0;
+    head.append(buffer, static_cast<size_t>(n));
+    header_end = head.find("\r\n\r\n", scan_from);
+    if (header_end != std::string::npos) break;
+  }
+
+  HttpResponse response;
+  HttpRequest request;
+  bool parsed = false;
+  if (header_end != std::string::npos) {
+    std::vector<std::string> lines =
+        Split(head.substr(0, header_end), '\n');
+    std::vector<std::string> parts;
+    if (!lines.empty()) {
+      std::string request_line = lines.front();
+      if (!request_line.empty() && request_line.back() == '\r') {
+        request_line.pop_back();
+      }
+      parts = Split(request_line, ' ');
+    }
+    if (parts.size() == 3 && StartsWith(parts[2], "HTTP/")) {
+      request.method = parts[0];
+      request.target = parts[1];
+      ParseTarget(request.target, &request.path, &request.query);
+      for (size_t i = 1; i < lines.size(); ++i) {
+        std::string line = lines[i];
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        size_t colon = line.find(':');
+        if (colon == std::string::npos) continue;
+        request.headers[ToLower(line.substr(0, colon))] =
+            std::string(StripWhitespace(line.substr(colon + 1)));
+      }
+      parsed = true;
+    }
+  }
+
+  bool head_only = request.method == "HEAD";
+  if (!parsed) {
+    response.status = 400;
+    response.body = "bad request\n";
+  } else if (request.method != "GET" && request.method != "HEAD") {
+    response.status = 405;
+    response.body = "method not allowed\n";
+  } else {
+    response = handler_(request);
+  }
+  std::string wire = SerializeResponse(response, !head_only);
+  SendAll(fd, wire.data(), wire.size());
+  ::close(fd);
+  requests_served_.fetch_add(1);
+}
+
+StatusOr<HttpFetchResult> HttpGet(uint16_t port, const std::string& target,
+                                  const std::string& host) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  SetIoTimeout(fd, 30);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status =
+        Status::IoError("connect " + host + ":" + std::to_string(port) +
+                        ": " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  std::string request = "GET " + target + " HTTP/1.1\r\nHost: " + host +
+                        "\r\nConnection: close\r\n\r\n";
+  if (!SendAll(fd, request.data(), request.size())) {
+    ::close(fd);
+    return Status::IoError("send failed");
+  }
+  std::string raw;
+  char buffer[8192];
+  for (;;) {
+    ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n < 0) {
+      ::close(fd);
+      return Status::IoError(std::string("recv: ") + std::strerror(errno));
+    }
+    if (n == 0) break;
+    raw.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  size_t header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos || !StartsWith(raw, "HTTP/")) {
+    return Status::IoError("malformed response");
+  }
+  HttpFetchResult result;
+  std::vector<std::string> lines = Split(raw.substr(0, header_end), '\n');
+  std::vector<std::string> status_parts = Split(lines.front(), ' ');
+  if (status_parts.size() < 2) return Status::IoError("malformed status");
+  auto code = ParseInt64(StripWhitespace(status_parts[1]));
+  if (!code.ok()) return code.status();
+  result.status = static_cast<int>(*code);
+  for (size_t i = 1; i < lines.size(); ++i) {
+    std::string line = lines[i];
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    result.headers[ToLower(line.substr(0, colon))] =
+        std::string(StripWhitespace(line.substr(colon + 1)));
+  }
+  result.body = raw.substr(header_end + 4);
+  return result;
+}
+
+}  // namespace vas

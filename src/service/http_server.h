@@ -1,0 +1,125 @@
+// Minimal HTTP/1.1 server on POSIX sockets. One acceptor task plus the
+// request handlers all run on a util/thread_pool.h ThreadPool, so the
+// serving concurrency model is the same fixed-worker shape as the
+// build side. Deliberately small: GET/HEAD, connection-close per
+// request, no TLS, no chunked bodies — enough to put tiles and status
+// JSON in front of a browser or load generator.
+#ifndef VAS_SERVICE_HTTP_SERVER_H_
+#define VAS_SERVICE_HTTP_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace vas {
+
+/// One parsed request. Header names are lowercased; the query string is
+/// split into percent-decoded key/value pairs.
+struct HttpRequest {
+  std::string method;
+  /// Raw request target ("/tiles/t/1/0/0.png?x=1").
+  std::string target;
+  /// Percent-decoded path without the query string.
+  std::string path;
+  std::map<std::string, std::string> query;
+  std::map<std::string, std::string> headers;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  /// Exactly one of `body` / `shared_body` is used; `shared_body` lets
+  /// cached tiles be served without copying the bytes per request.
+  std::string body;
+  std::shared_ptr<const std::string> shared_body;
+  std::vector<std::pair<std::string, std::string>> extra_headers;
+};
+
+/// Splits `target` into a decoded path and query map ("?a=1&b=x%20y").
+/// Exposed for tests.
+void ParseTarget(const std::string& target, std::string* path,
+                 std::map<std::string, std::string>* query);
+
+/// Percent-decodes one URI component ("%2F" -> "/", "+" is literal).
+std::string UriDecode(const std::string& in);
+
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  struct Options {
+    /// 0 binds an ephemeral port (read it back via port()).
+    uint16_t port = 8080;
+    std::string bind_address = "0.0.0.0";
+    /// Request-handler workers. The pool is sized num_threads + 1: one
+    /// worker runs the accept loop for the server's whole lifetime.
+    size_t num_threads = 8;
+    /// Largest request head (request line + headers) accepted.
+    size_t max_request_bytes = 64 * 1024;
+    /// Per-connection socket send/receive timeout.
+    int io_timeout_seconds = 10;
+  };
+
+  HttpServer(Options options, Handler handler);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens, and starts the accept loop. IoError when the
+  /// address or port cannot be bound.
+  Status Start();
+
+  /// Stops accepting, drains in-flight requests, joins the workers.
+  /// Idempotent; called by the destructor.
+  void Stop();
+
+  /// The port actually bound (the ephemeral one when options.port = 0).
+  uint16_t port() const { return port_; }
+
+  /// Requests fully handled so far.
+  size_t requests_served() const { return requests_served_.load(); }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+
+  const Options options_;
+  const Handler handler_;
+  std::unique_ptr<ThreadPool> pool_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<bool> fd_closed_{false};
+  std::atomic<size_t> requests_served_{0};
+  /// Resolves when AcceptLoop() has exited. Stop() must wait on it
+  /// before shutting the pool down: the loop may be between its
+  /// stopping_ check and a Submit(), and Submit() on a shut-down pool
+  /// aborts the process.
+  std::promise<void> accept_exited_promise_;
+  std::shared_future<void> accept_exited_;
+};
+
+/// Tiny blocking HTTP/1.1 client for tests and benches: one GET over a
+/// fresh connection, response read to EOF.
+struct HttpFetchResult {
+  int status = 0;
+  std::string body;
+  std::map<std::string, std::string> headers;
+};
+StatusOr<HttpFetchResult> HttpGet(uint16_t port, const std::string& target,
+                                  const std::string& host = "127.0.0.1");
+
+}  // namespace vas
+
+#endif  // VAS_SERVICE_HTTP_SERVER_H_

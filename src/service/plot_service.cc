@@ -1,0 +1,231 @@
+#include "service/plot_service.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace vas {
+
+PlotService::PlotService(const Options& options)
+    : options_(options),
+      cache_(TileCache::Options{options.tile_cache_budget_bytes,
+                                options.tile_cache_shards}) {
+  CatalogManager::Options manager_options = options_.catalog;
+  // The rung-upgrade hook: the moment a sharper rung lands, every tile
+  // of that table rendered from a smaller rung is stale — drop them so
+  // the next fetch re-renders at the new fidelity.
+  manager_options.on_rung_ready = [this](const CatalogKey& key,
+                                         size_t rungs_ready,
+                                         size_t rungs_total) {
+    (void)rungs_ready;
+    (void)rungs_total;
+    cache_.InvalidatePrefix(TablePrefix(key.table));
+  };
+  manager_ = std::make_unique<CatalogManager>(manager_options);
+}
+
+Status PlotService::InsertTable(const std::string& table,
+                                std::shared_ptr<const Dataset> dataset) {
+  CatalogKey key{table, "x", "y"};
+  Table state{dataset, TileGrid(dataset->Bounds()),
+              std::make_shared<InteractiveSession>(dataset, manager_.get(),
+                                                   key, options_.viz_model),
+              key, next_generation_.fetch_add(1)};
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = tables_.try_emplace(table, std::move(state));
+  (void)it;
+  if (!inserted) {
+    // The manager accepted the key, so this only happens when a racing
+    // registration of the same name won; surface the same error the
+    // manager would have raised.
+    return Status::InvalidArgument("table already registered: " + table);
+  }
+  return Status::OK();
+}
+
+Status PlotService::RegisterTable(const std::string& table,
+                                  std::shared_ptr<const Dataset> dataset,
+                                  SamplerFactory sampler_factory,
+                                  SampleCatalog::Options catalog_options) {
+  if (dataset == nullptr) {
+    return Status::InvalidArgument("null dataset for table " + table);
+  }
+  VAS_RETURN_IF_ERROR(manager_->StartBuild(CatalogKey{table, "x", "y"},
+                                           dataset,
+                                           std::move(sampler_factory),
+                                           std::move(catalog_options)));
+  return InsertTable(table, std::move(dataset));
+}
+
+Status PlotService::AddTable(const std::string& table,
+                             std::shared_ptr<const Dataset> dataset,
+                             SampleCatalog catalog) {
+  if (dataset == nullptr) {
+    return Status::InvalidArgument("null dataset for table " + table);
+  }
+  VAS_RETURN_IF_ERROR(manager_->AddCatalog(CatalogKey{table, "x", "y"},
+                                           dataset, std::move(catalog)));
+  return InsertTable(table, std::move(dataset));
+}
+
+Status PlotService::LoadTable(const std::string& table,
+                              std::shared_ptr<const Dataset> dataset,
+                              const std::string& catalog_path) {
+  if (dataset == nullptr) {
+    return Status::InvalidArgument("null dataset for table " + table);
+  }
+  VAS_RETURN_IF_ERROR(manager_->LoadCatalog(CatalogKey{table, "x", "y"},
+                                            dataset, catalog_path));
+  return InsertTable(table, std::move(dataset));
+}
+
+Status PlotService::DropTable(const std::string& table) {
+  StatusOr<Table> state = FindTable(table);
+  if (!state.ok()) return state.status();
+  VAS_RETURN_IF_ERROR(manager_->Drop(state->key));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tables_.erase(table);
+  }
+  cache_.InvalidatePrefix(TablePrefix(table));
+  return Status::OK();
+}
+
+StatusOr<PlotService::Table> PlotService::FindTable(
+    const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table registered: " + table);
+  }
+  return it->second;
+}
+
+ScatterRenderer::Options PlotService::TileRenderOptions() const {
+  ScatterRenderer::Options render_options = options_.renderer;
+  render_options.width_px = options_.tile_px;
+  render_options.height_px = options_.tile_px;
+  return render_options;
+}
+
+StatusOr<PlotService::TileResult> PlotService::RenderTile(
+    const std::string& table, const TileKey& tile) {
+  if (!TileGrid::IsValid(tile)) {
+    return Status::InvalidArgument("tile out of range: " + tile.ToString());
+  }
+  VAS_ASSIGN_OR_RETURN(Table state, FindTable(table));
+  // Best ladder available right now; blocks only before the first rung.
+  VAS_ASSIGN_OR_RETURN(std::shared_ptr<const SampleCatalog> snapshot,
+                       manager_->WaitForFirstRung(state.key));
+  const SampleSet& sample = snapshot->ChooseForTimeBudget(
+      options_.tile_time_budget_seconds, options_.viz_model);
+
+  TileResult result;
+  result.sample_size = sample.size();
+  result.rungs_ready = snapshot->samples().size();
+  auto build = manager_->GetStatus(state.key);
+  result.rungs_total =
+      build.ok() ? build->rungs_total : snapshot->samples().size();
+
+  // The rung size and table generation are part of the key, so a tile
+  // rendered from an older rung (or a dropped registration) can never
+  // be served for a newer one even if invalidation has not swept it
+  // yet.
+  std::string cache_key =
+      CacheKeyFor(table, state.generation, tile, sample.size());
+  if (auto cached = cache_.Get(cache_key)) {
+    result.png = std::move(cached);
+    result.cache_hit = true;
+    return result;
+  }
+
+  // Single-flight: concurrent misses on the same key (typical right
+  // after a rung upgrade sweeps a hot table) elect one renderer; the
+  // rest wait for its bytes instead of burning a redundant render each.
+  std::promise<std::shared_ptr<const std::string>> render_promise;
+  {
+    std::unique_lock<std::mutex> lock(inflight_mu_);
+    auto it = inflight_.find(cache_key);
+    if (it != inflight_.end()) {
+      auto pending = it->second;
+      lock.unlock();
+      result.png = pending.get();
+      result.cache_hit = true;
+      return result;
+    }
+    inflight_.emplace(cache_key, render_promise.get_future().share());
+  }
+
+  Viewport viewport(state.grid.TileBounds(tile), options_.tile_px,
+                    options_.tile_px);
+  ScatterRenderer renderer(TileRenderOptions());
+  Image image = renderer.RenderSample(*state.dataset, sample, viewport);
+  auto png = std::make_shared<const std::string>(image.EncodePng());
+  // Publish to the cache before leaving the single-flight window, so a
+  // new request always finds the bytes in one place or the other.
+  cache_.Put(cache_key, png);
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    inflight_.erase(cache_key);
+  }
+  render_promise.set_value(png);
+  result.png = std::move(png);
+  result.cache_hit = false;
+  return result;
+}
+
+StatusOr<PlotService::ViewportInfo> PlotService::QueryViewport(
+    const std::string& table, const Rect& viewport,
+    double time_budget_seconds) {
+  VAS_ASSIGN_OR_RETURN(Table state, FindTable(table));
+  InteractiveSession::PlotRequest request;
+  request.viewport = viewport;
+  request.time_budget_seconds = time_budget_seconds;
+  InteractiveSession::PlotResult plot = state.session->RequestPlot(request);
+  ViewportInfo info;
+  info.sample_size = plot.catalog_sample_size;
+  info.sample_points_in_viewport = plot.tuples.size();
+  info.points_in_viewport = plot.points_in_viewport;
+  info.estimated_viz_seconds = plot.estimated_viz_seconds;
+  info.estimated_full_viz_seconds = plot.estimated_full_viz_seconds;
+  info.rungs_ready = plot.catalog_rungs_ready;
+  info.rungs_total = plot.catalog_rungs_total;
+  return info;
+}
+
+std::vector<PlotService::TableInfo> PlotService::Tables() const {
+  std::vector<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    names.reserve(tables_.size());
+    for (const auto& [name, state] : tables_) names.push_back(name);
+  }
+  std::vector<TableInfo> out;
+  out.reserve(names.size());
+  for (const std::string& name : names) {
+    auto info = GetTable(name);
+    // A table dropped between the two locks simply vanishes from the
+    // listing.
+    if (info.ok()) out.push_back(std::move(*info));
+  }
+  return out;
+}
+
+StatusOr<PlotService::TableInfo> PlotService::GetTable(
+    const std::string& table) const {
+  VAS_ASSIGN_OR_RETURN(Table state, FindTable(table));
+  TableInfo info;
+  info.key = state.key;
+  info.world = state.grid.world();
+  info.rows = state.dataset->size();
+  auto build = manager_->GetStatus(state.key);
+  if (build.ok()) info.build = *build;
+  return info;
+}
+
+StatusOr<TileGrid> PlotService::GridFor(const std::string& table) const {
+  VAS_ASSIGN_OR_RETURN(Table state, FindTable(table));
+  return state.grid;
+}
+
+}  // namespace vas

@@ -1,0 +1,193 @@
+// The serving layer between HTTP and the engine: PlotService owns a
+// CatalogManager, resolves a (table, tile) request to the best sample
+// rung currently available, renders it through ScatterRenderer, and
+// fronts every render with a sharded byte-budgeted TileCache. When a
+// larger rung of a background build lands, the manager's rung-upgrade
+// hook invalidates that table's cached tiles, so progressive
+// refinement reaches clients as sharper tiles on their next fetch —
+// the paper's "serve the best sample the budget allows" policy turned
+// into a multi-user tile server.
+#ifndef VAS_SERVICE_PLOT_SERVICE_H_
+#define VAS_SERVICE_PLOT_SERVICE_H_
+
+#include <atomic>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine/catalog_manager.h"
+#include "engine/session.h"
+#include "render/scatter_renderer.h"
+#include "service/tile_cache.h"
+#include "service/tile_math.h"
+#include "util/status.h"
+
+namespace vas {
+
+class PlotService {
+ public:
+  struct Options {
+    /// Build pool / memory budget / spill dir for the owned manager.
+    /// `catalog.on_rung_ready` is overwritten by the service (it is the
+    /// tile-invalidation hook).
+    CatalogManager::Options catalog;
+    /// Tile edge in pixels (tiles are square).
+    size_t tile_px = 256;
+    /// Byte budget and sharding of the encoded-tile cache.
+    size_t tile_cache_budget_bytes = 64ull << 20;
+    size_t tile_cache_shards = 8;
+    /// Interactivity budget a tile render may spend: the served rung is
+    /// the largest whose estimated viz time fits (paper §II-D policy).
+    double tile_time_budget_seconds = 2.0;
+    /// Latency model converting rung sizes to estimated viz time.
+    VizTimeModel viz_model = VizTimeModel::MathGL();
+    /// Renderer styling for tiles; width/height are overridden per tile
+    /// with tile_px.
+    ScatterRenderer::Options renderer;
+  };
+
+  struct TileResult {
+    /// Encoded PNG bytes; shared with the cache so eviction cannot
+    /// invalidate an in-flight response.
+    std::shared_ptr<const std::string> png;
+    /// Rung the tile was rendered from, and ladder progress at serve
+    /// time — rungs_ready < rungs_total means a sharper tile will
+    /// exist once the build advances.
+    size_t sample_size = 0;
+    size_t rungs_ready = 0;
+    size_t rungs_total = 0;
+    bool cache_hit = false;
+  };
+
+  /// /plot's answer: viewport aggregates from the engine session (the
+  /// exact count comes from the cached UniformGrid, not a rescan).
+  struct ViewportInfo {
+    size_t sample_size = 0;
+    size_t sample_points_in_viewport = 0;
+    size_t points_in_viewport = 0;
+    double estimated_viz_seconds = 0.0;
+    double estimated_full_viz_seconds = 0.0;
+    size_t rungs_ready = 0;
+    size_t rungs_total = 0;
+  };
+
+  struct TableInfo {
+    CatalogKey key;
+    CatalogManager::BuildStatus build;
+    /// Tile addressing domain (the dataset bounds, normalized).
+    Rect world;
+    size_t rows = 0;
+  };
+
+  explicit PlotService(const Options& options);
+  PlotService() : PlotService(Options{}) {}
+
+  PlotService(const PlotService&) = delete;
+  PlotService& operator=(const PlotService&) = delete;
+
+  /// Registers `table` and starts its ladder build in the background;
+  /// tiles serve from the smallest rung the moment it lands. The
+  /// dataset should have cached bounds (Dataset::CacheBounds) and must
+  /// not be mutated while registered.
+  Status RegisterTable(const std::string& table,
+                       std::shared_ptr<const Dataset> dataset,
+                       SamplerFactory sampler_factory,
+                       SampleCatalog::Options catalog_options);
+
+  /// Registers `table` serving an already-built ladder (no build).
+  Status AddTable(const std::string& table,
+                  std::shared_ptr<const Dataset> dataset,
+                  SampleCatalog catalog);
+
+  /// Registers `table` from a catalog file written by WriteCatalog /
+  /// vas_tool save-catalog — cold start at disk-load cost.
+  Status LoadTable(const std::string& table,
+                   std::shared_ptr<const Dataset> dataset,
+                   const std::string& catalog_path);
+
+  /// Unregisters `table` and drops its cached tiles. NotFound when
+  /// absent; FailedPrecondition while its build is still running.
+  Status DropTable(const std::string& table);
+
+  /// Renders (or serves from cache) one tile. Blocks only while the
+  /// table has no servable rung yet. NotFound for unknown tables,
+  /// InvalidArgument for keys outside the tile grid.
+  StatusOr<TileResult> RenderTile(const std::string& table,
+                                  const TileKey& tile);
+
+  /// Viewport aggregates for /plot; an empty rect means the whole
+  /// domain.
+  StatusOr<ViewportInfo> QueryViewport(const std::string& table,
+                                       const Rect& viewport,
+                                       double time_budget_seconds);
+
+  /// Registered tables with live build state, sorted by name.
+  std::vector<TableInfo> Tables() const;
+  StatusOr<TableInfo> GetTable(const std::string& table) const;
+
+  /// The tile grid addressing `table`'s plane (for clients decomposing
+  /// viewports, and for byte-identity checks in tests/benches).
+  StatusOr<TileGrid> GridFor(const std::string& table) const;
+
+  /// The exact renderer configuration tiles are drawn with — rendering
+  /// the same rung through ScatterRenderer with these options yields
+  /// byte-identical PNGs to the served tiles.
+  ScatterRenderer::Options TileRenderOptions() const;
+
+  CatalogManager& manager() { return *manager_; }
+  TileCache::Stats cache_stats() const { return cache_.stats(); }
+  const Options& options() const { return options_; }
+
+ private:
+  struct Table {
+    std::shared_ptr<const Dataset> dataset;
+    TileGrid grid;
+    std::shared_ptr<InteractiveSession> session;
+    CatalogKey key;
+    /// Monotonic per-registration id baked into cache keys: a render
+    /// in flight across a DropTable + re-registration of the same name
+    /// lands its Put under the dead generation, so the new table can
+    /// never serve tiles of the old dataset.
+    uint64_t generation = 0;
+  };
+
+  /// Cache key namespace: "table\n" prefixes every tile of the table,
+  /// which is what rung-upgrade invalidation erases.
+  static std::string TablePrefix(const std::string& table) {
+    return table + "\n";
+  }
+  static std::string CacheKeyFor(const std::string& table,
+                                 uint64_t generation, const TileKey& tile,
+                                 size_t rung) {
+    return TablePrefix(table) + std::to_string(generation) + "\n" +
+           tile.ToString() + "\n" + std::to_string(rung);
+  }
+
+  StatusOr<Table> FindTable(const std::string& table) const;
+  Status InsertTable(const std::string& table,
+                     std::shared_ptr<const Dataset> dataset);
+
+  const Options options_;
+  /// Declared before manager_: build workers may still fire the
+  /// rung-upgrade hook (which touches the cache) while the manager is
+  /// shutting down, so the cache must outlive it.
+  TileCache cache_;
+  std::unique_ptr<CatalogManager> manager_;
+  mutable std::mutex mu_;
+  std::map<std::string, Table> tables_;
+  std::atomic<uint64_t> next_generation_{1};
+  /// Single-flight window: one render per cache key at a time; callers
+  /// that miss behind an in-flight render wait for its bytes instead
+  /// of redundantly rendering the same tile.
+  std::mutex inflight_mu_;
+  std::map<std::string,
+           std::shared_future<std::shared_ptr<const std::string>>>
+      inflight_;
+};
+
+}  // namespace vas
+
+#endif  // VAS_SERVICE_PLOT_SERVICE_H_

@@ -1,0 +1,102 @@
+#include "service/tile_cache.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/logging.h"
+
+namespace vas {
+
+TileCache::TileCache(const Options& options) {
+  size_t shard_count = std::max<size_t>(1, options.shards);
+  shard_budget_ = std::max<size_t>(1, options.budget_bytes / shard_count);
+  shards_.reserve(shard_count);
+  for (size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+TileCache::Shard& TileCache::ShardFor(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+std::shared_ptr<const std::string> TileCache::Get(const std::string& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return nullptr;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->second;
+}
+
+void TileCache::Put(const std::string& key,
+                    std::shared_ptr<const std::string> value) {
+  VAS_CHECK(value != nullptr);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    shard.bytes -= EntryBytes(key, *it->second->second);
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+  }
+  shard.bytes += EntryBytes(key, *value);
+  shard.lru.emplace_front(key, std::move(value));
+  shard.index[key] = shard.lru.begin();
+  // Evict LRU-first, never the entry just inserted (size() > 1 guard).
+  while (shard.bytes > shard_budget_ && shard.lru.size() > 1) {
+    auto& victim = shard.lru.back();
+    shard.bytes -= EntryBytes(victim.first, *victim.second);
+    shard.index.erase(victim.first);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+size_t TileCache::InvalidatePrefix(const std::string& prefix) {
+  size_t dropped = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      if (it->first.compare(0, prefix.size(), prefix) == 0) {
+        shard->bytes -= EntryBytes(it->first, *it->second);
+        shard->index.erase(it->first);
+        it = shard->lru.erase(it);
+        ++shard->invalidated;
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+  }
+  return dropped;
+}
+
+void TileCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+    shard->bytes = 0;
+  }
+}
+
+TileCache::Stats TileCache::stats() const {
+  Stats stats;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    stats.hits += shard->hits;
+    stats.misses += shard->misses;
+    stats.evictions += shard->evictions;
+    stats.invalidated += shard->invalidated;
+    stats.entries += shard->lru.size();
+    stats.bytes += shard->bytes;
+  }
+  return stats;
+}
+
+}  // namespace vas

@@ -1,0 +1,97 @@
+// Sharded, byte-budgeted LRU cache of encoded tiles. The serving hot
+// path is Get/Put of immutable PNG byte strings; sharding by key hash
+// keeps concurrent tile requests from serializing on one mutex, and the
+// byte budget bounds the server's render-cache footprint the same way
+// CatalogManager's budget bounds resident ladders.
+//
+// Values are shared_ptr<const string> so an entry evicted (or
+// invalidated by a rung upgrade) while a response is still being
+// written stays alive until that response completes.
+#ifndef VAS_SERVICE_TILE_CACHE_H_
+#define VAS_SERVICE_TILE_CACHE_H_
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace vas {
+
+class TileCache {
+ public:
+  struct Options {
+    /// Total bytes of cached tiles across all shards; the budget is
+    /// split evenly, so one hot shard evicts independently of the rest.
+    size_t budget_bytes = 64ull << 20;
+    size_t shards = 8;
+  };
+
+  /// Aggregate counters across shards (racy snapshot by nature).
+  struct Stats {
+    size_t hits = 0;
+    size_t misses = 0;
+    size_t evictions = 0;
+    size_t invalidated = 0;
+    size_t entries = 0;
+    size_t bytes = 0;
+  };
+
+  explicit TileCache(const Options& options);
+
+  TileCache(const TileCache&) = delete;
+  TileCache& operator=(const TileCache&) = delete;
+
+  /// The cached bytes for `key`, or null on miss. A hit marks the entry
+  /// most recently used in its shard.
+  std::shared_ptr<const std::string> Get(const std::string& key);
+
+  /// Inserts (or replaces) `key`, then evicts least-recently-used
+  /// entries until the shard is back under its budget slice. The entry
+  /// just inserted is never evicted by its own Put, so a tile larger
+  /// than the budget still serves once.
+  void Put(const std::string& key, std::shared_ptr<const std::string> value);
+
+  /// Drops every entry whose key starts with `prefix` — the rung-upgrade
+  /// invalidation path (prefix = one table's key space). Returns the
+  /// number of entries dropped.
+  size_t InvalidatePrefix(const std::string& prefix);
+
+  /// Drops everything.
+  void Clear();
+
+  Stats stats() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    /// Front = most recently used.
+    std::list<std::pair<std::string, std::shared_ptr<const std::string>>> lru;
+    std::unordered_map<
+        std::string,
+        std::list<std::pair<std::string,
+                            std::shared_ptr<const std::string>>>::iterator>
+        index;
+    size_t bytes = 0;
+    size_t hits = 0;
+    size_t misses = 0;
+    size_t evictions = 0;
+    size_t invalidated = 0;
+  };
+
+  /// Approximate footprint of one entry (key + bytes + bookkeeping).
+  static size_t EntryBytes(const std::string& key, const std::string& value) {
+    return key.size() + value.size() + 64;
+  }
+
+  Shard& ShardFor(const std::string& key);
+
+  size_t shard_budget_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace vas
+
+#endif  // VAS_SERVICE_TILE_CACHE_H_

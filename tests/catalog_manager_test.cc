@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <filesystem>
 #include <future>
 #include <memory>
 #include <string>
@@ -558,6 +559,115 @@ TEST(CatalogManagerTest, RungBuildMayShardOntoTheManagersOwnPool) {
   ASSERT_EQ((*catalog)->samples().size(), 2u);
   EXPECT_EQ((*catalog)->samples()[0].size(), 64u);
   EXPECT_EQ((*catalog)->samples()[1].size(), 256u);
+}
+
+// Regression for on-lock spill writes (roadmap item): eviction used to
+// serialize the victim's ladder to the spill file while holding the
+// manager mutex, stalling every other key's access for the write's
+// duration. Spills now run off-lock: victims are selected under the
+// mutex, written with no lock held, and completed under a brief
+// re-lock. These tests hammer the off-lock window — under TSan they
+// are the race check for the spilling/spill_valid state machine.
+TEST(CatalogManagerTest, ConcurrentAccessAcrossKeysWhileSpillsAreInFlight) {
+  // Budget fits one of four ladders, so nearly every access evicts a
+  // different key (queueing an off-lock write) and reloads its own.
+  // Every thread must always observe complete, correct ladders.
+  auto d = std::make_shared<Dataset>(test::Skewed(6000));
+  d->CacheBounds();
+  CatalogManager::Options options;
+  options.num_threads = 2;
+  options.memory_budget_bytes = 24 * 1024;
+  CatalogManager manager(options);
+
+  std::vector<CatalogKey> keys;
+  std::vector<std::vector<size_t>> smallest_rung_ids;
+  for (int i = 0; i < 4; ++i) {
+    keys.push_back(CatalogKey{"spill" + std::to_string(i)});
+    ASSERT_TRUE(manager
+                    .StartBuild(keys.back(), d, UniformFactory(20 + i),
+                                NoDensityLadder({200, 1500}))
+                    .ok());
+    auto built = manager.WaitUntilDone(keys.back());
+    ASSERT_TRUE(built.ok());
+    smallest_rung_ids.push_back((*built)->samples()[0].ids);
+  }
+
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < 6; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int i = 0; i < 40; ++i) {
+        size_t at = (t + i) % keys.size();
+        auto snapshot = manager.Snapshot(keys[at]);
+        if (!snapshot.ok() || (*snapshot)->samples().size() != 2u ||
+            (*snapshot)->samples()[0].ids != smallest_rung_ids[at]) {
+          failed = true;
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_FALSE(failed.load());
+  auto stats = manager.memory_stats();
+  EXPECT_GE(stats.evictions, 3u);
+  EXPECT_GE(stats.reloads, 3u);
+  EXPECT_LE(stats.resident_bytes,
+            stats.budget_bytes + 2 * 24 * 1024)
+      << "residency may transiently exceed budget while writes are in "
+         "flight, but never unboundedly";
+}
+
+TEST(CatalogManagerTest, DropRacingAnInFlightSpillLeavesNoFiles) {
+  // Drop() may erase an entry while PerformSpills is writing its
+  // ladder; the writer detects the unmapped entry and deletes the file
+  // it just created. After the churn the spill dir must hold nothing.
+  test::ScopedTempFile dir_guard("catalog_manager_offlock_spills");
+  std::filesystem::create_directory(dir_guard.path());
+  {
+    auto d = std::make_shared<Dataset>(test::Skewed(4000));
+    d->CacheBounds();
+    CatalogManager::Options options;
+    options.num_threads = 2;
+    options.memory_budget_bytes = 10 * 1024;
+    options.spill_dir = dir_guard.path();
+    CatalogManager manager(options);
+
+    for (int round = 0; round < 3; ++round) {
+      std::vector<CatalogKey> keys;
+      for (int i = 0; i < 3; ++i) {
+        keys.push_back(CatalogKey{"churn" + std::to_string(i)});
+        ASSERT_TRUE(manager
+                        .StartBuild(keys.back(), d, UniformFactory(7 + i),
+                                    NoDensityLadder({150, 900}))
+                        .ok());
+      }
+      // Touch every key so evictions interleave with the accesses, then
+      // drop them all while spill writes may still be in flight.
+      std::thread toucher([&manager, keys]() {
+        for (int i = 0; i < 20; ++i) {
+          auto snapshot = manager.Snapshot(keys[i % keys.size()]);
+          (void)snapshot;
+        }
+      });
+      for (const CatalogKey& key : keys) {
+        ASSERT_TRUE(manager.WaitUntilDone(key).ok());
+      }
+      toucher.join();
+      for (const CatalogKey& key : keys) {
+        ASSERT_TRUE(manager.Drop(key).ok());
+      }
+      EXPECT_EQ(manager.memory_stats().resident_bytes, 0u);
+    }
+    // Manager destruction removes whatever spill files remain.
+  }
+  size_t leftovers = 0;
+  for ([[maybe_unused]] const auto& entry :
+       std::filesystem::directory_iterator(dir_guard.path())) {
+    ++leftovers;
+  }
+  EXPECT_EQ(leftovers, 0u) << "spill files leaked past Drop/destruction";
+  std::filesystem::remove_all(dir_guard.path());
 }
 
 }  // namespace

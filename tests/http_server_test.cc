@@ -1,0 +1,346 @@
+// HttpServer + the route table: target/URI parsing, JSON escaping,
+// real-socket request/response round trips on an ephemeral port,
+// method handling (GET/HEAD/405), concurrent clients, and the whole
+// service surface (/healthz, /catalogs, /status, /tiles, /plot)
+// end-to-end through MakeServiceHandler over a PlotService.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/http_routes.h"
+#include "service/http_server.h"
+#include "service/plot_service.h"
+#include "sampling/uniform_sampler.h"
+#include "test_util.h"
+
+namespace vas {
+namespace {
+
+TEST(HttpParseTest, UriDecode) {
+  EXPECT_EQ(UriDecode("plain"), "plain");
+  EXPECT_EQ(UriDecode("a%20b"), "a b");
+  EXPECT_EQ(UriDecode("%2Fpath%2f"), "/path/");
+  EXPECT_EQ(UriDecode("a+b"), "a+b") << "'+' is literal, not a space";
+  // Malformed escapes pass through untouched.
+  EXPECT_EQ(UriDecode("100%"), "100%");
+  EXPECT_EQ(UriDecode("%zz"), "%zz");
+  EXPECT_EQ(UriDecode("%4"), "%4");
+}
+
+TEST(HttpParseTest, ParseTargetSplitsPathAndQuery) {
+  std::string path;
+  std::map<std::string, std::string> query;
+  ParseTarget("/plot?table=geo&xmin=-1.5&label=a%20b&flag", &path, &query);
+  EXPECT_EQ(path, "/plot");
+  EXPECT_EQ(query.size(), 4u);
+  EXPECT_EQ(query["table"], "geo");
+  EXPECT_EQ(query["xmin"], "-1.5");
+  EXPECT_EQ(query["label"], "a b");
+  EXPECT_EQ(query["flag"], "");
+
+  ParseTarget("/tiles/t%20x/1/0/0.png", &path, &query);
+  EXPECT_EQ(path, "/tiles/t x/1/0/0.png");
+  EXPECT_TRUE(query.empty());
+
+  ParseTarget("/bare", &path, &query);
+  EXPECT_EQ(path, "/bare");
+  EXPECT_TRUE(query.empty());
+}
+
+TEST(HttpParseTest, JsonEscape) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(JsonEscape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(JsonEscape(std::string("\x01", 1)), "\\u0001");
+}
+
+HttpServer::Options EphemeralPort(size_t threads = 4) {
+  HttpServer::Options options;
+  options.port = 0;  // the OS picks; tests never collide on a port
+  options.bind_address = "127.0.0.1";
+  options.num_threads = threads;
+  return options;
+}
+
+TEST(HttpServerTest, ServesHandlerResponses) {
+  HttpServer server(EphemeralPort(), [](const HttpRequest& request) {
+    HttpResponse response;
+    response.content_type = "text/plain";
+    response.body = request.method + " " + request.path;
+    if (auto it = request.query.find("q"); it != request.query.end()) {
+      response.body += " q=" + it->second;
+    }
+    return response;
+  });
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_NE(server.port(), 0);
+
+  auto result = HttpGet(server.port(), "/echo?q=hi%21");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->status, 200);
+  EXPECT_EQ(result->body, "GET /echo q=hi!");
+  EXPECT_EQ(result->headers["content-type"], "text/plain");
+  EXPECT_EQ(result->headers["content-length"],
+            std::to_string(result->body.size()));
+  EXPECT_EQ(result->headers["connection"], "close");
+  server.Stop();
+  EXPECT_EQ(server.requests_served(), 1u);
+}
+
+TEST(HttpServerTest, SharedBodyAndExtraHeadersReachTheWire) {
+  auto bytes = std::make_shared<const std::string>("shared-tile-bytes");
+  HttpServer server(EphemeralPort(), [bytes](const HttpRequest&) {
+    HttpResponse response;
+    response.content_type = "image/png";
+    response.shared_body = bytes;
+    response.extra_headers.emplace_back("X-Vas-Cache", "hit");
+    return response;
+  });
+  ASSERT_TRUE(server.Start().ok());
+  auto result = HttpGet(server.port(), "/tile");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->body, *bytes);
+  EXPECT_EQ(result->headers["x-vas-cache"], "hit");
+}
+
+TEST(HttpServerTest, RejectsNonGetMethodsAndMalformedRequests) {
+  HttpServer server(EphemeralPort(), [](const HttpRequest&) {
+    return HttpResponse{};
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  // Raw socket: POST -> 405, garbage -> 400, HEAD -> headers only.
+  auto raw_request = [&server](const std::string& wire) {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server.port());
+    inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0);
+    EXPECT_EQ(::send(fd, wire.data(), wire.size(), 0),
+              static_cast<ssize_t>(wire.size()));
+    std::string out;
+    char buffer[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+      out.append(buffer, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return out;
+  };
+
+  EXPECT_NE(
+      raw_request("POST /x HTTP/1.1\r\nHost: h\r\n\r\n").find("405"),
+      std::string::npos);
+  EXPECT_NE(raw_request("not-http\r\n\r\n").find("400"), std::string::npos);
+  std::string head = raw_request("HEAD / HTTP/1.1\r\nHost: h\r\n\r\n");
+  EXPECT_NE(head.find("200"), std::string::npos);
+  EXPECT_EQ(head.find("\r\n\r\n"), head.size() - 4)
+      << "HEAD response must carry no body";
+}
+
+TEST(HttpServerTest, HandlesManyConcurrentClients) {
+  std::atomic<size_t> handled{0};
+  HttpServer server(EphemeralPort(8), [&handled](const HttpRequest& request) {
+    handled.fetch_add(1);
+    HttpResponse response;
+    response.body = "pong " + request.path;
+    return response;
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr size_t kClients = 16;
+  constexpr size_t kRequests = 8;
+  std::atomic<size_t> errors{0};
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&server, &errors, c]() {
+      for (size_t i = 0; i < kRequests; ++i) {
+        std::string path = "/c" + std::to_string(c) + "/" + std::to_string(i);
+        auto result = HttpGet(server.port(), path);
+        if (!result.ok() || result->status != 200 ||
+            result->body != "pong " + path) {
+          errors.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(errors.load(), 0u);
+  EXPECT_EQ(handled.load(), kClients * kRequests);
+  server.Stop();
+  EXPECT_EQ(server.requests_served(), kClients * kRequests);
+}
+
+TEST(HttpServerTest, StopUnderLiveTrafficShutsDownCleanly) {
+  // Regression for the accept-loop shutdown race: Stop() used to shut
+  // the pool down while the accept loop could still be handing off a
+  // connection, and Submit() on a shut-down pool aborts the process.
+  // Hammer the server from several clients and stop it mid-traffic;
+  // passing means no abort (late requests may fail, that's fine).
+  for (int round = 0; round < 3; ++round) {
+    HttpServer server(EphemeralPort(2), [](const HttpRequest&) {
+      HttpResponse response;
+      response.body = "ok";
+      return response;
+    });
+    ASSERT_TRUE(server.Start().ok());
+    std::atomic<bool> done{false};
+    std::vector<std::thread> clients;
+    for (int c = 0; c < 4; ++c) {
+      clients.emplace_back([&server, &done]() {
+        while (!done.load()) {
+          auto result = HttpGet(server.port(), "/x");
+          (void)result;  // failures after Stop() are expected
+        }
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    server.Stop();
+    done.store(true);
+    for (std::thread& t : clients) t.join();
+  }
+}
+
+TEST(HttpServerTest, StartTwiceFailsAndStopIsIdempotent) {
+  HttpServer server(EphemeralPort(), [](const HttpRequest&) {
+    return HttpResponse{};
+  });
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_EQ(server.Start().code(), StatusCode::kFailedPrecondition);
+  server.Stop();
+  server.Stop();
+}
+
+TEST(HttpServerTest, BadBindAddressFailsToStart) {
+  HttpServer::Options options;
+  options.port = 0;
+  options.bind_address = "not-an-address";
+  HttpServer server(options, [](const HttpRequest&) {
+    return HttpResponse{};
+  });
+  EXPECT_FALSE(server.Start().ok());
+}
+
+/// The full service surface over real sockets: one PlotService with a
+/// finished two-rung ladder behind MakeServiceHandler.
+class ServiceEndpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    service_ = std::make_unique<PlotService>();
+    auto dataset = std::make_shared<Dataset>(test::Skewed(4000));
+    dataset->CacheBounds();
+    ASSERT_TRUE(service_
+                    ->RegisterTable(
+                        "geo", dataset,
+                        []() {
+                          return std::make_unique<UniformReservoirSampler>(3);
+                        },
+                        [] {
+                          SampleCatalog::Options options;
+                          options.ladder = {200, 800};
+                          options.embed_density = false;
+                          return options;
+                        }())
+                    .ok());
+    ASSERT_TRUE(service_->manager().WaitUntilDone(CatalogKey{"geo"}).ok());
+    server_ = std::make_unique<HttpServer>(EphemeralPort(),
+                                           MakeServiceHandler(service_.get()));
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  HttpFetchResult Get(const std::string& target) {
+    auto result = HttpGet(server_->port(), target);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.ok() ? *result : HttpFetchResult{};
+  }
+
+  std::unique_ptr<PlotService> service_;
+  std::unique_ptr<HttpServer> server_;
+};
+
+TEST_F(ServiceEndpointTest, Healthz) {
+  auto result = Get("/healthz");
+  EXPECT_EQ(result.status, 200);
+  EXPECT_EQ(result.body, "ok\n");
+}
+
+TEST_F(ServiceEndpointTest, CatalogsListsTheTable) {
+  auto result = Get("/catalogs");
+  EXPECT_EQ(result.status, 200);
+  EXPECT_EQ(result.headers["content-type"], "application/json");
+  EXPECT_NE(result.body.find("\"table\":\"geo\""), std::string::npos);
+  EXPECT_NE(result.body.find("\"rungs_ready\":2"), std::string::npos);
+  EXPECT_NE(result.body.find("\"done\":true"), std::string::npos);
+  EXPECT_NE(result.body.find("\"world\":["), std::string::npos);
+}
+
+TEST_F(ServiceEndpointTest, StatusReportsBuildMemoryAndCache) {
+  auto result = Get("/status/geo");
+  EXPECT_EQ(result.status, 200);
+  EXPECT_NE(result.body.find("\"build\":"), std::string::npos);
+  EXPECT_NE(result.body.find("\"memory\":"), std::string::npos);
+  EXPECT_NE(result.body.find("\"tile_cache\":"), std::string::npos);
+  EXPECT_EQ(Get("/status/nope").status, 404);
+}
+
+TEST_F(ServiceEndpointTest, TileEndpointServesPngWithCacheHeaders) {
+  auto cold = Get("/tiles/geo/1/0/1.png");
+  EXPECT_EQ(cold.status, 200);
+  EXPECT_EQ(cold.headers["content-type"], "image/png");
+  ASSERT_GE(cold.body.size(), 8u);
+  EXPECT_EQ(cold.body.substr(0, 8), std::string("\x89PNG\r\n\x1a\n", 8));
+  EXPECT_EQ(cold.headers["x-vas-cache"], "miss");
+  EXPECT_EQ(cold.headers["x-vas-rung"], "800");
+  EXPECT_EQ(cold.headers["x-vas-rungs-ready"], "2/2");
+
+  auto warm = Get("/tiles/geo/1/0/1.png");
+  EXPECT_EQ(warm.headers["x-vas-cache"], "hit");
+  EXPECT_EQ(warm.body, cold.body) << "hit and miss must be byte-identical";
+}
+
+TEST_F(ServiceEndpointTest, TileErrorsMapToHttpCodes) {
+  EXPECT_EQ(Get("/tiles/nope/0/0/0.png").status, 404);
+  EXPECT_EQ(Get("/tiles/geo/1/9/0.png").status, 400) << "x outside 2^z grid";
+  EXPECT_EQ(Get("/tiles/geo/1/-1/0.png").status, 400);
+  EXPECT_EQ(Get("/tiles/geo/1/x/0.png").status, 400);
+  EXPECT_EQ(Get("/tiles/geo/1/0/0.jpg").status, 404) << "only .png exists";
+}
+
+TEST_F(ServiceEndpointTest, PlotReturnsViewportCounts) {
+  auto whole = Get("/plot?table=geo");
+  EXPECT_EQ(whole.status, 200);
+  EXPECT_NE(whole.body.find("\"points_in_viewport\":4000"),
+            std::string::npos)
+      << whole.body;
+  EXPECT_NE(whole.body.find("\"sample_size\":800"), std::string::npos);
+
+  EXPECT_EQ(Get("/plot").status, 400) << "missing ?table=";
+  EXPECT_EQ(Get("/plot?table=geo&xmin=0").status, 400)
+      << "partial viewport";
+  EXPECT_EQ(Get("/plot?table=geo&xmin=a&ymin=0&xmax=1&ymax=1").status, 400);
+  EXPECT_EQ(Get("/plot?table=geo&xmin=5&ymin=5&xmax=1&ymax=1").status, 400)
+      << "inverted viewport must error, not silently mean whole-domain";
+  EXPECT_EQ(Get("/plot?table=nope").status, 404);
+}
+
+TEST_F(ServiceEndpointTest, UnknownRouteIs404) {
+  EXPECT_EQ(Get("/").status, 404);
+  EXPECT_EQ(Get("/tiles/geo/1/0.png").status, 404) << "wrong segment count";
+}
+
+}  // namespace
+}  // namespace vas

@@ -1,0 +1,236 @@
+// Image::EncodePng / WritePng: the self-contained encoder (stored
+// deflate blocks + CRC32) must produce structurally valid PNGs that
+// decode back to the exact pixels — verified by a minimal independent
+// decoder reimplemented here — plus a byte-level golden for a tiny
+// image, determinism (the tile cache's byte-identity contract), and
+// the multi-block path for rasters whose scanline stream exceeds one
+// stored block.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "render/image.h"
+#include "test_util.h"
+
+namespace vas {
+namespace {
+
+uint32_t ReadBe32(const std::string& s, size_t pos) {
+  return (static_cast<uint32_t>(static_cast<unsigned char>(s[pos])) << 24) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(s[pos + 1]))
+          << 16) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(s[pos + 2])) << 8) |
+         static_cast<uint32_t>(static_cast<unsigned char>(s[pos + 3]));
+}
+
+uint32_t RefCrc32(const std::string& data) {
+  uint32_t crc = 0xffffffffu;
+  for (unsigned char byte : data) {
+    crc ^= byte;
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc & 1) ? 0xedb88320u ^ (crc >> 1) : crc >> 1;
+    }
+  }
+  return crc ^ 0xffffffffu;
+}
+
+uint32_t RefAdler32(const std::string& data) {
+  uint32_t a = 1, b = 0;
+  for (unsigned char byte : data) {
+    a = (a + byte) % 65521;
+    b = (b + a) % 65521;
+  }
+  return (b << 16) | a;
+}
+
+/// What the independent decoder recovered from a PNG byte stream.
+struct DecodedPng {
+  uint32_t width = 0;
+  uint32_t height = 0;
+  uint8_t bit_depth = 0;
+  uint8_t color_type = 0;
+  size_t stored_blocks = 0;
+  /// Row-major RGB triples after unfiltering.
+  std::vector<uint8_t> rgb;
+};
+
+/// Parses the subset of PNG the encoder emits: IHDR/IDAT/IEND chunks,
+/// zlib stream of stored deflate blocks, filter type 0 on every row.
+/// Every framing field (signature, CRCs, block lengths and their
+/// complements, adler, IDAT size) is verified with ASSERTs.
+void DecodePng(const std::string& png, DecodedPng* out) {
+  ASSERT_GE(png.size(), 8u);
+  ASSERT_EQ(png.substr(0, 8), std::string("\x89PNG\r\n\x1a\n", 8));
+  std::string idat;
+  bool saw_ihdr = false, saw_iend = false;
+  size_t pos = 8;
+  while (pos < png.size()) {
+    ASSERT_GE(png.size(), pos + 12) << "truncated chunk header";
+    uint32_t length = ReadBe32(png, pos);
+    std::string type = png.substr(pos + 4, 4);
+    ASSERT_GE(png.size(), pos + 12 + length) << "truncated chunk body";
+    std::string body = png.substr(pos + 4, 4 + length);
+    EXPECT_EQ(ReadBe32(png, pos + 8 + length), RefCrc32(body))
+        << "bad CRC on chunk " << type;
+    if (type == "IHDR") {
+      ASSERT_EQ(length, 13u);
+      out->width = ReadBe32(png, pos + 8);
+      out->height = ReadBe32(png, pos + 12);
+      out->bit_depth = static_cast<uint8_t>(png[pos + 16]);
+      out->color_type = static_cast<uint8_t>(png[pos + 17]);
+      EXPECT_EQ(png[pos + 18], '\0');  // compression: deflate
+      EXPECT_EQ(png[pos + 19], '\0');  // filter method 0
+      EXPECT_EQ(png[pos + 20], '\0');  // no interlace
+      saw_ihdr = true;
+    } else if (type == "IDAT") {
+      idat += png.substr(pos + 8, length);
+    } else if (type == "IEND") {
+      EXPECT_EQ(length, 0u);
+      saw_iend = true;
+    }
+    pos += 12 + length;
+  }
+  ASSERT_TRUE(saw_ihdr);
+  ASSERT_TRUE(saw_iend);
+  ASSERT_EQ(pos, png.size());
+
+  // zlib header, then stored deflate blocks to the final one.
+  ASSERT_GE(idat.size(), 6u);
+  uint32_t cmf = static_cast<unsigned char>(idat[0]);
+  uint32_t flg = static_cast<unsigned char>(idat[1]);
+  EXPECT_EQ(cmf & 0x0f, 8u) << "compression method must be deflate";
+  EXPECT_EQ((cmf * 256 + flg) % 31, 0u) << "zlib check bits";
+  std::string raw;
+  size_t at = 2;
+  for (;;) {
+    ASSERT_GE(idat.size(), at + 5) << "truncated stored block header";
+    uint8_t header = static_cast<unsigned char>(idat[at]);
+    ASSERT_EQ(header & 0x06, 0) << "block must be stored (BTYPE=00)";
+    size_t len = static_cast<unsigned char>(idat[at + 1]) |
+                 (static_cast<size_t>(static_cast<unsigned char>(idat[at + 2]))
+                  << 8);
+    size_t nlen =
+        static_cast<unsigned char>(idat[at + 3]) |
+        (static_cast<size_t>(static_cast<unsigned char>(idat[at + 4])) << 8);
+    ASSERT_EQ(len ^ nlen, 0xffffu) << "LEN/NLEN complement";
+    ASSERT_GE(idat.size(), at + 5 + len) << "truncated stored block";
+    raw.append(idat, at + 5, len);
+    at += 5 + len;
+    ++out->stored_blocks;
+    if (header & 0x01) break;  // BFINAL
+  }
+  ASSERT_EQ(idat.size(), at + 4) << "trailing bytes after adler";
+  EXPECT_EQ(ReadBe32(idat, at), RefAdler32(raw));
+
+  // Unfilter: the encoder only emits filter type 0 (None).
+  size_t stride = 1 + static_cast<size_t>(out->width) * 3;
+  ASSERT_EQ(raw.size(), stride * out->height);
+  for (uint32_t y = 0; y < out->height; ++y) {
+    ASSERT_EQ(raw[y * stride], '\0') << "row " << y << " filter type";
+    for (size_t i = 1; i < stride; ++i) {
+      out->rgb.push_back(static_cast<uint8_t>(raw[y * stride + i]));
+    }
+  }
+}
+
+Image TestPattern(size_t width, size_t height) {
+  Image image(width, height, Rgb{250, 250, 250});
+  for (size_t y = 0; y < height; ++y) {
+    for (size_t x = 0; x < width; ++x) {
+      image.Set(x, y,
+                Rgb{static_cast<uint8_t>((x * 7 + y) & 0xff),
+                    static_cast<uint8_t>((x + y * 13) & 0xff),
+                    static_cast<uint8_t>((x * y) & 0xff)});
+    }
+  }
+  return image;
+}
+
+void ExpectDecodesBack(const Image& image) {
+  DecodedPng decoded;
+  ASSERT_NO_FATAL_FAILURE(DecodePng(image.EncodePng(), &decoded));
+  ASSERT_EQ(decoded.width, image.width());
+  ASSERT_EQ(decoded.height, image.height());
+  EXPECT_EQ(decoded.bit_depth, 8);
+  EXPECT_EQ(decoded.color_type, 2);  // truecolor RGB
+  ASSERT_EQ(decoded.rgb.size(), image.width() * image.height() * 3);
+  for (size_t y = 0; y < image.height(); ++y) {
+    for (size_t x = 0; x < image.width(); ++x) {
+      size_t at = (y * image.width() + x) * 3;
+      Rgb expected = image.Get(x, y);
+      ASSERT_EQ(decoded.rgb[at], expected.r) << "(" << x << "," << y << ")";
+      ASSERT_EQ(decoded.rgb[at + 1], expected.g);
+      ASSERT_EQ(decoded.rgb[at + 2], expected.b);
+    }
+  }
+}
+
+TEST(ImagePngTest, GoldenBytesForTinyImage) {
+  // Byte-for-byte golden (independently generated): any change to the
+  // chunk framing, zlib wrapper, or filter bytes shows up here first.
+  Image image(2, 1);
+  image.Set(0, 0, Rgb{255, 0, 0});
+  image.Set(1, 0, Rgb{0, 128, 255});
+  const std::string expected(
+      "\x89\x50\x4e\x47\x0d\x0a\x1a\x0a\x00\x00\x00\x0d"
+      "\x49\x48\x44\x52\x00\x00\x00\x02\x00\x00\x00\x01"
+      "\x08\x02\x00\x00\x00\x7b\x40\xe8\xdd\x00\x00\x00"
+      "\x12\x49\x44\x41\x54\x78\x01\x01\x07\x00\xf8\xff"
+      "\x00\xff\x00\x00\x00\x80\xff\x08\x00\x02\x7f\xd5"
+      "\x70\x6e\xaa\x00\x00\x00\x00\x49\x45\x4e\x44\xae"
+      "\x42\x60\x82",
+      75);
+  EXPECT_EQ(image.EncodePng(), expected);
+}
+
+TEST(ImagePngTest, RoundTripsThroughIndependentDecoder) {
+  ExpectDecodesBack(TestPattern(31, 17));
+}
+
+TEST(ImagePngTest, SinglePixelRoundTrips) {
+  Image image(1, 1, Rgb{1, 2, 3});
+  ExpectDecodesBack(image);
+}
+
+TEST(ImagePngTest, LargeRasterSpansMultipleStoredBlocks) {
+  // 180x130 RGB -> raw scanlines of 130*(1+540) = 70330 bytes, which
+  // must split into two stored deflate blocks (cap 65535) and still
+  // decode to the exact pixels.
+  Image image = TestPattern(180, 130);
+  DecodedPng decoded;
+  ASSERT_NO_FATAL_FAILURE(DecodePng(image.EncodePng(), &decoded));
+  EXPECT_EQ(decoded.stored_blocks, 2u);
+  ExpectDecodesBack(image);
+}
+
+TEST(ImagePngTest, EncodingIsDeterministic) {
+  Image image = TestPattern(64, 64);
+  EXPECT_EQ(image.EncodePng(), image.EncodePng());
+}
+
+class ImagePngFileTest : public test::TempFileTest {
+ protected:
+  ImagePngFileTest() : TempFileTest("image_png_test.png") {}
+};
+
+TEST_F(ImagePngFileTest, WritePngMatchesEncodePng) {
+  Image image = TestPattern(23, 9);
+  ASSERT_TRUE(image.WritePng(path()).ok());
+  std::ifstream in(path(), std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), image.EncodePng());
+}
+
+TEST_F(ImagePngFileTest, WritePngToUnwritablePathFails) {
+  Image image(2, 2);
+  EXPECT_FALSE(image.WritePng("/nonexistent-dir/tile.png").ok());
+}
+
+}  // namespace
+}  // namespace vas

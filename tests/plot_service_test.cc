@@ -1,0 +1,375 @@
+// PlotService: the serving layer between HTTP and the engine. Covers
+// registration paths (build / prebuilt / from file), tile rendering
+// with cache hits sharing bytes, the acceptance-criterion contract
+// that a served tile is byte-identical to the same rung rendered
+// directly through ScatterRenderer, rung-upgrade invalidation
+// (progressive refinement), time-budget rung selection, viewport
+// queries against brute-force counts, and drop semantics.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "engine/catalog_io.h"
+#include "service/plot_service.h"
+#include "sampling/uniform_sampler.h"
+#include "test_util.h"
+
+namespace vas {
+namespace {
+
+SamplerFactory UniformFactory(uint64_t seed) {
+  return [seed]() { return std::make_unique<UniformReservoirSampler>(seed); };
+}
+
+SampleCatalog::Options Ladder(std::vector<size_t> rungs) {
+  SampleCatalog::Options options;
+  options.ladder = std::move(rungs);
+  options.embed_density = false;
+  return options;
+}
+
+std::shared_ptr<const Dataset> SkewedShared(size_t n) {
+  auto dataset = std::make_shared<Dataset>(test::Skewed(n));
+  dataset->CacheBounds();
+  return dataset;
+}
+
+/// Blocks rungs of at least `gate_at_k` points until the shared future
+/// resolves, making "the larger rung has not landed yet" deterministic.
+class GatedSampler : public Sampler {
+ public:
+  GatedSampler(uint64_t seed, size_t gate_at_k, std::shared_future<void> gate)
+      : inner_(seed), gate_at_k_(gate_at_k), gate_(std::move(gate)) {}
+
+  SampleSet Sample(const Dataset& dataset, size_t k) override {
+    if (k >= gate_at_k_) gate_.wait();
+    return inner_.Sample(dataset, k);
+  }
+  std::string name() const override { return "gated-uniform"; }
+
+ private:
+  UniformReservoirSampler inner_;
+  size_t gate_at_k_;
+  std::shared_future<void> gate_;
+};
+
+TEST(PlotServiceTest, UnknownTableIsNotFound) {
+  PlotService service;
+  EXPECT_EQ(service.RenderTile("nope", TileKey{0, 0, 0}).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(service.GetTable("nope").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(service.DropTable("nope").code(), StatusCode::kNotFound);
+  EXPECT_EQ(
+      service.QueryViewport("nope", Rect(), 2.0).status().code(),
+      StatusCode::kNotFound);
+}
+
+TEST(PlotServiceTest, TileKeyOutsideGridIsInvalidArgument) {
+  PlotService service;
+  ASSERT_TRUE(service
+                  .RegisterTable("geo", SkewedShared(2000), UniformFactory(3),
+                                 Ladder({100}))
+                  .ok());
+  EXPECT_EQ(service.RenderTile("geo", TileKey{2, 4, 0}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      service.RenderTile("geo", TileKey{TileGrid::kMaxZoom + 1, 0, 0})
+          .status()
+          .code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(PlotServiceTest, SecondFetchIsACacheHitSharingTheBytes) {
+  PlotService service;
+  auto dataset = SkewedShared(3000);
+  ASSERT_TRUE(service
+                  .RegisterTable("geo", dataset, UniformFactory(5),
+                                 Ladder({200}))
+                  .ok());
+  auto first = service.RenderTile("geo", TileKey{1, 0, 1});
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->cache_hit);
+  ASSERT_NE(first->png, nullptr);
+  EXPECT_FALSE(first->png->empty());
+  EXPECT_EQ(first->png->substr(0, 8), std::string("\x89PNG\r\n\x1a\n", 8));
+
+  auto second = service.RenderTile("geo", TileKey{1, 0, 1});
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->cache_hit);
+  EXPECT_EQ(second->png.get(), first->png.get())
+      << "a hit must serve the cached bytes, not a copy";
+  auto stats = service.cache_stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(PlotServiceTest, ServedTileIsByteIdenticalToDirectRender) {
+  // The acceptance-criterion contract in miniature: GridFor +
+  // TileRenderOptions reproduce the served tile exactly through a
+  // directly-driven ScatterRenderer.
+  PlotService::Options options;
+  options.tile_px = 128;
+  PlotService service(options);
+  auto dataset = SkewedShared(4000);
+  ASSERT_TRUE(service
+                  .RegisterTable("geo", dataset, UniformFactory(17),
+                                 Ladder({300, 900}))
+                  .ok());
+  CatalogKey key{"geo", "x", "y"};
+  ASSERT_TRUE(service.manager().WaitUntilDone(key).ok());
+
+  TileKey tile{2, 1, 2};
+  auto served = service.RenderTile("geo", tile);
+  ASSERT_TRUE(served.ok());
+
+  auto snapshot = service.manager().Snapshot(key);
+  ASSERT_TRUE(snapshot.ok());
+  const SampleSet& rung = (*snapshot)->ChooseForTimeBudget(
+      service.options().tile_time_budget_seconds, service.options().viz_model);
+  EXPECT_EQ(rung.size(), served->sample_size);
+
+  auto grid = service.GridFor("geo");
+  ASSERT_TRUE(grid.ok());
+  Viewport viewport(grid->TileBounds(tile), options.tile_px, options.tile_px);
+  ScatterRenderer renderer(service.TileRenderOptions());
+  Image direct = renderer.RenderSample(*dataset, rung, viewport);
+  EXPECT_EQ(direct.EncodePng(), *served->png);
+}
+
+TEST(PlotServiceTest, RungUpgradeInvalidatesCachedTiles) {
+  std::promise<void> gate;
+  std::shared_future<void> future = gate.get_future().share();
+  PlotService service;
+  auto dataset = SkewedShared(5000);
+  ASSERT_TRUE(service
+                  .RegisterTable(
+                      "geo", dataset,
+                      [future]() {
+                        return std::make_unique<GatedSampler>(9, 2000, future);
+                      },
+                      Ladder({200, 2000}))
+                  .ok());
+
+  // Rung 1 only: the tile serves and caches at sample_size 200.
+  auto early = service.RenderTile("geo", TileKey{0, 0, 0});
+  ASSERT_TRUE(early.ok());
+  EXPECT_EQ(early->sample_size, 200u);
+  EXPECT_LT(early->rungs_ready, early->rungs_total);
+  ASSERT_TRUE(service.RenderTile("geo", TileKey{0, 0, 0})->cache_hit);
+
+  gate.set_value();
+  ASSERT_TRUE(service.manager().WaitUntilDone(CatalogKey{"geo"}).ok());
+
+  // The sharper rung must now serve — freshly rendered, not the stale
+  // cached tile (rung size is part of the cache key, and the upgrade
+  // hook swept the table's namespace).
+  auto sharper = service.RenderTile("geo", TileKey{0, 0, 0});
+  ASSERT_TRUE(sharper.ok());
+  EXPECT_EQ(sharper->sample_size, 2000u);
+  EXPECT_FALSE(sharper->cache_hit);
+  EXPECT_EQ(sharper->rungs_ready, sharper->rungs_total);
+  // The upgrade hook fires from the build worker after publication, so
+  // it may land shortly after WaitUntilDone returns.
+  for (int i = 0; i < 500 && service.cache_stats().invalidated == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(service.cache_stats().invalidated, 1u);
+}
+
+TEST(PlotServiceTest, TileTimeBudgetPicksTheRung) {
+  // MathGL model: 0.2 s overhead + 2 µs/point. A 0.205 s budget fits
+  // the 200-point rung (0.2004 s) but not 5000 points (0.21 s).
+  PlotService::Options options;
+  options.tile_time_budget_seconds = 0.205;
+  PlotService service(options);
+  ASSERT_TRUE(service
+                  .RegisterTable("geo", SkewedShared(20000),
+                                 UniformFactory(23), Ladder({200, 5000}))
+                  .ok());
+  ASSERT_TRUE(service.manager().WaitUntilDone(CatalogKey{"geo"}).ok());
+  auto tile = service.RenderTile("geo", TileKey{0, 0, 0});
+  ASSERT_TRUE(tile.ok());
+  EXPECT_EQ(tile->sample_size, 200u);
+}
+
+TEST(PlotServiceTest, AddAndLoadTableServePrebuiltLadders) {
+  auto dataset = SkewedShared(3000);
+  UniformReservoirSampler sampler(31);
+  SampleCatalog catalog(*dataset, sampler, Ladder({150, 600}));
+
+  PlotService service;
+  ASSERT_TRUE(service.AddTable("mem", dataset, catalog).ok());
+  auto tile = service.RenderTile("mem", TileKey{0, 0, 0});
+  ASSERT_TRUE(tile.ok());
+  EXPECT_EQ(tile->rungs_ready, 2u);
+
+  test::ScopedTempFile file("plot_service_test.vascat");
+  ASSERT_TRUE(WriteCatalog(catalog, file.path()).ok());
+  ASSERT_TRUE(service.LoadTable("disk", dataset, file.path()).ok());
+  auto loaded = service.RenderTile("disk", TileKey{0, 0, 0});
+  ASSERT_TRUE(loaded.ok());
+  // Same ladder, same renderer, same tile: identical bytes.
+  EXPECT_EQ(*loaded->png, *tile->png);
+
+  ASSERT_EQ(service.Tables().size(), 2u);
+  EXPECT_EQ(service.Tables()[0].key.table, "disk");
+  EXPECT_EQ(service.Tables()[1].key.table, "mem");
+}
+
+TEST(PlotServiceTest, ViewportQueryCountsMatchBruteForce) {
+  PlotService service;
+  auto dataset = SkewedShared(8000);
+  ASSERT_TRUE(service
+                  .RegisterTable("geo", dataset, UniformFactory(41),
+                                 Ladder({500}))
+                  .ok());
+  ASSERT_TRUE(service.manager().WaitUntilDone(CatalogKey{"geo"}).ok());
+
+  Rect bounds = dataset->Bounds();
+  Rect viewport = Rect::Of(bounds.min_x + bounds.width() * 0.2,
+                           bounds.min_y + bounds.height() * 0.3,
+                           bounds.min_x + bounds.width() * 0.7,
+                           bounds.min_y + bounds.height() * 0.8);
+  size_t brute = 0;
+  for (const Point& p : dataset->points) {
+    if (viewport.Contains(p)) ++brute;
+  }
+  auto info = service.QueryViewport("geo", viewport, 2.0);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->points_in_viewport, brute);
+  EXPECT_EQ(info->sample_size, 500u);
+  EXPECT_LE(info->sample_points_in_viewport, info->sample_size);
+  EXPECT_GT(info->estimated_full_viz_seconds, info->estimated_viz_seconds);
+}
+
+TEST(PlotServiceTest, ConcurrentColdFetchesOfOneTileShareOneRender) {
+  // Single-flight: simultaneous misses on the same uncached tile must
+  // resolve to the very same bytes object — one render, shared by the
+  // leader, the coalesced waiters, and the cache.
+  PlotService service;
+  ASSERT_TRUE(service
+                  .RegisterTable("geo", SkewedShared(6000), UniformFactory(2),
+                                 Ladder({3000}))
+                  .ok());
+  ASSERT_TRUE(service.manager().WaitUntilDone(CatalogKey{"geo"}).ok());
+
+  constexpr size_t kThreads = 8;
+  std::vector<std::shared_ptr<const std::string>> pngs(kThreads);
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      auto tile = service.RenderTile("geo", TileKey{3, 4, 4});
+      if (!tile.ok() || tile->png == nullptr) {
+        failed = true;
+        return;
+      }
+      pngs[t] = tile->png;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  ASSERT_FALSE(failed.load());
+  for (size_t t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(pngs[t].get(), pngs[0].get())
+        << "thread " << t << " got a redundantly rendered copy";
+  }
+}
+
+TEST(PlotServiceTest, ReRegisteredTableNeverServesTheOldDatasetsTiles) {
+  // Same table name, same rung size, different dataset: the tile must
+  // be re-rendered from the new data (per-registration generation in
+  // the cache key), never served from the old registration's cache.
+  PlotService service;
+  ASSERT_TRUE(service
+                  .RegisterTable("t", SkewedShared(3000), UniformFactory(4),
+                                 Ladder({500}))
+                  .ok());
+  ASSERT_TRUE(service.manager().WaitUntilDone(CatalogKey{"t"}).ok());
+  auto old_tile = service.RenderTile("t", TileKey{1, 0, 0});
+  ASSERT_TRUE(old_tile.ok());
+
+  ASSERT_TRUE(service.DropTable("t").ok());
+  auto other = std::make_shared<Dataset>(test::Skewed(3000, /*seed=*/99));
+  other->CacheBounds();
+  ASSERT_TRUE(service
+                  .RegisterTable("t", other, UniformFactory(4), Ladder({500}))
+                  .ok());
+  ASSERT_TRUE(service.manager().WaitUntilDone(CatalogKey{"t"}).ok());
+  auto new_tile = service.RenderTile("t", TileKey{1, 0, 0});
+  ASSERT_TRUE(new_tile.ok());
+  EXPECT_FALSE(new_tile->cache_hit);
+  EXPECT_NE(*new_tile->png, *old_tile->png)
+      << "re-registered table served a tile of the dropped dataset";
+}
+
+TEST(PlotServiceTest, DropTableForgetsStateAndAllowsReRegistration) {
+  PlotService service;
+  auto dataset = SkewedShared(2000);
+  ASSERT_TRUE(service
+                  .RegisterTable("geo", dataset, UniformFactory(7),
+                                 Ladder({100}))
+                  .ok());
+  ASSERT_TRUE(service.manager().WaitUntilDone(CatalogKey{"geo"}).ok());
+  ASSERT_TRUE(service.RenderTile("geo", TileKey{0, 0, 0}).ok());
+  ASSERT_GE(service.cache_stats().entries, 1u);
+
+  ASSERT_TRUE(service.DropTable("geo").ok());
+  EXPECT_EQ(service.RenderTile("geo", TileKey{0, 0, 0}).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(service.cache_stats().entries, 0u)
+      << "dropping a table must drop its cached tiles";
+  EXPECT_TRUE(service.Tables().empty());
+
+  ASSERT_TRUE(service
+                  .RegisterTable("geo", dataset, UniformFactory(8),
+                                 Ladder({100}))
+                  .ok());
+  EXPECT_TRUE(service.RenderTile("geo", TileKey{0, 0, 0}).ok());
+}
+
+TEST(PlotServiceTest, DropWhileBuildingIsFailedPrecondition) {
+  std::promise<void> gate;
+  std::shared_future<void> future = gate.get_future().share();
+  PlotService service;
+  ASSERT_TRUE(service
+                  .RegisterTable(
+                      "geo", SkewedShared(3000),
+                      [future]() {
+                        return std::make_unique<GatedSampler>(2, 1000, future);
+                      },
+                      Ladder({100, 1000}))
+                  .ok());
+  ASSERT_TRUE(service.RenderTile("geo", TileKey{0, 0, 0}).ok());
+  EXPECT_EQ(service.DropTable("geo").code(),
+            StatusCode::kFailedPrecondition);
+  gate.set_value();
+  ASSERT_TRUE(service.manager().WaitUntilDone(CatalogKey{"geo"}).ok());
+  EXPECT_TRUE(service.DropTable("geo").ok());
+}
+
+TEST(PlotServiceTest, GetTableReportsWorldAndBuildState) {
+  PlotService service;
+  auto dataset = SkewedShared(2500);
+  ASSERT_TRUE(service
+                  .RegisterTable("geo", dataset, UniformFactory(13),
+                                 Ladder({100, 400}))
+                  .ok());
+  ASSERT_TRUE(service.manager().WaitUntilDone(CatalogKey{"geo"}).ok());
+  auto info = service.GetTable("geo");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->rows, 2500u);
+  EXPECT_EQ(info->key.table, "geo");
+  EXPECT_EQ(info->world, TileGrid(dataset->Bounds()).world());
+  EXPECT_TRUE(info->build.done);
+  EXPECT_EQ(info->build.rungs_total, 2u);
+}
+
+}  // namespace
+}  // namespace vas

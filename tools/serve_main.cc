@@ -1,0 +1,213 @@
+// vas_serve — the multi-user plot/tile server over the sample-catalog
+// engine. Point it at one or more datasets; each becomes a table whose
+// ladder builds in the background while tiles are already being served
+// from the smallest finished rung:
+//
+//   vas_serve --data=taxi.bin,checkins.csv --port=8080
+//   curl http://localhost:8080/healthz
+//   curl http://localhost:8080/catalogs
+//   curl http://localhost:8080/status/taxi
+//   curl -o tile.png http://localhost:8080/tiles/taxi/2/1/1.png
+//   curl 'http://localhost:8080/plot?table=taxi&xmin=0&ymin=0&xmax=5&ymax=5'
+//
+// Tiles are cached under a byte budget and invalidated per table as
+// larger rungs land, so clients see progressively sharper plots simply
+// by refetching.
+#include "serve_main.h"
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/vas.h"
+#include "data/dataset_io.h"
+#include "service/http_routes.h"
+#include "service/http_server.h"
+#include "service/plot_service.h"
+#include "util/flags.h"
+#include "util/strings.h"
+
+namespace vas::tool {
+
+namespace {
+
+std::atomic<bool> g_stop_requested{false};
+
+void HandleStopSignal(int) { g_stop_requested.store(true); }
+
+int FailServe(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+StatusOr<Dataset> LoadServeInput(const std::string& path) {
+  if (path.size() > 4 && path.substr(path.size() - 4) == ".bin") {
+    return ReadBinary(path);
+  }
+  return ReadCsv(path);
+}
+
+StatusOr<SamplerFactory> MakeServeSamplerFactory(const std::string& method) {
+  if (method == "vas") {
+    return SamplerFactory(
+        []() { return std::make_unique<InterchangeSampler>(); });
+  }
+  if (method == "vas-parallel") {
+    return SamplerFactory([]() {
+      return std::make_unique<ParallelInterchangeSampler>(
+          ParallelInterchangeSampler::Options{});
+    });
+  }
+  if (method == "uniform") {
+    return SamplerFactory(
+        []() { return std::make_unique<UniformReservoirSampler>(1); });
+  }
+  if (method == "stratified") {
+    return SamplerFactory(
+        []() { return std::make_unique<StratifiedSampler>(); });
+  }
+  return Status::InvalidArgument("unknown --method=" + method);
+}
+
+}  // namespace
+
+int ServeMain(int argc, char** argv) {
+  FlagSet flags;
+  flags.Define("data", "",
+               "comma-separated dataset paths (.csv or .bin); each serves "
+               "as a table named by its file stem");
+  flags.Define("catalogs", "",
+               "comma-separated catalog files parallel to --data (empty "
+               "entry = build that table's ladder instead of loading)");
+  flags.Define("ladder", "1000,10000,100000",
+               "rung sizes for tables built at startup");
+  flags.Define("method", "stratified",
+               "build sampler: vas | vas-parallel | uniform | stratified");
+  flags.Define("density", "true", "run the density-embedding pass");
+  flags.Define("threads", "0", "build workers (0 = hardware concurrency)");
+  flags.Define("memory-budget", "0",
+               "catalog memory budget in bytes (0 = unlimited)");
+  flags.Define("port", "8080", "listen port (0 = ephemeral)");
+  flags.Define("address", "0.0.0.0", "bind address");
+  flags.Define("http-threads", "8", "request-handler workers");
+  flags.Define("tile-px", "256", "tile edge in pixels");
+  flags.Define("tile-cache-budget", "67108864",
+               "tile cache byte budget (64 MiB default)");
+  flags.Define("tile-budget", "2.0",
+               "per-tile interactivity budget in seconds (picks the rung)");
+  Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n%s", parsed.ToString().c_str(),
+                 flags.Usage(argv[0]).c_str());
+    return 1;
+  }
+  if (flags.help_requested()) {
+    std::printf("serve plots and tiles over HTTP\n%s",
+                flags.Usage(argv[0]).c_str());
+    return 0;
+  }
+  if (flags.GetString("data").empty()) {
+    return FailServe(Status::InvalidArgument(
+        "--data is required (comma-separated dataset paths)"));
+  }
+
+  PlotService::Options options;
+  options.catalog.num_threads = static_cast<size_t>(flags.GetInt("threads"));
+  options.catalog.memory_budget_bytes =
+      static_cast<size_t>(flags.GetInt("memory-budget"));
+  options.tile_px = static_cast<size_t>(flags.GetInt("tile-px"));
+  options.tile_cache_budget_bytes =
+      static_cast<size_t>(flags.GetInt("tile-cache-budget"));
+  options.tile_time_budget_seconds = flags.GetDouble("tile-budget");
+  PlotService service(options);
+
+  SampleCatalog::Options catalog_options;
+  catalog_options.ladder.clear();
+  for (const std::string& field : Split(flags.GetString("ladder"), ',')) {
+    auto k = ParseInt64(StripWhitespace(field));
+    if (!k.ok()) return FailServe(k.status());
+    if (*k <= 0) {
+      return FailServe(
+          Status::InvalidArgument("ladder rungs must be positive"));
+    }
+    catalog_options.ladder.push_back(static_cast<size_t>(*k));
+  }
+  catalog_options.embed_density = flags.GetBool("density");
+
+  std::vector<std::string> data_paths =
+      Split(flags.GetString("data"), ',');
+  std::vector<std::string> catalog_paths =
+      flags.GetString("catalogs").empty()
+          ? std::vector<std::string>(data_paths.size())
+          : Split(flags.GetString("catalogs"), ',');
+  if (catalog_paths.size() != data_paths.size()) {
+    return FailServe(Status::InvalidArgument(
+        "--catalogs must list one entry per --data path"));
+  }
+
+  for (size_t i = 0; i < data_paths.size(); ++i) {
+    const std::string& path = data_paths[i];
+    auto loaded = LoadServeInput(path);
+    if (!loaded.ok()) return FailServe(loaded.status());
+    auto dataset = std::make_shared<Dataset>(std::move(*loaded));
+    dataset->CacheBounds();  // shared read-only across render workers
+    std::string table = std::filesystem::path(path).stem().string();
+    if (table.empty()) table = path;
+    Status registered;
+    if (!catalog_paths[i].empty()) {
+      registered = service.LoadTable(table, dataset, catalog_paths[i]);
+      if (registered.ok()) {
+        std::printf("table %-16s %zu rows, catalog loaded from %s\n",
+                    table.c_str(), dataset->size(),
+                    catalog_paths[i].c_str());
+      }
+    } else {
+      auto factory = MakeServeSamplerFactory(flags.GetString("method"));
+      if (!factory.ok()) return FailServe(factory.status());
+      registered = service.RegisterTable(table, dataset, std::move(*factory),
+                                         catalog_options);
+      if (registered.ok()) {
+        std::printf("table %-16s %zu rows, building %zu-rung ladder "
+                    "in the background\n",
+                    table.c_str(), dataset->size(),
+                    catalog_options.ladder.size());
+      }
+    }
+    if (!registered.ok()) return FailServe(registered);
+  }
+
+  HttpServer::Options server_options;
+  server_options.port = static_cast<uint16_t>(flags.GetInt("port"));
+  server_options.bind_address = flags.GetString("address");
+  server_options.num_threads =
+      static_cast<size_t>(flags.GetInt("http-threads"));
+  HttpServer server(server_options, MakeServiceHandler(&service));
+  Status started = server.Start();
+  if (!started.ok()) return FailServe(started);
+  std::printf("vas_serve listening on %s:%u\n",
+              server_options.bind_address.c_str(), server.port());
+  std::printf("  GET /healthz | /catalogs | /status/{table} | "
+              "/tiles/{table}/{z}/{x}/{y}.png | /plot?table=...\n");
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  while (!g_stop_requested.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  server.Stop();
+  auto cache = service.cache_stats();
+  std::printf("shutting down: %zu requests served, tile cache %zu hits / "
+              "%zu misses / %zu evictions\n",
+              server.requests_served(), cache.hits, cache.misses,
+              cache.evictions);
+  return 0;
+}
+
+}  // namespace vas::tool

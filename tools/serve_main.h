@@ -1,0 +1,15 @@
+// Entry point of the plot/tile server, shared by the standalone
+// vas_serve binary and the `vas_tool serve` alias.
+#ifndef VAS_TOOLS_SERVE_MAIN_H_
+#define VAS_TOOLS_SERVE_MAIN_H_
+
+namespace vas::tool {
+
+/// Parses serve flags from argv (argv[0] is the program/subcommand
+/// name), registers the requested tables, and serves until SIGINT or
+/// SIGTERM. Returns the process exit code.
+int ServeMain(int argc, char** argv);
+
+}  // namespace vas::tool
+
+#endif  // VAS_TOOLS_SERVE_MAIN_H_

@@ -1,0 +1,5 @@
+// Standalone entry point of the plot/tile server; see serve_main.cc
+// for the flag surface and endpoints.
+#include "serve_main.h"
+
+int main(int argc, char** argv) { return vas::tool::ServeMain(argc, argv); }

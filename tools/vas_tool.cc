@@ -14,6 +14,7 @@
 //   vas_tool render        --in=data.csv --sample=sample.bin --out=plot.ppm
 //   vas_tool loss          --in=data.csv --sample=sample.bin
 //   vas_tool info          --in=data.csv
+//   vas_tool serve         --data=data.bin --port=8080
 //
 // `ingest` streams arbitrarily large CSVs into the binary format with
 // bounded memory; `build-catalog` runs the offline sample-ladder build
@@ -38,6 +39,7 @@
 #include "engine/catalog_manager.h"
 #include "engine/session.h"
 #include "render/scatter_renderer.h"
+#include "serve_main.h"
 #include "util/flags.h"
 #include "util/stopwatch.h"
 #include "util/strings.h"
@@ -517,7 +519,7 @@ int Main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s <generate|ingest|build-catalog|save-catalog|"
-                 "load-catalog|sample|render|loss|info> [flags]\n",
+                 "load-catalog|sample|render|loss|info|serve> [flags]\n",
                  argv[0]);
     return 1;
   }
@@ -541,6 +543,7 @@ int Main(int argc, char** argv) {
   if (cmd == "render") return CmdRender(flags, sub_argc, sub_argv);
   if (cmd == "loss") return CmdLoss(flags, sub_argc, sub_argv);
   if (cmd == "info") return CmdInfo(flags, sub_argc, sub_argv);
+  if (cmd == "serve") return ServeMain(sub_argc, sub_argv);
   std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
   return 1;
 }
