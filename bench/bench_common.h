@@ -6,10 +6,12 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/vas.h"
 #include "util/flags.h"
+#include "util/status.h"
 #include "util/strings.h"
 
 namespace vas::bench {
@@ -32,9 +34,9 @@ inline Dataset MakeSplom(size_t n, uint64_t seed = 11) {
 
 /// Section header in the bench output.
 inline void PrintHeader(const std::string& title) {
-  std::printf("\n================================================================\n");
-  std::printf("%s\n", title.c_str());
-  std::printf("================================================================\n");
+  constexpr const char* kRule =
+      "================================================================";
+  std::printf("\n%s\n%s\n%s\n", kRule, title.c_str(), kRule);
 }
 
 /// One labeled row of numbers.
@@ -45,11 +47,14 @@ inline void PrintRow(const std::string& label,
   std::printf("\n");
 }
 
-/// Standard flag prelude: defines --n (dataset size) and --quick, parses,
-/// and handles --help. Returns false if the program should exit.
+/// Standard flag prelude: defines --quick and --json, parses, and
+/// handles --help. Returns false if the program should exit.
 inline bool ParseBenchFlags(FlagSet& flags, int argc, char** argv,
                             const char* description) {
   flags.Define("quick", "false", "run a reduced-scale sweep");
+  flags.Define("json", "",
+               "also write the headline metrics as a flat JSON object "
+               "to this path (for the CI perf-trajectory artifacts)");
   Status s = flags.Parse(argc, argv);
   if (!s.ok()) {
     std::fprintf(stderr, "%s\n%s", s.ToString().c_str(),
@@ -62,6 +67,75 @@ inline bool ParseBenchFlags(FlagSet& flags, int argc, char** argv,
   }
   return true;
 }
+
+/// Headline metrics of one bench run, written as a flat JSON object so
+/// CI can upload them as a perf-trajectory artifact and diff runs over
+/// time. Keys keep insertion order; values are numbers or strings.
+class JsonMetrics {
+ public:
+  void Set(const std::string& key, double value) {
+    entries_.emplace_back(key, FormatNumber(value));
+  }
+  void Set(const std::string& key, size_t value) {
+    entries_.emplace_back(key, std::to_string(value));
+  }
+  void Set(const std::string& key, const std::string& value) {
+    entries_.emplace_back(key, Quote(value));
+  }
+  /// Without this overload a string literal would bind to the bool
+  /// overload, not the std::string one.
+  void Set(const std::string& key, const char* value) {
+    entries_.emplace_back(key, Quote(value));
+  }
+  void Set(const std::string& key, bool value) {
+    entries_.emplace_back(key, value ? "true" : "false");
+  }
+
+  std::string ToJson() const {
+    std::string out = "{";
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "\n  " + Quote(entries_[i].first) + ": " + entries_[i].second;
+    }
+    out += "\n}\n";
+    return out;
+  }
+
+  /// Writes the object to `path` when nonempty (the --json flag value);
+  /// no-op on "". Prints where the metrics went.
+  Status WriteIfRequested(const std::string& path) const {
+    if (path.empty()) return Status::OK();
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+      return Status::IoError("cannot write metrics to " + path);
+    }
+    std::string json = ToJson();
+    size_t written = std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    if (written != json.size()) {
+      return Status::IoError("short write to " + path);
+    }
+    std::printf("wrote %zu metrics to %s\n", entries_.size(), path.c_str());
+    return Status::OK();
+  }
+
+ private:
+  static std::string FormatNumber(double v) {
+    // %.6g keeps latencies readable and row counts exact (< 2^53).
+    return StrFormat("%.6g", v);
+  }
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    out += "\"";
+    return out;
+  }
+
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
 
 }  // namespace vas::bench
 

@@ -4,8 +4,10 @@
 //
 // Paper values for reference (40 Mechanical-Turk users per question):
 //   (a) regression, avg:     uniform .319  stratified .378  VAS .734
-//   (b) density,    avg:     uniform .531  stratified .637  VAS .395  VAS+d .735
-//   (c) clustering, avg:     uniform .821  stratified .561  VAS .722  VAS+d .887
+//   (b) density,    avg:     uniform .531  stratified .637  VAS .395
+//                            VAS+d .735
+//   (c) clustering, avg:     uniform .821  stratified .561  VAS .722
+//                            VAS+d .887
 #include "bench_common.h"
 
 #include "eval/tasks.h"

@@ -207,6 +207,29 @@ int Run(int argc, char** argv) {
               cache.hits, cache.misses, cache.evictions, cache.bytes);
   server.Stop();
 
+  // Written before the pass/fail gates so the perf trajectory records
+  // failing runs too.
+  JsonMetrics metrics;
+  metrics.Set("n", n);
+  metrics.Set("clients", clients);
+  metrics.Set("requests_per_client", requests);
+  metrics.Set("served_rung", rung.size());
+  metrics.Set("byte_identical", identical);
+  metrics.Set("cold_p50_ms", cold_p50);
+  metrics.Set("cold_p90_ms", Percentile(cold_ms, 0.9));
+  metrics.Set("cached_p50_ms", warm_p50);
+  metrics.Set("cached_p90_ms", Percentile(warm_ms, 0.9));
+  metrics.Set("cached_speedup_p50", speedup);
+  metrics.Set("soak_rps",
+              soak_secs > 0
+                  ? static_cast<double>(completed.load()) / soak_secs
+                  : 0.0);
+  metrics.Set("soak_errors", errors.load());
+  metrics.Set("cache_hits", cache.hits);
+  metrics.Set("cache_misses", cache.misses);
+  Status wrote = metrics.WriteIfRequested(flags.GetString("json"));
+  if (!wrote.ok()) return Fail(wrote.ToString());
+
   if (errors.load() != 0) {
     return Fail(std::to_string(errors.load()) + " request(s) failed");
   }

@@ -181,6 +181,21 @@ int Run(int argc, char** argv) {
       "\ntime-to-first-servable-plot speedup: %.1fx (%.3fs -> %.3fs)\n",
       async_first > 0 ? blocking_first / async_first : 0.0, blocking_first,
       async_first);
+
+  JsonMetrics metrics;
+  metrics.Set("n", n);
+  metrics.Set("method", method);
+  metrics.Set("rungs", copt.ladder.size());
+  metrics.Set("blocking_first_plot_s", blocking_first);
+  metrics.Set("async_first_plot_s", async_first);
+  metrics.Set("async_full_ladder_s", async_total);
+  metrics.Set("first_plot_speedup",
+              async_first > 0 ? blocking_first / async_first : 0.0);
+  Status wrote = metrics.WriteIfRequested(flags.GetString("json"));
+  if (!wrote.ok()) {
+    std::fprintf(stderr, "error: %s\n", wrote.ToString().c_str());
+    return 1;
+  }
   return 0;
 }
 

@@ -81,8 +81,9 @@ SampleCatalog::Builder::~Builder() {
   std::unique_lock<std::mutex> lock(mu_);
   // Outstanding tasks reference this builder and the shared dataset;
   // never let them outlive us.
-  rung_published_.wait(lock,
-                       [this]() { return !started_ || completed_ == ladder_.size(); });
+  rung_published_.wait(lock, [this]() {
+    return !started_ || completed_ == ladder_.size();
+  });
 }
 
 void SampleCatalog::Builder::Start() {

@@ -82,7 +82,8 @@ std::string ZlibStored(const std::string& raw) {
   return out;
 }
 
-void AppendChunk(std::string* out, const char type[5], const std::string& data) {
+void AppendChunk(std::string* out, const char type[5],
+                 const std::string& data) {
   AppendBe32(out, static_cast<uint32_t>(data.size()));
   std::string body(type, 4);
   body += data;

@@ -13,6 +13,8 @@ HttpResponse JsonResponse(std::string body) {
   HttpResponse response;
   response.content_type = "application/json";
   response.body = std::move(body);
+  // Status JSON changes as builds progress — never cache it.
+  response.extra_headers.emplace_back("Cache-Control", "no-cache");
   return response;
 }
 
@@ -69,7 +71,23 @@ bool ParseTileIndex(const std::string& s, uint32_t* out) {
   return true;
 }
 
-HttpResponse HandleTile(PlotService* service,
+/// Client-cache policy for one tile response. Finished ladders are
+/// stable for their registration, so their tiles may live long in
+/// browser caches; while rungs are still landing, a short max-age makes
+/// clients revalidate quickly — and the strong ETag turns that refetch
+/// into a 304 whenever the served rung has not actually advanced yet.
+std::string TileCacheControl(const PlotService* service, bool build_done) {
+  const PlotService::Options& options = service->options();
+  if (build_done) {
+    return "public, max-age=" +
+           std::to_string(options.tile_final_max_age_seconds);
+  }
+  return "public, max-age=" +
+         std::to_string(options.tile_building_max_age_seconds) +
+         ", must-revalidate";
+}
+
+HttpResponse HandleTile(PlotService* service, const HttpRequest& request,
                         const std::vector<std::string>& segments) {
   // segments: ["tiles", table, z, x, "y.png"]
   std::string last = segments[4];
@@ -88,16 +106,27 @@ HttpResponse HandleTile(PlotService* service,
     response.body = "bad tile coordinates\n";
     return response;
   }
-  auto result = service->RenderTile(segments[1], tile);
+  auto if_none_match = request.headers.find("if-none-match");
+  auto result = service->RenderTile(
+      segments[1], tile,
+      if_none_match != request.headers.end() ? if_none_match->second : "");
   if (!result.ok()) return ErrorResponse(result.status());
   HttpResponse response;
-  response.content_type = "image/png";
-  response.shared_body = result->png;
+  response.extra_headers.emplace_back("ETag", result->etag);
+  response.extra_headers.emplace_back(
+      "Cache-Control", TileCacheControl(service, result->build_done));
   response.extra_headers.emplace_back("X-Vas-Rung",
                                       std::to_string(result->sample_size));
   response.extra_headers.emplace_back(
       "X-Vas-Rungs-Ready", std::to_string(result->rungs_ready) + "/" +
                                std::to_string(result->rungs_total));
+  if (result->not_modified) {
+    // The client's copy is current: no body, no render performed.
+    response.status = 304;
+    return response;
+  }
+  response.content_type = "image/png";
+  response.shared_body = result->png;
   response.extra_headers.emplace_back(
       "X-Vas-Cache", result->cache_hit ? "hit" : "miss");
   return response;
@@ -242,7 +271,7 @@ HttpServer::Handler MakeServiceHandler(PlotService* service) {
       return HandleStatus(service, segments[1]);
     }
     if (segments.size() == 5 && segments[0] == "tiles") {
-      return HandleTile(service, segments);
+      return HandleTile(service, request, segments);
     }
     return not_found;
   };

@@ -10,6 +10,13 @@
 //   GET /plot?table=T&xmin=&ymin=&xmax=&ymax=&budget=
 //                                         viewport counts from the cached
 //                                         UniformGrid, JSON
+//
+// Tile responses carry a strong ETag (registration generation + tile +
+// rung) and a Cache-Control policy that distinguishes finished ladders
+// (long max-age) from in-progress ones (short max-age so clients
+// revalidate as sharper rungs land); a matching If-None-Match comes
+// back as 304 Not Modified without rendering. JSON endpoints are
+// Cache-Control: no-cache.
 #ifndef VAS_SERVICE_HTTP_ROUTES_H_
 #define VAS_SERVICE_HTTP_ROUTES_H_
 

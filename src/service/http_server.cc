@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "util/logging.h"
@@ -23,9 +24,12 @@ const char* ReasonPhrase(int status) {
   switch (status) {
     case 200: return "OK";
     case 204: return "No Content";
+    case 304: return "Not Modified";
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 431: return "Request Header Fields Too Large";
     case 500: return "Internal Server Error";
     case 503: return "Service Unavailable";
     default: return "Unknown";
@@ -44,6 +48,12 @@ int HexDigit(char c) {
   if (c >= 'a' && c <= 'f') return c - 'a' + 10;
   if (c >= 'A' && c <= 'F') return c - 'A' + 10;
   return -1;
+}
+
+/// Statuses defined to carry no body — the response frame ends at the
+/// blank line, so Content-Length is omitted entirely.
+bool IsBodylessStatus(int status) {
+  return status == 204 || status == 304 || (status >= 100 && status < 200);
 }
 
 /// Sends the whole buffer, retrying partial writes. MSG_NOSIGNAL keeps
@@ -65,22 +75,34 @@ void SetIoTimeout(int fd, int seconds) {
   ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 }
 
-std::string SerializeResponse(const HttpResponse& response,
-                              bool include_body) {
+std::string SerializeResponse(const HttpResponse& response, bool include_body,
+                              bool keep_alive) {
   const std::string& body =
       response.shared_body != nullptr ? *response.shared_body
                                       : response.body;
+  bool bodyless = IsBodylessStatus(response.status);
   std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
                     ReasonPhrase(response.status) + "\r\n";
-  out += "Content-Type: " + response.content_type + "\r\n";
-  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
-  out += "Connection: close\r\n";
+  if (!bodyless) {
+    out += "Content-Type: " + response.content_type + "\r\n";
+    out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
   for (const auto& [name, value] : response.extra_headers) {
     out += name + ": " + value + "\r\n";
   }
   out += "\r\n";
-  if (include_body) out += body;
+  if (include_body && !bodyless) out += body;
   return out;
+}
+
+/// True when the `Connection` header value (a comma-separated token
+/// list) contains `token` (already lowercase).
+bool ConnectionHeaderHas(const std::string& value, const char* token) {
+  for (const std::string& part : Split(ToLower(value), ',')) {
+    if (StripWhitespace(part) == token) return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -114,10 +136,28 @@ void ParseTarget(const std::string& target, std::string* path,
     if (pair.empty()) continue;
     size_t eq = pair.find('=');
     std::string key = UriDecode(pair.substr(0, eq));
-    std::string value =
-        eq == std::string::npos ? std::string() : UriDecode(pair.substr(eq + 1));
+    std::string value = eq == std::string::npos
+                            ? std::string()
+                            : UriDecode(pair.substr(eq + 1));
     (*query)[key] = value;
   }
+}
+
+bool EtagMatches(const std::string& if_none_match, const std::string& etag) {
+  auto strip_weak = [](std::string_view tag) {
+    if (tag.size() >= 2 && tag[0] == 'W' && tag[1] == '/') {
+      tag.remove_prefix(2);
+    }
+    return tag;
+  };
+  std::string_view header = StripWhitespace(if_none_match);
+  if (header.empty() || etag.empty()) return false;
+  if (header == "*") return true;
+  std::string_view target = strip_weak(StripWhitespace(etag));
+  for (const std::string& candidate : Split(header, ',')) {
+    if (strip_weak(StripWhitespace(candidate)) == target) return true;
+  }
+  return false;
 }
 
 HttpServer::HttpServer(Options options, Handler handler)
@@ -189,6 +229,9 @@ void HttpServer::Stop() {
   // pool aborts. Every caller waits (Shutdown() is idempotent and safe
   // to call concurrently, so the later caller just drains too).
   if (accept_exited_.valid()) accept_exited_.wait();
+  // Connection workers poll stopping_ in 100ms slices: idle keep-alive
+  // sockets close on the next slice, in-flight requests finish and
+  // close after their response — Shutdown() drains exactly that.
   if (pool_ != nullptr) pool_->Shutdown();
   if (!fd_closed_.exchange(true) && listen_fd_ >= 0) {
     ::close(listen_fd_);
@@ -210,77 +253,216 @@ void HttpServer::AcceptLoop() {
     SetIoTimeout(fd, options_.io_timeout_seconds);
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (options_.max_connections > 0 &&
+        active_connections_.load() >= options_.max_connections) {
+      // Refuse instead of queueing the socket behind busy workers: a
+      // browser retries a 503 much more gracefully than a silent stall.
+      HttpResponse busy;
+      busy.status = 503;
+      busy.body = "too many connections\n";
+      std::string wire =
+          SerializeResponse(busy, /*include_body=*/true, /*keep_alive=*/false);
+      SendAll(fd, wire.data(), wire.size());
+      ::close(fd);
+      continue;
+    }
+    active_connections_.fetch_add(1);
+    connections_accepted_.fetch_add(1);
     pool_->Submit([this, fd]() { HandleConnection(fd); });
   }
 }
 
 void HttpServer::HandleConnection(int fd) {
-  std::string head;
-  char buffer[4096];
-  size_t header_end = std::string::npos;
-  while (head.size() < options_.max_request_bytes) {
-    ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
-    if (n <= 0) {
-      ::close(fd);
-      return;
-    }
-    // Resume the terminator scan just before the new bytes (the
-    // "\r\n\r\n" may straddle the read boundary) instead of rescanning
-    // the whole buffer — keeps trickled headers linear.
-    size_t scan_from = head.size() > 3 ? head.size() - 3 : 0;
-    head.append(buffer, static_cast<size_t>(n));
-    header_end = head.find("\r\n\r\n", scan_from);
-    if (header_end != std::string::npos) break;
-  }
+  // Per-connection state machine: serve sequential requests until the
+  // client or policy closes the connection. `buffer` holds bytes read
+  // but not yet consumed, so a second request that arrived in the same
+  // packet as the first (pipelining) is served without another recv.
+  std::string buffer;
+  char chunk[4096];
+  size_t served_here = 0;
+  bool open = true;
 
-  HttpResponse response;
-  HttpRequest request;
-  bool parsed = false;
-  if (header_end != std::string::npos) {
-    std::vector<std::string> lines =
-        Split(head.substr(0, header_end), '\n');
-    std::vector<std::string> parts;
-    if (!lines.empty()) {
-      std::string request_line = lines.front();
-      if (!request_line.empty() && request_line.back() == '\r') {
-        request_line.pop_back();
+  while (open) {
+    // --- Phase 1: a complete request head in `buffer`. -------------
+    size_t header_end = buffer.find("\r\n\r\n");
+    bool oversized = false;
+    bool timed_out = false;
+    // Wall-clock deadlines, not poll-slice counting: a client trickling
+    // one byte per slice must still hit the io timeout, or a handful of
+    // slow sockets could pin every worker indefinitely.
+    auto wait_start = std::chrono::steady_clock::now();
+    while (header_end == std::string::npos && !oversized && !timed_out) {
+      if (buffer.size() > options_.max_request_bytes) {
+        oversized = true;
+        break;
       }
-      parts = Split(request_line, ' ');
-    }
-    if (parts.size() == 3 && StartsWith(parts[2], "HTTP/")) {
-      request.method = parts[0];
-      request.target = parts[1];
-      ParseTarget(request.target, &request.path, &request.query);
-      for (size_t i = 1; i < lines.size(); ++i) {
-        std::string line = lines[i];
-        if (!line.empty() && line.back() == '\r') line.pop_back();
-        size_t colon = line.find(':');
-        if (colon == std::string::npos) continue;
-        request.headers[ToLower(line.substr(0, colon))] =
-            std::string(StripWhitespace(line.substr(colon + 1)));
+      bool idle = buffer.empty();
+      if (idle && stopping_.load()) {
+        // Graceful drain: an idle keep-alive socket closes right away;
+        // a partially received head is read to completion and served.
+        open = false;
+        break;
       }
-      parsed = true;
+      long limit_ms = idle ? static_cast<long>(options_.idle_timeout_ms)
+                           : options_.io_timeout_seconds * 1000L;
+      long elapsed_ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - wait_start)
+              .count();
+      if (elapsed_ms >= limit_ms) {
+        if (idle) {
+          open = false;  // quiet socket — close without a response
+        } else {
+          timed_out = true;  // mid-head stall — tell the client
+        }
+        break;
+      }
+      pollfd pfd{};
+      pfd.fd = fd;
+      pfd.events = POLLIN;
+      int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+      if (ready < 0) {
+        open = false;
+        break;
+      }
+      if (ready == 0) continue;
+      ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) {
+        open = false;  // peer closed (the normal end of keep-alive)
+        break;
+      }
+      // The head's first bytes restart the clock: the idle wait before
+      // them counted against idle_timeout_ms, the read from here on
+      // counts against io_timeout_seconds.
+      if (idle) wait_start = std::chrono::steady_clock::now();
+      // Resume the terminator scan just before the new bytes (the
+      // "\r\n\r\n" may straddle the read boundary) instead of
+      // rescanning the whole buffer — keeps trickled headers linear.
+      size_t scan_from = buffer.size() > 3 ? buffer.size() - 3 : 0;
+      buffer.append(chunk, static_cast<size_t>(n));
+      header_end = buffer.find("\r\n\r\n", scan_from);
     }
-  }
+    if (!open && !oversized && !timed_out) break;
 
-  bool head_only = request.method == "HEAD";
-  if (!parsed) {
-    response.status = 400;
-    response.body = "bad request\n";
-  } else if (request.method != "GET" && request.method != "HEAD") {
-    response.status = 405;
-    response.body = "method not allowed\n";
-  } else {
-    response = handler_(request);
+    // --- Phase 2: parse the head. -----------------------------------
+    HttpRequest request;
+    bool parsed = false;
+    bool has_body = false;
+    if (header_end != std::string::npos) {
+      std::vector<std::string> lines =
+          Split(buffer.substr(0, header_end), '\n');
+      std::vector<std::string> parts;
+      if (!lines.empty()) {
+        std::string request_line = lines.front();
+        if (!request_line.empty() && request_line.back() == '\r') {
+          request_line.pop_back();
+        }
+        parts = Split(request_line, ' ');
+      }
+      if (parts.size() == 3 && StartsWith(parts[2], "HTTP/")) {
+        request.method = parts[0];
+        request.target = parts[1];
+        request.version = parts[2];
+        ParseTarget(request.target, &request.path, &request.query);
+        for (size_t i = 1; i < lines.size(); ++i) {
+          std::string line = lines[i];
+          if (!line.empty() && line.back() == '\r') line.pop_back();
+          size_t colon = line.find(':');
+          if (colon == std::string::npos) continue;
+          request.headers[ToLower(line.substr(0, colon))] =
+              std::string(StripWhitespace(line.substr(colon + 1)));
+        }
+        parsed = true;
+      }
+      // Consume the head; what remains is the next pipelined request.
+      buffer.erase(0, header_end + 4);
+      // This server never reads request bodies. A nonzero
+      // Content-Length or any Transfer-Encoding would desync the
+      // request framing, so such connections close after the response.
+      auto content_length = request.headers.find("content-length");
+      if (content_length != request.headers.end()) {
+        auto length = ParseInt64(content_length->second);
+        has_body = !length.ok() || *length != 0;
+      }
+      if (request.headers.count("transfer-encoding") > 0) has_body = true;
+    }
+
+    // --- Phase 3: dispatch. -----------------------------------------
+    HttpResponse response;
+    bool head_only = request.method == "HEAD";
+    bool transport_error = true;  // errors raised here, not by the handler
+    if (oversized) {
+      response.status = 431;
+      response.body = "request head too large\n";
+    } else if (timed_out) {
+      response.status = 408;
+      response.body = "timed out reading request\n";
+    } else if (!parsed) {
+      response.status = 400;
+      response.body = "bad request\n";
+    } else if (request.method != "GET" && request.method != "HEAD") {
+      response.status = 405;
+      response.body = "method not allowed\n";
+    } else {
+      response = handler_(request);
+      transport_error = false;
+    }
+
+    // --- Phase 4: keep-alive decision, then respond. ----------------
+    // Transport-level errors always close: the request framing is (or
+    // may be) broken, so serving another request off this socket risks
+    // interpreting garbage as a request line.
+    bool keep_alive = options_.keep_alive && !transport_error && !has_body &&
+                      !stopping_.load();
+    if (keep_alive) {
+      auto connection = request.headers.find("connection");
+      const std::string& token =
+          connection != request.headers.end() ? connection->second : "";
+      if (request.version == "HTTP/1.0") {
+        // 1.0 closes by default; clients opt in explicitly.
+        keep_alive = ConnectionHeaderHas(token, "keep-alive");
+      } else {
+        keep_alive = !ConnectionHeaderHas(token, "close");
+      }
+    }
+    if (options_.max_requests_per_connection > 0 &&
+        served_here + 1 >= options_.max_requests_per_connection) {
+      keep_alive = false;
+    }
+    std::string wire = SerializeResponse(response, !head_only, keep_alive);
+    if (!SendAll(fd, wire.data(), wire.size())) {
+      open = false;
+    }
+    requests_served_.fetch_add(1);
+    ++served_here;
+    if (!keep_alive) open = false;
   }
-  std::string wire = SerializeResponse(response, !head_only);
-  SendAll(fd, wire.data(), wire.size());
   ::close(fd);
-  requests_served_.fetch_add(1);
+  active_connections_.fetch_sub(1);
 }
 
-StatusOr<HttpFetchResult> HttpGet(uint16_t port, const std::string& target,
-                                  const std::string& host) {
+HttpClient& HttpClient::operator=(HttpClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    host_ = std::move(other.host_);
+    fd_ = other.fd_;
+    leftover_ = std::move(other.leftover_);
+    other.fd_ = -1;
+    other.leftover_.clear();
+  }
+  return *this;
+}
+
+void HttpClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  leftover_.clear();
+}
+
+StatusOr<HttpClient> HttpClient::Connect(uint16_t port,
+                                         const std::string& host) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::IoError(std::string("socket: ") + std::strerror(errno));
@@ -300,35 +482,68 @@ StatusOr<HttpFetchResult> HttpGet(uint16_t port, const std::string& target,
     ::close(fd);
     return status;
   }
-  std::string request = "GET " + target + " HTTP/1.1\r\nHost: " + host +
-                        "\r\nConnection: close\r\n\r\n";
-  if (!SendAll(fd, request.data(), request.size())) {
-    ::close(fd);
-    return Status::IoError("send failed");
+  HttpClient client;
+  client.host_ = host;
+  client.fd_ = fd;
+  return client;
+}
+
+StatusOr<HttpFetchResult> HttpClient::Get(
+    const std::string& target,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers) {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  std::string request = "GET " + target + " HTTP/1.1\r\nHost: " + host_ +
+                        "\r\n";
+  bool close_requested = false;
+  for (const auto& [name, value] : extra_headers) {
+    request += name + ": " + value + "\r\n";
+    if (ToLower(name) == "connection" &&
+        ConnectionHeaderHas(value, "close")) {
+      close_requested = true;
+    }
   }
-  std::string raw;
-  char buffer[8192];
-  for (;;) {
-    ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+  request += "\r\n";
+  if (!SendAll(fd_, request.data(), request.size())) {
+    Close();
+    return Status::IoError("send failed (connection closed?)");
+  }
+
+  // Read the response head; leftover_ may already hold part of it.
+  std::string raw = std::move(leftover_);
+  leftover_.clear();
+  char chunk[8192];
+  size_t header_end = raw.find("\r\n\r\n");
+  while (header_end == std::string::npos) {
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n < 0) {
-      ::close(fd);
+      Close();
       return Status::IoError(std::string("recv: ") + std::strerror(errno));
     }
-    if (n == 0) break;
-    raw.append(buffer, static_cast<size_t>(n));
+    if (n == 0) {
+      Close();
+      return Status::IoError("connection closed before response head");
+    }
+    size_t scan_from = raw.size() > 3 ? raw.size() - 3 : 0;
+    raw.append(chunk, static_cast<size_t>(n));
+    header_end = raw.find("\r\n\r\n", scan_from);
   }
-  ::close(fd);
-
-  size_t header_end = raw.find("\r\n\r\n");
-  if (header_end == std::string::npos || !StartsWith(raw, "HTTP/")) {
+  if (!StartsWith(raw, "HTTP/")) {
+    Close();
     return Status::IoError("malformed response");
   }
+
   HttpFetchResult result;
   std::vector<std::string> lines = Split(raw.substr(0, header_end), '\n');
   std::vector<std::string> status_parts = Split(lines.front(), ' ');
-  if (status_parts.size() < 2) return Status::IoError("malformed status");
+  if (status_parts.size() < 2) {
+    Close();
+    return Status::IoError("malformed status line");
+  }
   auto code = ParseInt64(StripWhitespace(status_parts[1]));
-  if (!code.ok()) return code.status();
+  if (!code.ok()) {
+    Close();
+    return code.status();
+  }
   result.status = static_cast<int>(*code);
   for (size_t i = 1; i < lines.size(); ++i) {
     std::string line = lines[i];
@@ -338,8 +553,57 @@ StatusOr<HttpFetchResult> HttpGet(uint16_t port, const std::string& target,
     result.headers[ToLower(line.substr(0, colon))] =
         std::string(StripWhitespace(line.substr(colon + 1)));
   }
-  result.body = raw.substr(header_end + 4);
+
+  // Frame the body: Content-Length when present, nothing for bodyless
+  // statuses, read-to-EOF otherwise (a Connection: close response).
+  std::string rest = raw.substr(header_end + 4);
+  auto content_length = result.headers.find("content-length");
+  if (content_length != result.headers.end()) {
+    auto length = ParseInt64(content_length->second);
+    if (!length.ok() || *length < 0) {
+      Close();
+      return Status::IoError("bad content-length");
+    }
+    size_t want = static_cast<size_t>(*length);
+    while (rest.size() < want) {
+      ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) {
+        Close();
+        return Status::IoError("connection closed mid-body");
+      }
+      rest.append(chunk, static_cast<size_t>(n));
+    }
+    result.body = rest.substr(0, want);
+    leftover_ = rest.substr(want);
+  } else if (IsBodylessStatus(result.status)) {
+    leftover_ = std::move(rest);
+  } else {
+    result.body = std::move(rest);
+    for (;;) {
+      ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n < 0) {
+        Close();
+        return Status::IoError(std::string("recv: ") + std::strerror(errno));
+      }
+      if (n == 0) break;
+      result.body.append(chunk, static_cast<size_t>(n));
+    }
+    Close();
+  }
+
+  auto connection = result.headers.find("connection");
+  if (close_requested ||
+      (connection != result.headers.end() &&
+       ConnectionHeaderHas(connection->second, "close"))) {
+    Close();
+  }
   return result;
+}
+
+StatusOr<HttpFetchResult> HttpGet(uint16_t port, const std::string& target,
+                                  const std::string& host) {
+  VAS_ASSIGN_OR_RETURN(HttpClient client, HttpClient::Connect(port, host));
+  return client.Get(target, {{"Connection", "close"}});
 }
 
 }  // namespace vas

@@ -1,9 +1,16 @@
 // Minimal HTTP/1.1 server on POSIX sockets. One acceptor task plus the
-// request handlers all run on a util/thread_pool.h ThreadPool, so the
-// serving concurrency model is the same fixed-worker shape as the
-// build side. Deliberately small: GET/HEAD, connection-close per
-// request, no TLS, no chunked bodies — enough to put tiles and status
-// JSON in front of a browser or load generator.
+// connection handlers all run on a util/thread_pool.h ThreadPool, so
+// the serving concurrency model is the same fixed-worker shape as the
+// build side. Connections are persistent by default: each worker runs a
+// per-connection state machine serving sequential HTTP/1.1 requests
+// over one socket (honoring `Connection: close` and HTTP/1.0
+// semantics), with buffered leftover bytes so a pipelined second
+// request in the same packet is served, an idle timeout reclaiming
+// quiet sockets, a max-requests-per-connection cap, and a bounded
+// concurrent-connection limit. Deliberately small: GET/HEAD, no TLS,
+// no request bodies, no chunked responses — enough to put tiles and
+// status JSON in front of a browser or load generator without paying a
+// TCP handshake per tile.
 #ifndef VAS_SERVICE_HTTP_SERVER_H_
 #define VAS_SERVICE_HTTP_SERVER_H_
 
@@ -30,6 +37,8 @@ struct HttpRequest {
   std::string target;
   /// Percent-decoded path without the query string.
   std::string path;
+  /// "HTTP/1.1" or "HTTP/1.0" from the request line.
+  std::string version;
   std::map<std::string, std::string> query;
   std::map<std::string, std::string> headers;
 };
@@ -52,6 +61,12 @@ void ParseTarget(const std::string& target, std::string* path,
 /// Percent-decodes one URI component ("%2F" -> "/", "+" is literal).
 std::string UriDecode(const std::string& in);
 
+/// True when the `If-None-Match` header value `if_none_match` matches
+/// `etag` ("*", a single tag, or a comma-separated list; `W/` prefixes
+/// are ignored per RFC 9110's weak comparison for If-None-Match).
+/// `etag` is the server's current entity tag including quotes.
+bool EtagMatches(const std::string& if_none_match, const std::string& etag);
+
 class HttpServer {
  public:
   using Handler = std::function<HttpResponse(const HttpRequest&)>;
@@ -62,11 +77,37 @@ class HttpServer {
     std::string bind_address = "0.0.0.0";
     /// Request-handler workers. The pool is sized num_threads + 1: one
     /// worker runs the accept loop for the server's whole lifetime.
+    /// Each live connection occupies one worker until it closes, so
+    /// this also bounds the number of concurrently *served* sockets.
     size_t num_threads = 8;
-    /// Largest request head (request line + headers) accepted.
+    /// Largest request head (request line + headers) accepted; larger
+    /// heads are answered with 431 and the connection is closed.
     size_t max_request_bytes = 64 * 1024;
-    /// Per-connection socket send/receive timeout.
+    /// Per-connection socket send timeout, and the cap on how long a
+    /// partially received request head may trickle in.
     int io_timeout_seconds = 10;
+    /// Serve multiple requests per connection (HTTP/1.1 keep-alive).
+    /// When false every response carries `Connection: close`, the
+    /// pre-keep-alive behavior.
+    bool keep_alive = true;
+    /// How long an idle keep-alive socket may sit between requests
+    /// before the server closes it and frees the worker.
+    int idle_timeout_ms = 5000;
+    /// Requests served over one connection before the server closes it
+    /// (`Connection: close` on the final response). Bounds how long one
+    /// client may monopolize a worker. 0 = unlimited.
+    size_t max_requests_per_connection = 1000;
+    /// Concurrent connections accepted; beyond this the server answers
+    /// 503 and closes immediately instead of queueing the socket
+    /// behind busy workers. 0 = unlimited. Size together with
+    /// num_threads: each live connection pins one worker, so accepted
+    /// connections beyond num_threads wait in the pool queue — bounded
+    /// by idle_timeout_ms and max_requests_per_connection, which
+    /// recycle pinned workers, but a deployment expecting many
+    /// long-lived idle clients should raise num_threads (or wait for
+    /// the event-driven accept path on the roadmap) rather than this
+    /// cap.
+    size_t max_connections = 256;
   };
 
   HttpServer(Options options, Handler handler);
@@ -79,8 +120,11 @@ class HttpServer {
   /// address or port cannot be bound.
   Status Start();
 
-  /// Stops accepting, drains in-flight requests, joins the workers.
-  /// Idempotent; called by the destructor.
+  /// Stops accepting and drains gracefully: requests already being
+  /// handled (and request heads already partially received) finish,
+  /// idle keep-alive sockets close without waiting out their idle
+  /// timeout, then the workers join. Idempotent; called by the
+  /// destructor.
   void Stop();
 
   /// The port actually bound (the ephemeral one when options.port = 0).
@@ -88,6 +132,12 @@ class HttpServer {
 
   /// Requests fully handled so far.
   size_t requests_served() const { return requests_served_.load(); }
+
+  /// Connections currently open (being served or idle in keep-alive).
+  size_t active_connections() const { return active_connections_.load(); }
+
+  /// Connections accepted so far (excludes ones refused with 503).
+  size_t connections_accepted() const { return connections_accepted_.load(); }
 
  private:
   void AcceptLoop();
@@ -102,6 +152,8 @@ class HttpServer {
   std::atomic<bool> started_{false};
   std::atomic<bool> fd_closed_{false};
   std::atomic<size_t> requests_served_{0};
+  std::atomic<size_t> active_connections_{0};
+  std::atomic<size_t> connections_accepted_{0};
   /// Resolves when AcceptLoop() has exited. Stop() must wait on it
   /// before shutting the pool down: the loop may be between its
   /// stopping_ check and a Submit(), and Submit() on a shut-down pool
@@ -110,13 +162,53 @@ class HttpServer {
   std::shared_future<void> accept_exited_;
 };
 
-/// Tiny blocking HTTP/1.1 client for tests and benches: one GET over a
-/// fresh connection, response read to EOF.
+/// A parsed response from the test/bench clients below.
 struct HttpFetchResult {
   int status = 0;
   std::string body;
   std::map<std::string, std::string> headers;
 };
+
+/// Tiny blocking HTTP/1.1 client for tests and benches that keeps its
+/// connection open across requests — the client half of keep-alive.
+/// Responses are framed by Content-Length (or bodyless statuses), so
+/// sequential Gets reuse one socket.
+class HttpClient {
+ public:
+  HttpClient() = default;
+  ~HttpClient() { Close(); }
+
+  HttpClient(HttpClient&& other) noexcept { *this = std::move(other); }
+  HttpClient& operator=(HttpClient&& other) noexcept;
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// Connects to 127.0.0.1 (or `host`) on `port`.
+  static StatusOr<HttpClient> Connect(uint16_t port,
+                                      const std::string& host = "127.0.0.1");
+
+  /// One GET over the open connection. `extra_headers` are sent
+  /// verbatim (e.g. {"If-None-Match", etag} or {"Connection", "close"}).
+  /// IoError once the server has closed the connection.
+  StatusOr<HttpFetchResult> Get(
+      const std::string& target,
+      const std::vector<std::pair<std::string, std::string>>& extra_headers =
+          {});
+
+  /// True while the socket is open from this client's point of view.
+  bool connected() const { return fd_ >= 0; }
+
+  void Close();
+
+ private:
+  std::string host_ = "127.0.0.1";
+  int fd_ = -1;
+  /// Bytes received past the previous response's frame.
+  std::string leftover_;
+};
+
+/// One GET over a fresh connection (sends `Connection: close`), kept
+/// for callers that want the old one-shot shape.
 StatusOr<HttpFetchResult> HttpGet(uint16_t port, const std::string& target,
                                   const std::string& host = "127.0.0.1");
 

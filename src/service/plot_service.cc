@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "service/http_server.h"  // EtagMatches
 #include "util/logging.h"
 
 namespace vas {
@@ -109,7 +110,8 @@ ScatterRenderer::Options PlotService::TileRenderOptions() const {
 }
 
 StatusOr<PlotService::TileResult> PlotService::RenderTile(
-    const std::string& table, const TileKey& tile) {
+    const std::string& table, const TileKey& tile,
+    const std::string& if_none_match) {
   if (!TileGrid::IsValid(tile)) {
     return Status::InvalidArgument("tile out of range: " + tile.ToString());
   }
@@ -126,6 +128,16 @@ StatusOr<PlotService::TileResult> PlotService::RenderTile(
   auto build = manager_->GetStatus(state.key);
   result.rungs_total =
       build.ok() ? build->rungs_total : snapshot->samples().size();
+  result.build_done = build.ok() && build->done;
+  result.etag = EtagFor(state.generation, tile, sample.size());
+
+  // Conditional request: when the client already holds these exact
+  // bytes (same generation + tile + rung), answer without touching the
+  // cache or the renderer at all.
+  if (EtagMatches(if_none_match, result.etag)) {
+    result.not_modified = true;
+    return result;
+  }
 
   // The rung size and table generation are part of the key, so a tile
   // rendered from an older rung (or a dropped registration) can never

@@ -44,6 +44,19 @@ class PlotService {
     double tile_time_budget_seconds = 2.0;
     /// Latency model converting rung sizes to estimated viz time.
     VizTimeModel viz_model = VizTimeModel::MathGL();
+    /// Client-cache lifetimes (Cache-Control: max-age) for tiles. A
+    /// tile of a *finished* build is stable for its registration, so it
+    /// may live long in browser caches; while the ladder is still
+    /// building, tiles go stale the moment a sharper rung lands, so
+    /// clients should revalidate quickly (the ETag makes that refetch a
+    /// cheap 304 when nothing changed). Caveat: tile URLs carry only
+    /// the table name, so within the final max-age a browser will not
+    /// revalidate at all — re-registering *different* data under the
+    /// same table name can serve stale cached tiles for up to this
+    /// long. Serve changed datasets under a new table name, or lower
+    /// this.
+    int tile_final_max_age_seconds = 3600;
+    int tile_building_max_age_seconds = 2;
     /// Renderer styling for tiles; width/height are overridden per tile
     /// with tile_px.
     ScatterRenderer::Options renderer;
@@ -60,6 +73,17 @@ class PlotService {
     size_t rungs_ready = 0;
     size_t rungs_total = 0;
     bool cache_hit = false;
+    /// Strong entity tag for this tile's current bytes, derived from
+    /// the cache-key material (registration generation + tile + rung):
+    /// any event that changes the pixels — a sharper rung landing, or a
+    /// drop/re-register of the table — changes the tag.
+    std::string etag;
+    /// True when the request's If-None-Match matched: the client's copy
+    /// is current, `png` is null, and no render was performed.
+    bool not_modified = false;
+    /// True when the ladder build is finished — no sharper rung will
+    /// land, so the tile is stable for this registration.
+    bool build_done = false;
   };
 
   /// /plot's answer: viewport aggregates from the engine session (the
@@ -114,9 +138,14 @@ class PlotService {
 
   /// Renders (or serves from cache) one tile. Blocks only while the
   /// table has no servable rung yet. NotFound for unknown tables,
-  /// InvalidArgument for keys outside the tile grid.
+  /// InvalidArgument for keys outside the tile grid. `if_none_match`
+  /// is the raw If-None-Match header value (empty = unconditional): when
+  /// it matches the tile's current ETag, the result comes back with
+  /// not_modified set and no bytes — the render and cache lookup are
+  /// both skipped.
   StatusOr<TileResult> RenderTile(const std::string& table,
-                                  const TileKey& tile);
+                                  const TileKey& tile,
+                                  const std::string& if_none_match = "");
 
   /// Viewport aggregates for /plot; an empty rect means the whole
   /// domain.
@@ -164,6 +193,15 @@ class PlotService {
                                  size_t rung) {
     return TablePrefix(table) + std::to_string(generation) + "\n" +
            tile.ToString() + "\n" + std::to_string(rung);
+  }
+
+  /// Strong ETag from the same material as the cache key (the table
+  /// itself is named by the URL, so the tag distinguishes registration
+  /// generations, tiles, and rungs). Quoted per RFC 9110.
+  static std::string EtagFor(uint64_t generation, const TileKey& tile,
+                             size_t rung) {
+    return "\"g" + std::to_string(generation) + "-" + tile.ToString() +
+           "-k" + std::to_string(rung) + "\"";
   }
 
   StatusOr<Table> FindTable(const std::string& table) const;

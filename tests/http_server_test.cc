@@ -142,11 +142,14 @@ TEST(HttpServerTest, RejectsNonGetMethodsAndMalformedRequests) {
     return out;
   };
 
+  // Transport-level errors close the connection, so reading to EOF
+  // returns promptly; the well-formed HEAD asks for close explicitly.
   EXPECT_NE(
       raw_request("POST /x HTTP/1.1\r\nHost: h\r\n\r\n").find("405"),
       std::string::npos);
   EXPECT_NE(raw_request("not-http\r\n\r\n").find("400"), std::string::npos);
-  std::string head = raw_request("HEAD / HTTP/1.1\r\nHost: h\r\n\r\n");
+  std::string head =
+      raw_request("HEAD / HTTP/1.1\r\nHost: h\r\nConnection: close\r\n\r\n");
   EXPECT_NE(head.find("200"), std::string::npos);
   EXPECT_EQ(head.find("\r\n\r\n"), head.size() - 4)
       << "HEAD response must carry no body";
@@ -213,6 +216,281 @@ TEST(HttpServerTest, StopUnderLiveTrafficShutsDownCleanly) {
     done.store(true);
     for (std::thread& t : clients) t.join();
   }
+}
+
+TEST(HttpParseTest, EtagMatches) {
+  EXPECT_TRUE(EtagMatches("\"abc\"", "\"abc\""));
+  EXPECT_TRUE(EtagMatches("  \"abc\" ", "\"abc\""));
+  EXPECT_TRUE(EtagMatches("W/\"abc\"", "\"abc\""))
+      << "If-None-Match uses weak comparison";
+  EXPECT_TRUE(EtagMatches("\"x\", \"abc\", \"y\"", "\"abc\""));
+  EXPECT_TRUE(EtagMatches("*", "\"abc\""));
+  EXPECT_FALSE(EtagMatches("\"abc\"", "\"abd\""));
+  EXPECT_FALSE(EtagMatches("", "\"abc\""));
+  EXPECT_FALSE(EtagMatches("\"x\", \"y\"", "\"abc\""));
+  EXPECT_FALSE(EtagMatches("\"abc\"", ""));
+}
+
+/// Raw-socket exchange: connect, send `wire`, read to EOF (bounded by
+/// the client-side receive timeout). Returns everything received.
+std::string RawExchange(uint16_t port, const std::string& wire,
+                        int timeout_seconds = 10) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  timeval tv{};
+  tv.tv_sec = timeout_seconds;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  EXPECT_EQ(::send(fd, wire.data(), wire.size(), 0),
+            static_cast<ssize_t>(wire.size()));
+  std::string out;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    out.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+size_t CountOccurrences(const std::string& haystack,
+                        const std::string& needle) {
+  size_t count = 0;
+  for (size_t at = haystack.find(needle); at != std::string::npos;
+       at = haystack.find(needle, at + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(HttpKeepAliveTest, SequentialRequestsShareOneConnection) {
+  HttpServer server(EphemeralPort(), [](const HttpRequest& request) {
+    HttpResponse response;
+    response.body = "echo " + request.path;
+    return response;
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = HttpClient::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+  for (int i = 0; i < 3; ++i) {
+    auto result = client->Get("/r" + std::to_string(i));
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->status, 200);
+    EXPECT_EQ(result->body, "echo /r" + std::to_string(i));
+    EXPECT_EQ(result->headers["connection"], "keep-alive");
+    EXPECT_TRUE(client->connected());
+  }
+  server.Stop();
+  EXPECT_EQ(server.requests_served(), 3u);
+  EXPECT_EQ(server.connections_accepted(), 1u)
+      << "three requests must not open three connections";
+}
+
+TEST(HttpKeepAliveTest, PipelinedSecondRequestInSamePacketIsServed) {
+  // Both request heads arrive in one send() — the leftover bytes after
+  // the first head must be consumed as the second request, not dropped.
+  HttpServer server(EphemeralPort(), [](const HttpRequest& request) {
+    HttpResponse response;
+    response.body = "got " + request.path;
+    return response;
+  });
+  ASSERT_TRUE(server.Start().ok());
+  std::string wire =
+      "GET /first HTTP/1.1\r\nHost: h\r\n\r\n"
+      "GET /second HTTP/1.1\r\nHost: h\r\nConnection: close\r\n\r\n";
+  std::string out = RawExchange(server.port(), wire);
+  EXPECT_EQ(CountOccurrences(out, "HTTP/1.1 200"), 2u) << out;
+  EXPECT_NE(out.find("got /first"), std::string::npos);
+  EXPECT_NE(out.find("got /second"), std::string::npos);
+  server.Stop();
+  EXPECT_EQ(server.requests_served(), 2u);
+  EXPECT_EQ(server.connections_accepted(), 1u);
+}
+
+TEST(HttpKeepAliveTest, ConnectionCloseHonoredMidStream) {
+  HttpServer server(EphemeralPort(), [](const HttpRequest&) {
+    HttpResponse response;
+    response.body = "ok";
+    return response;
+  });
+  ASSERT_TRUE(server.Start().ok());
+  auto client = HttpClient::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+
+  auto first = client->Get("/one");
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->headers["connection"], "keep-alive");
+  ASSERT_TRUE(client->connected());
+
+  auto second = client->Get("/two", {{"Connection", "close"}});
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->status, 200);
+  EXPECT_EQ(second->headers["connection"], "close");
+  EXPECT_FALSE(client->connected());
+  EXPECT_FALSE(client->Get("/three").ok())
+      << "the server must have closed the socket";
+  server.Stop();
+  EXPECT_EQ(server.requests_served(), 2u);
+}
+
+TEST(HttpKeepAliveTest, Http10ClosesByDefaultAndKeepsAliveOnRequest) {
+  HttpServer server(EphemeralPort(), [](const HttpRequest& request) {
+    HttpResponse response;
+    response.body = "v " + request.version;
+    return response;
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  std::string plain =
+      RawExchange(server.port(), "GET / HTTP/1.0\r\nHost: h\r\n\r\n");
+  EXPECT_NE(plain.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(plain.find("Connection: close"), std::string::npos)
+      << "HTTP/1.0 without an opt-in must close";
+
+  // An explicit keep-alive opt-in holds the socket open: two pipelined
+  // 1.0 requests get two responses, the second closing.
+  std::string wire =
+      "GET /a HTTP/1.0\r\nHost: h\r\nConnection: keep-alive\r\n\r\n"
+      "GET /b HTTP/1.0\r\nHost: h\r\n\r\n";
+  std::string out = RawExchange(server.port(), wire);
+  EXPECT_EQ(CountOccurrences(out, "HTTP/1.1 200"), 2u) << out;
+  EXPECT_NE(out.find("Connection: keep-alive"), std::string::npos);
+  EXPECT_NE(out.find("Connection: close"), std::string::npos);
+}
+
+TEST(HttpKeepAliveTest, OversizedRequestHeadGets431) {
+  HttpServer::Options options = EphemeralPort();
+  options.max_request_bytes = 1024;
+  HttpServer server(options, [](const HttpRequest&) {
+    return HttpResponse{};
+  });
+  ASSERT_TRUE(server.Start().ok());
+  std::string wire = "GET / HTTP/1.1\r\nHost: h\r\nX-Big: " +
+                     std::string(4096, 'a') + "\r\n\r\n";
+  std::string out = RawExchange(server.port(), wire);
+  EXPECT_NE(out.find("431"), std::string::npos) << out;
+}
+
+TEST(HttpKeepAliveTest, IdleSocketIsClosedAfterIdleTimeout) {
+  HttpServer::Options options = EphemeralPort();
+  options.idle_timeout_ms = 150;
+  HttpServer server(options, [](const HttpRequest&) {
+    HttpResponse response;
+    response.body = "ok";
+    return response;
+  });
+  ASSERT_TRUE(server.Start().ok());
+  auto client = HttpClient::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->Get("/x").ok());
+  EXPECT_TRUE(client->connected());
+
+  // Sit idle past the timeout: the server must close the socket (the
+  // next read sees EOF -> the Get fails) well before the 10s default.
+  auto start = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  EXPECT_FALSE(client->Get("/y").ok());
+  auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_LT(waited.count(), 5000);
+  server.Stop();
+  EXPECT_EQ(server.requests_served(), 1u);
+}
+
+TEST(HttpKeepAliveTest, MaxRequestsPerConnectionCapCloses) {
+  HttpServer::Options options = EphemeralPort();
+  options.max_requests_per_connection = 2;
+  HttpServer server(options, [](const HttpRequest&) {
+    HttpResponse response;
+    response.body = "ok";
+    return response;
+  });
+  ASSERT_TRUE(server.Start().ok());
+  auto client = HttpClient::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+  auto first = client->Get("/1");
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->headers["connection"], "keep-alive");
+  auto second = client->Get("/2");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->headers["connection"], "close")
+      << "the capped response must announce the close";
+  EXPECT_FALSE(client->connected());
+}
+
+TEST(HttpKeepAliveTest, ConnectionLimitRefusesWith503) {
+  HttpServer::Options options = EphemeralPort();
+  options.max_connections = 1;
+  HttpServer server(options, [](const HttpRequest&) {
+    HttpResponse response;
+    response.body = "ok";
+    return response;
+  });
+  ASSERT_TRUE(server.Start().ok());
+  auto holder = HttpClient::Connect(server.port());
+  ASSERT_TRUE(holder.ok());
+  ASSERT_TRUE(holder->Get("/x").ok());  // connection admitted and live
+  EXPECT_EQ(server.active_connections(), 1u);
+
+  auto refused = HttpGet(server.port(), "/y");
+  ASSERT_TRUE(refused.ok());
+  EXPECT_EQ(refused->status, 503);
+
+  // Releasing the held connection frees the slot.
+  holder->Close();
+  for (int i = 0; i < 500 && server.active_connections() != 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  auto admitted = HttpGet(server.port(), "/z");
+  ASSERT_TRUE(admitted.ok());
+  EXPECT_EQ(admitted->status, 200);
+}
+
+TEST(HttpKeepAliveTest, KeepAliveDisabledClosesEveryConnection) {
+  HttpServer::Options options = EphemeralPort();
+  options.keep_alive = false;
+  HttpServer server(options, [](const HttpRequest&) {
+    HttpResponse response;
+    response.body = "ok";
+    return response;
+  });
+  ASSERT_TRUE(server.Start().ok());
+  auto client = HttpClient::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+  auto result = client->Get("/x");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->headers["connection"], "close");
+  EXPECT_FALSE(client->connected());
+}
+
+TEST(HttpKeepAliveTest, StopClosesIdleKeepAliveSocketsPromptly) {
+  // Graceful drain: Stop() must not wait out the (long) idle timeout
+  // of parked keep-alive sockets.
+  HttpServer::Options options = EphemeralPort();
+  options.idle_timeout_ms = 60000;
+  HttpServer server(options, [](const HttpRequest&) {
+    HttpResponse response;
+    response.body = "ok";
+    return response;
+  });
+  ASSERT_TRUE(server.Start().ok());
+  auto client = HttpClient::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->Get("/x").ok());
+
+  auto start = std::chrono::steady_clock::now();
+  server.Stop();
+  auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_LT(waited.count(), 5000)
+      << "Stop() must close idle sockets, not wait for their timeout";
+  EXPECT_FALSE(client->Get("/y").ok());
 }
 
 TEST(HttpServerTest, StartTwiceFailsAndStopIsIdempotent) {
@@ -310,6 +588,43 @@ TEST_F(ServiceEndpointTest, TileEndpointServesPngWithCacheHeaders) {
   auto warm = Get("/tiles/geo/1/0/1.png");
   EXPECT_EQ(warm.headers["x-vas-cache"], "hit");
   EXPECT_EQ(warm.body, cold.body) << "hit and miss must be byte-identical";
+}
+
+TEST_F(ServiceEndpointTest, TileConditionalRequestsGet304) {
+  auto cold = Get("/tiles/geo/1/0/1.png");
+  ASSERT_EQ(cold.status, 200);
+  std::string etag = cold.headers["etag"];
+  ASSERT_FALSE(etag.empty());
+  EXPECT_EQ(etag.front(), '"');
+  EXPECT_EQ(etag.back(), '"') << "strong ETags are quoted";
+  // The fixture's ladder is finished, so tiles are long-lived.
+  EXPECT_EQ(cold.headers["cache-control"], "public, max-age=3600");
+
+  auto client = HttpClient::Connect(server_->port());
+  ASSERT_TRUE(client.ok());
+  auto not_modified =
+      client->Get("/tiles/geo/1/0/1.png", {{"If-None-Match", etag}});
+  ASSERT_TRUE(not_modified.ok());
+  EXPECT_EQ(not_modified->status, 304);
+  EXPECT_TRUE(not_modified->body.empty())
+      << "304 must not carry the tile bytes";
+  EXPECT_EQ(not_modified->headers["etag"], etag);
+  EXPECT_EQ(not_modified->headers.count("content-length"), 0u);
+  EXPECT_TRUE(client->connected())
+      << "a 304 must not break the keep-alive framing";
+
+  // The same socket still serves full responses afterwards.
+  auto mismatch = client->Get("/tiles/geo/1/0/1.png",
+                              {{"If-None-Match", "\"stale\""}});
+  ASSERT_TRUE(mismatch.ok());
+  EXPECT_EQ(mismatch->status, 200);
+  EXPECT_EQ(mismatch->body, cold.body);
+}
+
+TEST_F(ServiceEndpointTest, JsonEndpointsAreNoCache) {
+  EXPECT_EQ(Get("/catalogs").headers["cache-control"], "no-cache");
+  EXPECT_EQ(Get("/status/geo").headers["cache-control"], "no-cache");
+  EXPECT_EQ(Get("/plot?table=geo").headers["cache-control"], "no-cache");
 }
 
 TEST_F(ServiceEndpointTest, TileErrorsMapToHttpCodes) {

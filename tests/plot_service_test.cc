@@ -143,6 +143,89 @@ TEST(PlotServiceTest, ServedTileIsByteIdenticalToDirectRender) {
   EXPECT_EQ(direct.EncodePng(), *served->png);
 }
 
+TEST(PlotServiceTest, ConditionalRenderTileHonorsEtags) {
+  PlotService service;
+  ASSERT_TRUE(service
+                  .RegisterTable("geo", SkewedShared(3000), UniformFactory(5),
+                                 Ladder({200}))
+                  .ok());
+  ASSERT_TRUE(service.manager().WaitUntilDone(CatalogKey{"geo"}).ok());
+  TileKey tile{1, 0, 1};
+  auto cold = service.RenderTile("geo", tile);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_FALSE(cold->etag.empty());
+  EXPECT_TRUE(cold->build_done);
+  EXPECT_FALSE(cold->not_modified);
+
+  // A matching If-None-Match answers from the tag alone: no bytes, no
+  // render, not even a cache lookup.
+  auto before = service.cache_stats();
+  auto conditional = service.RenderTile("geo", tile, cold->etag);
+  ASSERT_TRUE(conditional.ok());
+  EXPECT_TRUE(conditional->not_modified);
+  EXPECT_EQ(conditional->png, nullptr);
+  EXPECT_EQ(conditional->etag, cold->etag);
+  EXPECT_EQ(conditional->sample_size, cold->sample_size);
+  auto after = service.cache_stats();
+  EXPECT_EQ(after.hits, before.hits);
+  EXPECT_EQ(after.misses, before.misses);
+
+  // RFC 9110 weak comparison: W/ prefixes, lists, and "*" all match.
+  EXPECT_TRUE(
+      service.RenderTile("geo", tile, "W/" + cold->etag)->not_modified);
+  EXPECT_TRUE(service.RenderTile("geo", tile, "\"zz\", " + cold->etag)
+                  ->not_modified);
+  EXPECT_TRUE(service.RenderTile("geo", tile, "*")->not_modified);
+
+  // A stale tag serves the full bytes.
+  auto stale = service.RenderTile("geo", tile, "\"stale\"");
+  ASSERT_TRUE(stale.ok());
+  EXPECT_FALSE(stale->not_modified);
+  ASSERT_NE(stale->png, nullptr);
+
+  // Tags are per tile: a different key has a different tag.
+  auto other = service.RenderTile("geo", TileKey{1, 1, 1});
+  ASSERT_TRUE(other.ok());
+  EXPECT_NE(other->etag, cold->etag);
+}
+
+TEST(PlotServiceTest, EtagRotatesWhenASharperRungLands) {
+  // The progressive-refinement contract behind the short max-age: while
+  // the ladder builds, a client revalidating with its old tag gets the
+  // sharper tile the moment the served rung advances.
+  std::promise<void> gate;
+  std::shared_future<void> future = gate.get_future().share();
+  PlotService service;
+  ASSERT_TRUE(service
+                  .RegisterTable(
+                      "geo", SkewedShared(5000),
+                      [future]() {
+                        return std::make_unique<GatedSampler>(9, 2000, future);
+                      },
+                      Ladder({200, 2000}))
+                  .ok());
+
+  auto early = service.RenderTile("geo", TileKey{0, 0, 0});
+  ASSERT_TRUE(early.ok());
+  EXPECT_FALSE(early->build_done);
+  // Nothing changed yet — revalidation is still a cheap 304.
+  EXPECT_TRUE(
+      service.RenderTile("geo", TileKey{0, 0, 0}, early->etag)->not_modified);
+
+  gate.set_value();
+  ASSERT_TRUE(service.manager().WaitUntilDone(CatalogKey{"geo"}).ok());
+
+  // The old tag no longer matches: the conditional fetch returns the
+  // sharper tile, under a new tag, now marked stable.
+  auto upgraded = service.RenderTile("geo", TileKey{0, 0, 0}, early->etag);
+  ASSERT_TRUE(upgraded.ok());
+  EXPECT_FALSE(upgraded->not_modified);
+  ASSERT_NE(upgraded->png, nullptr);
+  EXPECT_EQ(upgraded->sample_size, 2000u);
+  EXPECT_NE(upgraded->etag, early->etag);
+  EXPECT_TRUE(upgraded->build_done);
+}
+
 TEST(PlotServiceTest, RungUpgradeInvalidatesCachedTiles) {
   std::promise<void> gate;
   std::shared_future<void> future = gate.get_future().share();

@@ -22,7 +22,8 @@ TEST(RanksTest, TiesGetAverageRank) {
 
 TEST(SpearmanTest, PerfectMonotoneIsOne) {
   std::vector<double> x = {1, 2, 3, 4, 5};
-  std::vector<double> y = {10, 100, 1000, 10000, 100000};  // nonlinear, monotone
+  // Nonlinear but monotone.
+  std::vector<double> y = {10, 100, 1000, 10000, 100000};
   EXPECT_NEAR(SpearmanCorrelation(x, y), 1.0, 1e-12);
 }
 

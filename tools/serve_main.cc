@@ -101,6 +101,21 @@ int ServeMain(int argc, char** argv) {
                "tile cache byte budget (64 MiB default)");
   flags.Define("tile-budget", "2.0",
                "per-tile interactivity budget in seconds (picks the rung)");
+  flags.Define("keep-alive", "true",
+               "serve multiple requests per connection (HTTP/1.1 "
+               "keep-alive); false = close after every response");
+  flags.Define("idle-timeout-ms", "5000",
+               "close keep-alive sockets idle for this long");
+  flags.Define("max-requests-per-conn", "1000",
+               "requests served per connection before closing (0 = "
+               "unlimited)");
+  flags.Define("max-connections", "256",
+               "concurrent connections; beyond this new sockets get 503 "
+               "(0 = unlimited)");
+  flags.Define("tile-max-age", "3600",
+               "Cache-Control max-age for tiles of finished builds");
+  flags.Define("tile-building-max-age", "2",
+               "Cache-Control max-age while a ladder is still building");
   Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
     std::fprintf(stderr, "%s\n%s", parsed.ToString().c_str(),
@@ -125,6 +140,10 @@ int ServeMain(int argc, char** argv) {
   options.tile_cache_budget_bytes =
       static_cast<size_t>(flags.GetInt("tile-cache-budget"));
   options.tile_time_budget_seconds = flags.GetDouble("tile-budget");
+  options.tile_final_max_age_seconds =
+      static_cast<int>(flags.GetInt("tile-max-age"));
+  options.tile_building_max_age_seconds =
+      static_cast<int>(flags.GetInt("tile-building-max-age"));
   PlotService service(options);
 
   SampleCatalog::Options catalog_options;
@@ -187,6 +206,13 @@ int ServeMain(int argc, char** argv) {
   server_options.bind_address = flags.GetString("address");
   server_options.num_threads =
       static_cast<size_t>(flags.GetInt("http-threads"));
+  server_options.keep_alive = flags.GetBool("keep-alive");
+  server_options.idle_timeout_ms =
+      static_cast<int>(flags.GetInt("idle-timeout-ms"));
+  server_options.max_requests_per_connection =
+      static_cast<size_t>(flags.GetInt("max-requests-per-conn"));
+  server_options.max_connections =
+      static_cast<size_t>(flags.GetInt("max-connections"));
   HttpServer server(server_options, MakeServiceHandler(&service));
   Status started = server.Start();
   if (!started.ok()) return FailServe(started);
@@ -203,10 +229,10 @@ int ServeMain(int argc, char** argv) {
   }
   server.Stop();
   auto cache = service.cache_stats();
-  std::printf("shutting down: %zu requests served, tile cache %zu hits / "
-              "%zu misses / %zu evictions\n",
-              server.requests_served(), cache.hits, cache.misses,
-              cache.evictions);
+  std::printf("shutting down: %zu requests over %zu connections, tile "
+              "cache %zu hits / %zu misses / %zu evictions\n",
+              server.requests_served(), server.connections_accepted(),
+              cache.hits, cache.misses, cache.evictions);
   return 0;
 }
 
