@@ -2,12 +2,17 @@
 // server's interactivity budget is spent per *fetch*, so the transport
 // overhead a panning browser pays matters as much as render latency:
 // this bench drives the real HttpServer with concurrent clients in
-// three modes — (1) a fresh TCP connection per request (the
+// four modes — (1) a fresh TCP connection per request (the
 // pre-keep-alive behavior), (2) one persistent connection per client
-// serving sequential requests, and (3) persistent + conditional
-// requests, where every fetch carries If-None-Match and comes back 304
-// with no body. Reports requests/sec and p50/p90 latency per mode and
-// asserts that connection reuse beats reconnecting on p50.
+// serving sequential requests, (3) persistent + conditional requests,
+// where every fetch carries If-None-Match and comes back 304 with no
+// body, and (4) high fan-in at low duty cycle: several times more
+// parked keep-alive connections than server workers, each fetching
+// only occasionally — the browser-fleet shape the epoll transport
+// exists for. Reports requests/sec and p50/p90 latency per mode and
+// asserts that connection reuse beats reconnecting on p50, that the
+// idle herd is admitted without a single 503, and that holding it
+// costs at most 2x the low-connection p50.
 #include "bench_common.h"
 
 #include <algorithm>
@@ -93,6 +98,9 @@ int Run(int argc, char** argv) {
   flags.Define("payload", "16384",
                "response body bytes (roughly one encoded tile)");
   flags.Define("http-threads", "16", "server request-handler workers");
+  flags.Define("idle-connections", "0",
+               "keep-alive connections held in the low-duty-cycle mode "
+               "(0 = 4x http-threads)");
   if (!ParseBenchFlags(flags, argc, argv,
                        "HTTP keep-alive vs reconnect-per-request: req/s "
                        "and p50 latency across concurrent clients, plus "
@@ -209,16 +217,71 @@ int Run(int argc, char** argv) {
       });
   PrintMode("keep-alive + 304", conditional);
   connections.clear();
+
+  // --- Mode 4: many mostly-idle connections, low duty cycle ---------
+  // Hold several times more keep-alive sockets than the server has
+  // workers; each client thread sweeps its slice of the herd, so any
+  // given connection is active only a small fraction of the time. With
+  // the old thread-per-connection transport this configuration could
+  // not even connect (every socket past pool size got 503); here all
+  // of them must be admitted and served at near-baseline latency.
+  size_t idle_conns =
+      static_cast<size_t>(flags.GetInt("idle-connections"));
+  if (idle_conns == 0) idle_conns = 4 * options.num_threads;
+  std::vector<HttpClient> herd;
+  herd.reserve(idle_conns);
+  for (size_t i = 0; i < idle_conns; ++i) {
+    auto connected = HttpClient::Connect(server.port());
+    if (!connected.ok()) return Fail(connected.status().ToString());
+    herd.push_back(std::move(*connected));
+  }
+  // Each thread owns every clients-th connection; fetch i of thread c
+  // lands on its (i mod slice)-th owned socket, one sweep per round.
+  size_t slice = (idle_conns + clients - 1) / clients;
+  size_t rounds = std::max<size_t>(1, requests / 8);
+  ModeResult idle = RunClients(
+      clients, slice * rounds,
+      [&herd, &server, clients, idle_conns, slice](
+          size_t c, size_t i, std::vector<double>* out) {
+        size_t at = c + (i % slice) * clients;
+        if (at >= idle_conns) at = c;  // uneven tail wraps to own socket
+        Stopwatch watch;
+        StatusOr<HttpFetchResult> result =
+            herd[at].connected()
+                ? herd[at].Get("/payload")
+                : Status::IoError("connection lost");
+        if (!result.ok()) {
+          auto reconnected = HttpClient::Connect(server.port());
+          if (reconnected.ok()) {
+            herd[at] = std::move(*reconnected);
+            result = herd[at].Get("/payload");
+          }
+        }
+        out->push_back(watch.ElapsedSeconds() * 1000.0);
+        return result.ok() && result->status == 200 &&
+               !result->body.empty();
+      });
+  PrintMode("idle fan-in", idle);
+  std::printf("  (%zu connections held, %zu active threads)\n", idle_conns,
+              clients);
+  size_t refused = server.stats().connections_refused;
+  herd.clear();
   server.Stop();
 
   double reconnect_p50 = Percentile(reconnect.latencies_ms, 0.5);
   double reuse_p50 = Percentile(reuse.latencies_ms, 0.5);
   double conditional_p50 = Percentile(conditional.latencies_ms, 0.5);
+  double idle_p50 = Percentile(idle.latencies_ms, 0.5);
   std::printf(
       "\nconnection reuse p50 %.3fms vs reconnect p50 %.3fms (%.2fx); "
       "conditional 304s p50 %.3fms\n",
       reuse_p50, reconnect_p50,
       reuse_p50 > 0 ? reconnect_p50 / reuse_p50 : 0.0, conditional_p50);
+  std::printf(
+      "%zu mostly-idle connections held: p50 %.3fms (%.2fx of reuse "
+      "baseline), %zu refused\n",
+      idle_conns, idle_p50, reuse_p50 > 0 ? idle_p50 / reuse_p50 : 0.0,
+      refused);
 
   JsonMetrics metrics;
   metrics.Set("clients", clients);
@@ -234,12 +297,20 @@ int Run(int argc, char** argv) {
   metrics.Set("conditional_p50_ms", conditional_p50);
   metrics.Set("reuse_speedup_p50",
               reuse_p50 > 0 ? reconnect_p50 / reuse_p50 : 0.0);
-  metrics.Set("errors",
-              reconnect.errors + reuse.errors + conditional.errors);
+  metrics.Set("idle_connections_held", idle_conns);
+  metrics.Set("idle_rps", idle.Rps());
+  metrics.Set("idle_p50_ms", idle_p50);
+  metrics.Set("idle_p90_ms", Percentile(idle.latencies_ms, 0.9));
+  metrics.Set("idle_vs_reuse_p50",
+              reuse_p50 > 0 ? idle_p50 / reuse_p50 : 0.0);
+  metrics.Set("connections_refused", refused);
+  metrics.Set("errors", reconnect.errors + reuse.errors +
+                            conditional.errors + idle.errors);
   Status wrote = metrics.WriteIfRequested(flags.GetString("json"));
   if (!wrote.ok()) return Fail(wrote.ToString());
 
-  size_t errors = reconnect.errors + reuse.errors + conditional.errors;
+  size_t errors = reconnect.errors + reuse.errors + conditional.errors +
+                  idle.errors;
   if (errors != 0) {
     return Fail(std::to_string(errors) + " request(s) failed");
   }
@@ -248,7 +319,22 @@ int Run(int argc, char** argv) {
         "keep-alive reuse p50 %.3fms did not beat reconnect p50 %.3fms",
         reuse_p50, reconnect_p50));
   }
-  std::printf("keep-alive reuse beats reconnect-per-request at p50\n");
+  if (refused != 0) {
+    return Fail(StrFormat(
+        "%zu connection(s) refused while holding the idle herd — the "
+        "fd-based limit should admit them all",
+        refused));
+  }
+  // The herd must ride along at near-baseline latency: small absolute
+  // slack so sub-millisecond loopback p50s don't flake the ratio.
+  if (idle_p50 > 2.0 * reuse_p50 + 0.25) {
+    return Fail(StrFormat(
+        "p50 %.3fms with %zu idle connections vs %.3fms baseline — idle "
+        "sockets are not free anymore",
+        idle_p50, idle_conns, reuse_p50));
+  }
+  std::printf("keep-alive reuse beats reconnect-per-request at p50; "
+              "idle fan-in holds the baseline\n");
   return 0;
 }
 

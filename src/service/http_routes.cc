@@ -237,6 +237,28 @@ std::string JsonEscape(const std::string& s) {
   return out;
 }
 
+HttpServer::Handler MakeServiceHandler(
+    PlotService* service, std::function<HttpServerStats()> stats_fn) {
+  HttpServer::Handler base = MakeServiceHandler(service);
+  return [base = std::move(base), stats_fn = std::move(stats_fn)](
+             const HttpRequest& request) -> HttpResponse {
+    if (request.path == "/stats" && stats_fn != nullptr) {
+      HttpServerStats stats = stats_fn();
+      std::string out = "{";
+      out += "\"requests_served\":" + std::to_string(stats.requests_served);
+      out += ",\"connections_accepted\":" +
+             std::to_string(stats.connections_accepted);
+      out += ",\"connections_refused\":" +
+             std::to_string(stats.connections_refused);
+      out += ",\"active_connections\":" +
+             std::to_string(stats.active_connections);
+      out += "}\n";
+      return JsonResponse(std::move(out));
+    }
+    return base(request);
+  };
+}
+
 HttpServer::Handler MakeServiceHandler(PlotService* service) {
   return [service](const HttpRequest& request) -> HttpResponse {
     if (request.path == "/healthz") {

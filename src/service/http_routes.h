@@ -6,6 +6,10 @@
 //   GET /healthz                          liveness probe, "ok"
 //   GET /catalogs                         every registered table, JSON
 //   GET /status/{table}                   build/rung/eviction + cache state
+//   GET /stats                            transport counters (requests,
+//                                         connections accepted/refused/
+//                                         active), JSON — with the
+//                                         stats-aware overload below
 //   GET /tiles/{table}/{z}/{x}/{y}.png    rendered tile, image/png
 //   GET /plot?table=T&xmin=&ymin=&xmax=&ymax=&budget=
 //                                         viewport counts from the cached
@@ -20,6 +24,7 @@
 #ifndef VAS_SERVICE_HTTP_ROUTES_H_
 #define VAS_SERVICE_HTTP_ROUTES_H_
 
+#include <functional>
 #include <string>
 
 #include "service/http_server.h"
@@ -30,6 +35,14 @@ namespace vas {
 /// Builds the request handler serving `service`'s tables. The service
 /// must outlive the returned handler.
 HttpServer::Handler MakeServiceHandler(PlotService* service);
+
+/// Like above, plus a `/stats` endpoint reporting the transport
+/// counters `stats_fn` returns (typically `server.stats()`, wired up
+/// after the server is constructed — the handler only calls `stats_fn`
+/// per request, so it may be bound late). `stats_fn` must be callable
+/// for the handler's lifetime.
+HttpServer::Handler MakeServiceHandler(
+    PlotService* service, std::function<HttpServerStats()> stats_fn);
 
 /// Escapes `s` for embedding in a JSON string literal. Exposed for
 /// tests.

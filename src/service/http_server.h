@@ -1,26 +1,32 @@
-// Minimal HTTP/1.1 server on POSIX sockets. One acceptor task plus the
-// connection handlers all run on a util/thread_pool.h ThreadPool, so
-// the serving concurrency model is the same fixed-worker shape as the
-// build side. Connections are persistent by default: each worker runs a
-// per-connection state machine serving sequential HTTP/1.1 requests
-// over one socket (honoring `Connection: close` and HTTP/1.0
-// semantics), with buffered leftover bytes so a pipelined second
-// request in the same packet is served, an idle timeout reclaiming
-// quiet sockets, a max-requests-per-connection cap, and a bounded
-// concurrent-connection limit. Deliberately small: GET/HEAD, no TLS,
-// no request bodies, no chunked responses — enough to put tiles and
-// status JSON in front of a browser or load generator without paying a
-// TCP handshake per tile.
+// Minimal HTTP/1.1 server on POSIX sockets, built around an epoll
+// readiness loop. One dedicated event thread owns the listening socket
+// and every connection: it accepts, reads request heads, enforces idle
+// and io timeouts, and drains buffered responses through non-blocking
+// sends (re-arming EPOLLOUT after partial writes). Pool workers run
+// only handler dispatch — parse results in, serialized bytes out — so
+// an idle keep-alive socket costs one fd in the epoll set, not a pinned
+// worker, and a slow reader dribbling a large tile never holds a worker
+// either: its bytes wait in a per-connection output buffer whose cap
+// closes abusive readers. Connections are persistent by default with
+// the HTTP/1.1 keep-alive state machine (pipelining, `Connection:
+// close`, HTTP/1.0 opt-in, idle timeout, per-connection request cap)
+// and the connection limit defaults to what the fd rlimit allows —
+// 10k+ mostly-idle sockets — instead of the old 503-at-pool-size
+// behavior. Deliberately small: GET/HEAD, no TLS, no request bodies,
+// no chunked responses — enough to put tiles and status JSON in front
+// of a browser or load generator without paying a TCP handshake per
+// tile.
 #ifndef VAS_SERVICE_HTTP_SERVER_H_
 #define VAS_SERVICE_HTTP_SERVER_H_
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <future>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -67,6 +73,16 @@ std::string UriDecode(const std::string& in);
 /// `etag` is the server's current entity tag including quotes.
 bool EtagMatches(const std::string& if_none_match, const std::string& etag);
 
+/// Transport-level counters, snapshot together so /stats-style
+/// endpoints report a consistent view of load (accepted + refused =
+/// every connection attempt the server saw).
+struct HttpServerStats {
+  size_t requests_served = 0;
+  size_t connections_accepted = 0;
+  size_t connections_refused = 0;
+  size_t active_connections = 0;
+};
+
 class HttpServer {
  public:
   using Handler = std::function<HttpResponse(const HttpRequest&)>;
@@ -75,39 +91,39 @@ class HttpServer {
     /// 0 binds an ephemeral port (read it back via port()).
     uint16_t port = 8080;
     std::string bind_address = "0.0.0.0";
-    /// Request-handler workers. The pool is sized num_threads + 1: one
-    /// worker runs the accept loop for the server's whole lifetime.
-    /// Each live connection occupies one worker until it closes, so
-    /// this also bounds the number of concurrently *served* sockets.
+    /// Request-handler workers (parse -> handler -> serialize). Sockets
+    /// are owned by the event thread, so this sizes render concurrency
+    /// only — idle or slow connections consume no worker.
     size_t num_threads = 8;
     /// Largest request head (request line + headers) accepted; larger
     /// heads are answered with 431 and the connection is closed.
     size_t max_request_bytes = 64 * 1024;
-    /// Per-connection socket send timeout, and the cap on how long a
-    /// partially received request head may trickle in.
+    /// Cap on how long a partially received request head may trickle
+    /// in (-> 408), and on how long a buffered response may sit with
+    /// no write progress before the connection is dropped.
     int io_timeout_seconds = 10;
     /// Serve multiple requests per connection (HTTP/1.1 keep-alive).
     /// When false every response carries `Connection: close`, the
     /// pre-keep-alive behavior.
     bool keep_alive = true;
     /// How long an idle keep-alive socket may sit between requests
-    /// before the server closes it and frees the worker.
+    /// before the server closes it and frees the fd.
     int idle_timeout_ms = 5000;
     /// Requests served over one connection before the server closes it
-    /// (`Connection: close` on the final response). Bounds how long one
-    /// client may monopolize a worker. 0 = unlimited.
+    /// (`Connection: close` on the final response). 0 = unlimited.
     size_t max_requests_per_connection = 1000;
     /// Concurrent connections accepted; beyond this the server answers
-    /// 503 and closes immediately instead of queueing the socket
-    /// behind busy workers. 0 = unlimited. Size together with
-    /// num_threads: each live connection pins one worker, so accepted
-    /// connections beyond num_threads wait in the pool queue — bounded
-    /// by idle_timeout_ms and max_requests_per_connection, which
-    /// recycle pinned workers, but a deployment expecting many
-    /// long-lived idle clients should raise num_threads (or wait for
-    /// the event-driven accept path on the roadmap) rather than this
-    /// cap.
-    size_t max_connections = 256;
+    /// 503 (best-effort, never blocking the event loop) and closes.
+    /// 0 = derive from RLIMIT_NOFILE minus headroom, so a deployment
+    /// holds as many mostly-idle keep-alive sockets as the process fd
+    /// budget allows — connections no longer compete for workers.
+    size_t max_connections = 0;
+    /// Unsent response bytes buffered per connection before the server
+    /// declares the reader abusive and closes it. Must comfortably
+    /// exceed the largest single response (a tile is ~hundreds of KB);
+    /// the cap exists so a client that pipelines requests but never
+    /// reads cannot grow the output buffer without bound.
+    size_t max_output_buffer_bytes = 8 * 1024 * 1024;
   };
 
   HttpServer(Options options, Handler handler);
@@ -116,15 +132,15 @@ class HttpServer {
   HttpServer(const HttpServer&) = delete;
   HttpServer& operator=(const HttpServer&) = delete;
 
-  /// Binds, listens, and starts the accept loop. IoError when the
+  /// Binds, listens, and starts the event loop. IoError when the
   /// address or port cannot be bound.
   Status Start();
 
   /// Stops accepting and drains gracefully: requests already being
   /// handled (and request heads already partially received) finish,
   /// idle keep-alive sockets close without waiting out their idle
-  /// timeout, then the workers join. Idempotent; called by the
-  /// destructor.
+  /// timeout, then the event thread and workers join. Idempotent;
+  /// called by the destructor.
   void Stop();
 
   /// The port actually bound (the ephemeral one when options.port = 0).
@@ -139,27 +155,61 @@ class HttpServer {
   /// Connections accepted so far (excludes ones refused with 503).
   size_t connections_accepted() const { return connections_accepted_.load(); }
 
+  /// Connections refused with 503 because the connection limit was hit.
+  size_t connections_refused() const { return connections_refused_.load(); }
+
+  /// All transport counters in one snapshot.
+  HttpServerStats stats() const {
+    HttpServerStats s;
+    s.requests_served = requests_served_.load();
+    s.connections_accepted = connections_accepted_.load();
+    s.connections_refused = connections_refused_.load();
+    s.active_connections = active_connections_.load();
+    return s;
+  }
+
  private:
-  void AcceptLoop();
-  void HandleConnection(int fd);
+  struct Conn;
+  struct Completion;
+
+  void EventLoop();
+  void AcceptReady();
+  bool ReadReady(Conn* conn);
+  bool ProcessInput(Conn* conn);
+  bool DispatchRequest(Conn* conn, const std::string& head_text);
+  bool QueueDirectResponse(Conn* conn, const HttpResponse& response);
+  bool AppendResponse(Conn* conn, Completion completion);
+  bool FlushOutput(Conn* conn);
+  void UpdateInterest(Conn* conn);
+  void DrainCompletions();
+  void SweepDeadlines();
+  void CloseIdleConnections();
+  void DestroyConn(Conn* conn);
+  void PushCompletion(Completion completion);
+  void Wake();
 
   const Options options_;
   const Handler handler_;
   std::unique_ptr<ThreadPool> pool_;
+  std::thread event_thread_;
   int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
   uint16_t port_ = 0;
+  size_t connection_limit_ = 0;
   std::atomic<bool> stopping_{false};
   std::atomic<bool> started_{false};
-  std::atomic<bool> fd_closed_{false};
   std::atomic<size_t> requests_served_{0};
   std::atomic<size_t> active_connections_{0};
   std::atomic<size_t> connections_accepted_{0};
-  /// Resolves when AcceptLoop() has exited. Stop() must wait on it
-  /// before shutting the pool down: the loop may be between its
-  /// stopping_ check and a Submit(), and Submit() on a shut-down pool
-  /// aborts the process.
-  std::promise<void> accept_exited_promise_;
-  std::shared_future<void> accept_exited_;
+  std::atomic<size_t> connections_refused_{0};
+
+  /// Everything below `conns_` is owned by the event thread; workers
+  /// communicate only through the completion queue + wake_fd_.
+  std::map<uint64_t, std::unique_ptr<Conn>> conns_;
+  uint64_t next_conn_id_ = 16;
+  std::mutex completions_mu_;
+  std::vector<Completion> completions_;
 };
 
 /// A parsed response from the test/bench clients below.
@@ -172,7 +222,10 @@ struct HttpFetchResult {
 /// Tiny blocking HTTP/1.1 client for tests and benches that keeps its
 /// connection open across requests — the client half of keep-alive.
 /// Responses are framed by Content-Length (or bodyless statuses), so
-/// sequential Gets reuse one socket.
+/// sequential Gets reuse one socket. Receive timeouts (SO_RCVTIMEO
+/// expiry) are reported as explicit "timed out" IoErrors, distinct
+/// from the peer closing the connection; interrupted recv/send calls
+/// (EINTR) are retried.
 class HttpClient {
  public:
   HttpClient() = default;
@@ -183,9 +236,11 @@ class HttpClient {
   HttpClient(const HttpClient&) = delete;
   HttpClient& operator=(const HttpClient&) = delete;
 
-  /// Connects to 127.0.0.1 (or `host`) on `port`.
+  /// Connects to 127.0.0.1 (or `host`) on `port`. `timeout_seconds`
+  /// bounds each socket send/receive.
   static StatusOr<HttpClient> Connect(uint16_t port,
-                                      const std::string& host = "127.0.0.1");
+                                      const std::string& host = "127.0.0.1",
+                                      int timeout_seconds = 30);
 
   /// One GET over the open connection. `extra_headers` are sent
   /// verbatim (e.g. {"If-None-Match", etag} or {"Connection", "close"}).

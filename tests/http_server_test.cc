@@ -7,9 +7,11 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <map>
@@ -493,6 +495,281 @@ TEST(HttpKeepAliveTest, StopClosesIdleKeepAliveSocketsPromptly) {
   EXPECT_FALSE(client->Get("/y").ok());
 }
 
+int ConnectRaw(uint16_t port, int rcvbuf_bytes) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  if (rcvbuf_bytes > 0) {
+    // Must be set before connect so the window scales from the small
+    // buffer — this is what makes the server's sends hit EAGAIN.
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf_bytes,
+                 sizeof(rcvbuf_bytes));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  return fd;
+}
+
+TEST(HttpEpollTest, SlowClientDoesNotStallFastClient) {
+  // The isolation the event loop buys: with a SINGLE render worker, a
+  // client dribbling a 1 MiB tile one byte per 100ms must not delay a
+  // concurrent fast client — the slow transfer parks in the
+  // connection's output buffer, not on the worker.
+  auto tile = std::make_shared<const std::string>(std::string(1 << 20, 'T'));
+  HttpServer server(EphemeralPort(/*threads=*/1),
+                    [tile](const HttpRequest&) {
+                      HttpResponse response;
+                      response.content_type = "application/octet-stream";
+                      response.shared_body = tile;
+                      return response;
+                    });
+  ASSERT_TRUE(server.Start().ok());
+
+  int slow = ConnectRaw(server.port(), 4096);
+  std::string wire = "GET /tile HTTP/1.1\r\nHost: h\r\n\r\n";
+  ASSERT_EQ(::send(slow, wire.data(), wire.size(), 0),
+            static_cast<ssize_t>(wire.size()));
+  std::atomic<bool> stop_reading{false};
+  std::thread dribble([&] {
+    char byte;
+    while (!stop_reading.load()) {
+      if (::recv(slow, &byte, 1, 0) <= 0) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  });
+
+  // Let the slow transfer get rendered and queued first.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  auto start = std::chrono::steady_clock::now();
+  auto fast = HttpGet(server.port(), "/tile");
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  ASSERT_TRUE(fast.ok()) << fast.status().ToString();
+  EXPECT_EQ(fast->body.size(), tile->size());
+  // At the dribble rate the slow transfer takes >1 day; anything close
+  // to wall-clock seconds here means the worker was pinned on it.
+  EXPECT_LT(elapsed.count(), 3000)
+      << "slow reader stalled a fast client's request";
+
+  stop_reading.store(true);
+  ::shutdown(slow, SHUT_RDWR);
+  dribble.join();
+  ::close(slow);
+  server.Stop();
+}
+
+TEST(HttpEpollTest, LargeResponseToPausingReaderArrivesIntact) {
+  // Forces many partial sends: a patterned 2 MiB body squeezed through
+  // a small client receive window, read in bursts with pauses, must
+  // arrive byte-identical — EPOLLOUT re-arm and output-segment offsets
+  // cannot drop, duplicate, or reorder anything.
+  std::string pattern(2 * 1024 * 1024, '\0');
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    pattern[i] = static_cast<char>('a' + (i % 23));
+  }
+  auto body = std::make_shared<const std::string>(std::move(pattern));
+  HttpServer server(EphemeralPort(2), [body](const HttpRequest&) {
+    HttpResponse response;
+    response.content_type = "application/octet-stream";
+    response.shared_body = body;
+    return response;
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  int fd = ConnectRaw(server.port(), 4096);
+  std::string wire =
+      "GET /big HTTP/1.1\r\nHost: h\r\nConnection: close\r\n\r\n";
+  ASSERT_EQ(::send(fd, wire.data(), wire.size(), 0),
+            static_cast<ssize_t>(wire.size()));
+  std::string out;
+  char buffer[32768];
+  size_t since_pause = 0;
+  ssize_t n;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    out.append(buffer, static_cast<size_t>(n));
+    since_pause += static_cast<size_t>(n);
+    if (since_pause >= 256 * 1024) {
+      // Let the server's sends run dry and EPOLLOUT disarm/re-arm.
+      since_pause = 0;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  ::close(fd);
+  size_t head_end = out.find("\r\n\r\n");
+  ASSERT_NE(head_end, std::string::npos);
+  EXPECT_EQ(out.substr(head_end + 4), *body);
+  server.Stop();
+}
+
+TEST(HttpEpollTest, OutputCapDisconnectsReaderThatNeverDrains) {
+  // A client that pipelines requests but never reads must be cut off
+  // once its unsent responses exceed the output cap — and the server
+  // must keep serving everyone else.
+  HttpServer::Options options = EphemeralPort(2);
+  options.max_output_buffer_bytes = 64 * 1024;
+  options.io_timeout_seconds = 60;  // the cap must trigger, not the stall
+  std::string chunk(16 * 1024, 'x');
+  HttpServer server(options, [chunk](const HttpRequest&) {
+    HttpResponse response;
+    response.body = chunk;
+    return response;
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  int fd = ConnectRaw(server.port(), 4096);
+  std::string wire;
+  // Enough pipelined responses to overflow even a fully auto-tuned
+  // kernel send buffer (tcp_wmem max is typically 4 MiB) — only then
+  // do sends hit EAGAIN and the server-side output buffer grow.
+  const size_t kPipelined = 400;
+  for (size_t i = 0; i < kPipelined; ++i) {
+    wire += "GET /r" + std::to_string(i) + " HTTP/1.1\r\nHost: h\r\n\r\n";
+  }
+  ASSERT_EQ(::send(fd, wire.data(), wire.size(), 0),
+            static_cast<ssize_t>(wire.size()));
+  // Don't read. Wait for the server to hit the cap and close; then
+  // drain whatever was in flight — it must be far less than the
+  // ~2 MiB total the pipeline asked for.
+  timeval tv{};
+  tv.tv_sec = 20;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  size_t drained = 0;
+  char buffer[32768];
+  ssize_t n;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    drained += static_cast<size_t>(n);
+  }
+  EXPECT_LE(n, 0) << "server must close the capped connection";
+  ::close(fd);
+  EXPECT_LT(drained, kPipelined * chunk.size())
+      << "cap never triggered: the whole pipeline was buffered";
+
+  auto healthy = HttpGet(server.port(), "/after");
+  ASSERT_TRUE(healthy.ok()) << healthy.status().ToString();
+  EXPECT_EQ(healthy->status, 200);
+  server.Stop();
+}
+
+TEST(HttpEpollTest, ManyMostlyIdleConnectionsAreHeldWithoutRefusals) {
+  // The fd-based limit: hundreds of parked keep-alive sockets on a
+  // 2-worker server, zero refusals, and requests still served. Sized
+  // to the process fd budget (client + server ends both count here).
+  rlimit limit{};
+  ASSERT_EQ(::getrlimit(RLIMIT_NOFILE, &limit), 0);
+  size_t budget =
+      limit.rlim_cur > 200 ? (static_cast<size_t>(limit.rlim_cur) - 200) / 2
+                           : 16;
+  const size_t held = std::min<size_t>(300, budget);
+  HttpServer::Options options = EphemeralPort(2);
+  options.idle_timeout_ms = 60000;
+  HttpServer server(options, [](const HttpRequest&) {
+    HttpResponse response;
+    response.body = "ok";
+    return response;
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  std::vector<HttpClient> clients;
+  clients.reserve(held);
+  for (size_t i = 0; i < held; ++i) {
+    auto client = HttpClient::Connect(server.port());
+    ASSERT_TRUE(client.ok()) << "connection " << i << ": "
+                             << client.status().ToString();
+    auto result = client->Get("/warm");
+    ASSERT_TRUE(result.ok()) << "connection " << i << ": "
+                             << result.status().ToString();
+    EXPECT_EQ(result->status, 200) << "no 503s under the fd-based limit";
+    clients.push_back(std::move(*client));
+  }
+  HttpServerStats stats = server.stats();
+  EXPECT_EQ(stats.connections_refused, 0u);
+  EXPECT_EQ(stats.connections_accepted, held);
+  EXPECT_EQ(stats.active_connections, held);
+  EXPECT_EQ(stats.requests_served, held);
+
+  // The parked sockets are all still live, not just counted.
+  auto again = clients.front().Get("/again");
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again->status, 200);
+  server.Stop();
+}
+
+TEST(HttpEpollTest, RefusedConnectionsAreCounted) {
+  HttpServer::Options options = EphemeralPort();
+  options.max_connections = 1;
+  HttpServer server(options, [](const HttpRequest&) {
+    HttpResponse response;
+    response.body = "ok";
+    return response;
+  });
+  ASSERT_TRUE(server.Start().ok());
+  auto holder = HttpClient::Connect(server.port());
+  ASSERT_TRUE(holder.ok());
+  ASSERT_TRUE(holder->Get("/x").ok());
+
+  auto refused = HttpGet(server.port(), "/y");
+  ASSERT_TRUE(refused.ok());
+  EXPECT_EQ(refused->status, 503);
+  HttpServerStats stats = server.stats();
+  EXPECT_EQ(stats.connections_refused, 1u)
+      << "refusals must show up in the server's own accounting";
+  EXPECT_EQ(stats.connections_accepted, 1u)
+      << "a refused socket is not an accepted connection";
+  server.Stop();
+}
+
+TEST(HttpClientTest, RecvTimeoutReportedAsTimeoutNotPeerClose) {
+  // A peer that promises 100 body bytes, delivers 7, then stalls: the
+  // client must report its receive timeout as a timeout — previously
+  // SO_RCVTIMEO expiry was misreported as "connection closed mid-body".
+  int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(
+      ::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(::listen(listener, 1), 0);
+  socklen_t addr_len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listener, reinterpret_cast<sockaddr*>(&addr),
+                          &addr_len),
+            0);
+  uint16_t port = ntohs(addr.sin_port);
+
+  std::thread peer([listener] {
+    int conn = ::accept(listener, nullptr, nullptr);
+    ASSERT_GE(conn, 0);
+    char buffer[1024];
+    ::recv(conn, buffer, sizeof(buffer), 0);  // the request
+    std::string head =
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\n"
+        "Content-Length: 100\r\nConnection: keep-alive\r\n\r\npartial";
+    ::send(conn, head.data(), head.size(), MSG_NOSIGNAL);
+    // Stall: no more bytes. The blocked recv returns when the client
+    // gives up and closes its end.
+    ::recv(conn, buffer, sizeof(buffer), 0);
+    ::close(conn);
+  });
+
+  auto client = HttpClient::Connect(port, "127.0.0.1",
+                                    /*timeout_seconds=*/1);
+  ASSERT_TRUE(client.ok());
+  auto result = client->Get("/stalled");
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.status().ToString().find("timed out"), std::string::npos)
+      << "got: " << result.status().ToString();
+  EXPECT_EQ(result.status().ToString().find("connection closed"),
+            std::string::npos)
+      << "a timeout is not a peer close: " << result.status().ToString();
+  peer.join();
+  ::close(listener);
+}
+
 TEST(HttpServerTest, StartTwiceFailsAndStopIsIdempotent) {
   HttpServer server(EphemeralPort(), [](const HttpRequest&) {
     return HttpResponse{};
@@ -535,8 +812,12 @@ class ServiceEndpointTest : public ::testing::Test {
                         }())
                     .ok());
     ASSERT_TRUE(service_->manager().WaitUntilDone(CatalogKey{"geo"}).ok());
-    server_ = std::make_unique<HttpServer>(EphemeralPort(),
-                                           MakeServiceHandler(service_.get()));
+    // The stats lambda reads server_ lazily — it only runs per request,
+    // after the server exists and has started.
+    server_ = std::make_unique<HttpServer>(
+        EphemeralPort(),
+        MakeServiceHandler(service_.get(),
+                           [this]() { return server_->stats(); }));
     ASSERT_TRUE(server_->Start().ok());
   }
 
@@ -554,6 +835,18 @@ TEST_F(ServiceEndpointTest, Healthz) {
   auto result = Get("/healthz");
   EXPECT_EQ(result.status, 200);
   EXPECT_EQ(result.body, "ok\n");
+}
+
+TEST_F(ServiceEndpointTest, StatsEndpointReportsTransportCounters) {
+  ASSERT_EQ(Get("/healthz").status, 200);
+  auto result = Get("/stats");
+  EXPECT_EQ(result.status, 200);
+  EXPECT_EQ(result.headers["content-type"], "application/json");
+  EXPECT_NE(result.body.find("\"requests_served\":"), std::string::npos)
+      << result.body;
+  EXPECT_NE(result.body.find("\"connections_accepted\":"), std::string::npos);
+  EXPECT_NE(result.body.find("\"connections_refused\":0"), std::string::npos);
+  EXPECT_NE(result.body.find("\"active_connections\":"), std::string::npos);
 }
 
 TEST_F(ServiceEndpointTest, CatalogsListsTheTable) {

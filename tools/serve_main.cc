@@ -95,7 +95,9 @@ int ServeMain(int argc, char** argv) {
                "catalog memory budget in bytes (0 = unlimited)");
   flags.Define("port", "8080", "listen port (0 = ephemeral)");
   flags.Define("address", "0.0.0.0", "bind address");
-  flags.Define("http-threads", "8", "request-handler workers");
+  flags.Define("http-threads", "8",
+               "request-handler (render) workers; sockets live on the "
+               "event thread, so idle connections don't consume these");
   flags.Define("tile-px", "256", "tile edge in pixels");
   flags.Define("tile-cache-budget", "67108864",
                "tile cache byte budget (64 MiB default)");
@@ -109,9 +111,14 @@ int ServeMain(int argc, char** argv) {
   flags.Define("max-requests-per-conn", "1000",
                "requests served per connection before closing (0 = "
                "unlimited)");
-  flags.Define("max-connections", "256",
-               "concurrent connections; beyond this new sockets get 503 "
-               "(0 = unlimited)");
+  flags.Define("max-connections", "0",
+               "concurrent connections; beyond this new sockets get a "
+               "best-effort 503 (0 = derive from the fd rlimit, enough "
+               "for 10k+ mostly-idle keep-alive sockets)");
+  flags.Define("max-output-buffer", "8388608",
+               "unsent response bytes buffered per connection before a "
+               "slow reader is disconnected (8 MiB default; must exceed "
+               "the largest single response)");
   flags.Define("tile-max-age", "3600",
                "Cache-Control max-age for tiles of finished builds");
   flags.Define("tile-building-max-age", "2",
@@ -213,12 +220,23 @@ int ServeMain(int argc, char** argv) {
       static_cast<size_t>(flags.GetInt("max-requests-per-conn"));
   server_options.max_connections =
       static_cast<size_t>(flags.GetInt("max-connections"));
-  HttpServer server(server_options, MakeServiceHandler(&service));
+  server_options.max_output_buffer_bytes =
+      static_cast<size_t>(flags.GetInt("max-output-buffer"));
+  // The handler is built before the server it reports on, so /stats
+  // reads through a pointer slot filled in right after construction.
+  auto server_slot = std::make_shared<HttpServer*>(nullptr);
+  HttpServer server(
+      server_options,
+      MakeServiceHandler(&service, [server_slot]() {
+        return *server_slot != nullptr ? (*server_slot)->stats()
+                                       : HttpServerStats{};
+      }));
+  *server_slot = &server;
   Status started = server.Start();
   if (!started.ok()) return FailServe(started);
   std::printf("vas_serve listening on %s:%u\n",
               server_options.bind_address.c_str(), server.port());
-  std::printf("  GET /healthz | /catalogs | /status/{table} | "
+  std::printf("  GET /healthz | /catalogs | /stats | /status/{table} | "
               "/tiles/{table}/{z}/{x}/{y}.png | /plot?table=...\n");
   std::fflush(stdout);
 
@@ -229,10 +247,12 @@ int ServeMain(int argc, char** argv) {
   }
   server.Stop();
   auto cache = service.cache_stats();
-  std::printf("shutting down: %zu requests over %zu connections, tile "
-              "cache %zu hits / %zu misses / %zu evictions\n",
+  std::printf("shutting down: %zu requests over %zu connections (%zu "
+              "refused), tile cache %zu hits / %zu misses / %zu "
+              "evictions\n",
               server.requests_served(), server.connections_accepted(),
-              cache.hits, cache.misses, cache.evictions);
+              server.connections_refused(), cache.hits, cache.misses,
+              cache.evictions);
   return 0;
 }
 
