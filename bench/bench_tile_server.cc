@@ -138,6 +138,7 @@ int Run(int argc, char** argv) {
   }
   std::vector<double> cold_ms;
   std::vector<double> warm_ms;
+  size_t tile_bytes_on_wire = 0;
   Stopwatch fetch_watch;
   for (int pass = 0; pass < 2; ++pass) {
     for (const std::string& target : targets) {
@@ -148,6 +149,7 @@ int Run(int argc, char** argv) {
       if (result->status != 200 || result->body.empty()) {
         return Fail("bad tile response for " + target);
       }
+      tile_bytes_on_wire += result->body.size();
       bool hit = result->headers["x-vas-cache"] == "hit";
       // The probe tile is already cached on pass 0; bucket by what the
       // server actually did, not by pass index.
@@ -164,10 +166,14 @@ int Run(int argc, char** argv) {
               warm_ms.size(), warm_p50, Percentile(warm_ms, 0.9));
   std::printf("cached p50 speedup over cold: %.0fx %s\n", speedup,
               speedup >= 10.0 ? "(meets >=10x)" : "(BELOW the 10x target)");
+  std::printf("tile bytes on wire: %zu over %zu fetches (%zu B/tile)\n",
+              tile_bytes_on_wire, cold_ms.size() + warm_ms.size(),
+              tile_bytes_on_wire / (cold_ms.size() + warm_ms.size()));
 
   // --- Concurrent-client soak ---------------------------------------
   std::atomic<size_t> errors{0};
   std::atomic<size_t> completed{0};
+  std::atomic<size_t> soak_bytes{0};
   watch.Restart();
   std::vector<std::thread> load;
   for (size_t c = 0; c < clients; ++c) {
@@ -191,6 +197,7 @@ int Run(int argc, char** argv) {
           errors.fetch_add(1);
         } else {
           completed.fetch_add(1);
+          soak_bytes.fetch_add(result->body.size());
         }
       }
     });
@@ -203,6 +210,7 @@ int Run(int argc, char** argv) {
       "(%.0f req/s)\n",
       clients, requests, completed.load(), errors.load(), soak_secs,
       soak_secs > 0 ? static_cast<double>(completed.load()) / soak_secs : 0.0);
+  std::printf("soak bytes on wire: %zu\n", soak_bytes.load());
   std::printf("tile cache: %zu hits, %zu misses, %zu evictions, %zu bytes\n",
               cache.hits, cache.misses, cache.evictions, cache.bytes);
   server.Stop();
@@ -227,6 +235,10 @@ int Run(int argc, char** argv) {
   metrics.Set("soak_errors", errors.load());
   metrics.Set("cache_hits", cache.hits);
   metrics.Set("cache_misses", cache.misses);
+  metrics.Set("tile_bytes_on_wire", tile_bytes_on_wire);
+  metrics.Set("tile_bytes_per_fetch",
+              tile_bytes_on_wire / (cold_ms.size() + warm_ms.size()));
+  metrics.Set("soak_bytes_on_wire", soak_bytes.load());
   Status wrote = metrics.WriteIfRequested(flags.GetString("json"));
   if (!wrote.ok()) return Fail(wrote.ToString());
 

@@ -23,4 +23,10 @@ SampleSet WithDensity(const Dataset& dataset, SampleSet sample) {
   return sample;
 }
 
+std::vector<uint64_t> DensityWeights(const SampleSet& sample) {
+  if (!sample.has_density()) return {};
+  VAS_CHECK(sample.density.size() == sample.ids.size());
+  return sample.density;
+}
+
 }  // namespace vas

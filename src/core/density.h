@@ -22,6 +22,13 @@ void EmbedDensity(const Dataset& dataset, SampleSet* sample);
 /// method name suffixed with "+density".
 SampleSet WithDensity(const Dataset& dataset, SampleSet sample);
 
+/// Per-sample-point aggregation weights: the embedded density counts
+/// when present (each sample point stands in for that many original
+/// tuples), otherwise empty — meaning weight 1 per point. Feeds
+/// density-style rendering (heatmap tiles) so aggregates approximate
+/// the full dataset, not just the sample.
+std::vector<uint64_t> DensityWeights(const SampleSet& sample);
+
 }  // namespace vas
 
 #endif  // VAS_CORE_DENSITY_H_

@@ -39,4 +39,40 @@ Rgb MapColor(ColormapKind kind, double t) {
           lerp(kViridis[i][2], kViridis[i + 1][2])};
 }
 
+Image RenderDensityImage(const std::vector<uint32_t>& counts, size_t width,
+                         size_t height, ColormapKind kind, Rgb background) {
+  Image img(width, height, background);
+  if (counts.size() != width * height) return img;
+  uint32_t max_count = 0;
+  for (uint32_t c : counts) max_count = std::max(max_count, c);
+  if (max_count == 0) return img;
+  double log_max = std::log1p(static_cast<double>(max_count));
+  // Distinct counts repeat across pixels (especially small ones), so
+  // memoize count -> color; the common case touches the table, not
+  // log1p + the colormap lerp.
+  std::vector<Rgb> color_of(std::min<size_t>(max_count + 1, 4096));
+  std::vector<uint8_t> color_set(color_of.size(), 0);
+  auto color_for = [&](uint32_t c) {
+    double t = std::log1p(static_cast<double>(c)) / log_max;
+    return MapColor(kind, t);
+  };
+  for (size_t y = 0; y < height; ++y) {
+    Rgb* row = img.row(y);
+    for (size_t x = 0; x < width; ++x) {
+      uint32_t c = counts[y * width + x];
+      if (c == 0) continue;
+      if (c < color_of.size()) {
+        if (!color_set[c]) {
+          color_of[c] = color_for(c);
+          color_set[c] = 1;
+        }
+        row[x] = color_of[c];
+      } else {
+        row[x] = color_for(c);
+      }
+    }
+  }
+  return img;
+}
+
 }  // namespace vas

@@ -1,0 +1,465 @@
+#include "render/deflate.h"
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+namespace vas {
+
+namespace {
+
+// --- RFC 1951 fixed-code tables -------------------------------------
+
+/// Length codes 257..285: first length each code covers and its extra
+/// bit count (extra bits encode the offset from the base).
+constexpr int kLengthBase[29] = {3,  4,  5,  6,  7,  8,  9,  10, 11, 13,
+                                15, 17, 19, 23, 27, 31, 35, 43, 51, 59,
+                                67, 83, 99, 115, 131, 163, 195, 227, 258};
+constexpr int kLengthExtra[29] = {0, 0, 0, 0, 0, 0, 0, 0, 1, 1,
+                                 1, 1, 2, 2, 2, 2, 3, 3, 3, 3,
+                                 4, 4, 4, 4, 5, 5, 5, 5, 0};
+
+/// Distance codes 0..29.
+constexpr int kDistBase[30] = {1,    2,    3,    4,    5,    7,    9,
+                               13,   17,   25,   33,   49,   65,   97,
+                               129,  193,  257,  385,  513,  769,  1025,
+                               1537, 2049, 3073, 4097, 6145, 8193, 12289,
+                               16385, 24577};
+constexpr int kDistExtra[30] = {0, 0, 0,  0,  1,  1,  2,  2,  3,  3,
+                                4, 4, 5,  5,  6,  6,  7,  7,  8,  8,
+                                9, 9, 10, 10, 11, 11, 12, 12, 13, 13};
+
+constexpr size_t kWindowSize = 32768;
+constexpr size_t kMinMatch = 3;
+constexpr size_t kMaxMatch = 258;
+
+/// `code` with its low `bits` bits mirrored — Huffman codes are packed
+/// most-significant-bit first into a least-significant-bit-first
+/// stream (RFC 1951 §3.1.1).
+uint32_t ReverseBits(uint32_t code, int bits) {
+  uint32_t out = 0;
+  for (int i = 0; i < bits; ++i) {
+    out = (out << 1) | ((code >> i) & 1u);
+  }
+  return out;
+}
+
+/// Fixed literal/length code for `sym` (0..287) as (bit count, code
+/// already mirrored for the LSB-first writer).
+std::pair<int, uint32_t> FixedLitLenCode(int sym) {
+  if (sym < 144) return {8, ReverseBits(0x30 + static_cast<uint32_t>(sym), 8)};
+  if (sym < 256) {
+    return {9, ReverseBits(0x190 + static_cast<uint32_t>(sym - 144), 9)};
+  }
+  if (sym < 280) return {7, ReverseBits(static_cast<uint32_t>(sym - 256), 7)};
+  return {8, ReverseBits(0xC0 + static_cast<uint32_t>(sym - 280), 8)};
+}
+
+/// Length (3..258) -> length code index 0..28, precomputed once.
+const std::array<uint8_t, kMaxMatch - kMinMatch + 1>& LengthCodeTable() {
+  static const auto table = []() {
+    std::array<uint8_t, kMaxMatch - kMinMatch + 1> t{};
+    for (int code = 28; code >= 0; --code) {
+      for (int len = kLengthBase[code];
+           len <= static_cast<int>(kMaxMatch) &&
+           (code == 28 || len < kLengthBase[code + 1]);
+           ++len) {
+        t[static_cast<size_t>(len) - kMinMatch] = static_cast<uint8_t>(code);
+      }
+    }
+    // Length 258 uses code 285 (index 28), not the tail of 284's range.
+    t[kMaxMatch - kMinMatch] = 28;
+    return t;
+  }();
+  return table;
+}
+
+/// Distance (1..32768) -> distance code 0..29.
+int DistanceCode(size_t dist) {
+  int code = 0;
+  for (int i = 29; i >= 0; --i) {
+    if (static_cast<int>(dist) >= kDistBase[i]) {
+      code = i;
+      break;
+    }
+  }
+  return code;
+}
+
+/// LSB-first bit packer (RFC 1951 §3.1.1).
+class BitWriter {
+ public:
+  explicit BitWriter(std::string* out) : out_(out) {}
+
+  void WriteBits(uint32_t value, int bits) {
+    buffer_ |= static_cast<uint64_t>(value) << filled_;
+    filled_ += bits;
+    while (filled_ >= 8) {
+      out_->push_back(static_cast<char>(buffer_ & 0xff));
+      buffer_ >>= 8;
+      filled_ -= 8;
+    }
+  }
+
+  /// Pads the current byte with zero bits.
+  void AlignToByte() {
+    if (filled_ > 0) {
+      out_->push_back(static_cast<char>(buffer_ & 0xff));
+      buffer_ = 0;
+      filled_ = 0;
+    }
+  }
+
+ private:
+  std::string* out_;
+  uint64_t buffer_ = 0;
+  int filled_ = 0;
+};
+
+void AppendStoredBlocks(const std::string& raw, std::string* out) {
+  size_t offset = 0;
+  do {
+    size_t block = std::min<size_t>(raw.size() - offset, 65535);
+    bool final = offset + block == raw.size();
+    out->push_back(final ? '\x01' : '\x00');  // BFINAL, BTYPE=00
+    uint16_t len = static_cast<uint16_t>(block);
+    out->push_back(static_cast<char>(len & 0xff));
+    out->push_back(static_cast<char>((len >> 8) & 0xff));
+    out->push_back(static_cast<char>(~len & 0xff));
+    out->push_back(static_cast<char>((~len >> 8) & 0xff));
+    out->append(raw, offset, block);
+    offset += block;
+  } while (offset < raw.size());
+}
+
+/// Hash of the 3 bytes at `data + i` into kHashBits bits.
+constexpr int kHashBits = 15;
+inline uint32_t Hash3(const unsigned char* data, size_t i) {
+  uint32_t v = static_cast<uint32_t>(data[i]) |
+               (static_cast<uint32_t>(data[i + 1]) << 8) |
+               (static_cast<uint32_t>(data[i + 2]) << 16);
+  return (v * 0x9E3779B1u) >> (32 - kHashBits);
+}
+
+void AppendFixedHuffmanBlock(const std::string& raw,
+                             const DeflateOptions& options,
+                             std::string* out) {
+  const auto* data = reinterpret_cast<const unsigned char*>(raw.data());
+  const size_t n = raw.size();
+  const auto& length_code = LengthCodeTable();
+  const size_t max_chain =
+      static_cast<size_t>(std::max(0, options.max_chain_length));
+  const size_t nice_match = std::min<size_t>(
+      kMaxMatch, static_cast<size_t>(std::max(3, options.nice_match_length)));
+
+  // Hash chains over 3-byte prefixes: head[h] is the most recent
+  // position hashing to h, prev[i] the next-older one — walking prev
+  // visits candidates nearest-first, so equal-length ties keep the
+  // shortest distance (fewest extra bits).
+  std::vector<int32_t> head(size_t{1} << kHashBits, -1);
+  std::vector<int32_t> prev(n, -1);
+  auto insert = [&](size_t i) {
+    if (i + kMinMatch > n) return;
+    uint32_t h = Hash3(data, i);
+    prev[i] = head[h];
+    head[h] = static_cast<int32_t>(i);
+  };
+
+  BitWriter writer(out);
+  writer.WriteBits(1, 1);  // BFINAL
+  writer.WriteBits(1, 2);  // BTYPE=01: fixed Huffman
+
+  auto emit_symbol = [&](int sym) {
+    auto [bits, code] = FixedLitLenCode(sym);
+    writer.WriteBits(code, bits);
+  };
+
+  size_t i = 0;
+  while (i < n) {
+    size_t best_len = 0;
+    size_t best_dist = 0;
+    if (i + kMinMatch <= n) {
+      const size_t max_len = std::min(kMaxMatch, n - i);
+      int32_t cand = head[Hash3(data, i)];
+      // The chain head itself is one free probe; max_chain bounds the
+      // *additional* links walked, so runs (distance-1 matches) always
+      // resolve even at max_chain_length = 0.
+      size_t probes = max_chain + 1;
+      while (cand >= 0 && probes-- > 0 && best_len < max_len) {
+        size_t dist = i - static_cast<size_t>(cand);
+        if (dist > kWindowSize) break;  // chain is position-ordered
+        const unsigned char* a = data + i;
+        const unsigned char* b = data + static_cast<size_t>(cand);
+        // Candidates can only beat best_len if they agree there too.
+        if (best_len == 0 || a[best_len] == b[best_len]) {
+          size_t len = 0;
+          while (len < max_len && a[len] == b[len]) ++len;
+          if (len > best_len) {
+            best_len = len;
+            best_dist = dist;
+            if (len >= nice_match) break;
+          }
+        }
+        cand = prev[static_cast<size_t>(cand)];
+      }
+    }
+    if (best_len >= kMinMatch) {
+      int lcode = length_code[best_len - kMinMatch];
+      emit_symbol(257 + lcode);
+      if (kLengthExtra[lcode] > 0) {
+        writer.WriteBits(
+            static_cast<uint32_t>(best_len) -
+                static_cast<uint32_t>(kLengthBase[lcode]),
+            kLengthExtra[lcode]);
+      }
+      int dcode = DistanceCode(best_dist);
+      writer.WriteBits(ReverseBits(static_cast<uint32_t>(dcode), 5), 5);
+      if (kDistExtra[dcode] > 0) {
+        writer.WriteBits(
+            static_cast<uint32_t>(best_dist) -
+                static_cast<uint32_t>(kDistBase[dcode]),
+            kDistExtra[dcode]);
+      }
+      for (size_t j = 0; j < best_len; ++j) insert(i + j);
+      i += best_len;
+    } else {
+      emit_symbol(data[i]);
+      insert(i);
+      ++i;
+    }
+  }
+  emit_symbol(256);  // end of block
+  writer.AlignToByte();
+}
+
+/// LSB-first bit reader over the deflate payload; `ok()` goes false on
+/// any read past the end instead of throwing.
+class BitReader {
+ public:
+  BitReader(const std::string& data, size_t start)
+      : data_(reinterpret_cast<const unsigned char*>(data.data())),
+        size_(data.size()),
+        pos_(start) {}
+
+  uint32_t ReadBits(int bits) {
+    uint32_t out = 0;
+    for (int i = 0; i < bits; ++i) {
+      out |= static_cast<uint32_t>(ReadBit()) << i;
+    }
+    return out;
+  }
+
+  int ReadBit() {
+    if (filled_ == 0) {
+      if (pos_ >= size_) {
+        ok_ = false;
+        return 0;
+      }
+      buffer_ = data_[pos_++];
+      filled_ = 8;
+    }
+    int bit = buffer_ & 1;
+    buffer_ >>= 1;
+    --filled_;
+    return bit;
+  }
+
+  /// Huffman codes arrive MSB-first: accumulate in reverse.
+  uint32_t ReadCodeBit(uint32_t code) {
+    return (code << 1) | static_cast<uint32_t>(ReadBit());
+  }
+
+  void AlignToByte() {
+    buffer_ = 0;
+    filled_ = 0;
+  }
+
+  size_t byte_pos() const { return pos_; }
+  bool ok() const { return ok_; }
+
+  bool ReadByte(uint8_t* out) {
+    AlignToByte();
+    if (pos_ >= size_) return false;
+    *out = data_[pos_++];
+    return true;
+  }
+
+ private:
+  const unsigned char* data_;
+  size_t size_;
+  size_t pos_;
+  uint8_t buffer_ = 0;
+  int filled_ = 0;
+  bool ok_ = true;
+};
+
+/// Decodes one fixed literal/length symbol (0..287) or -1 on an
+/// invalid code.
+int DecodeFixedLitLen(BitReader* reader) {
+  uint32_t code = 0;
+  for (int i = 0; i < 7; ++i) code = reader->ReadCodeBit(code);
+  if (code <= 0x17) return 256 + static_cast<int>(code);
+  code = reader->ReadCodeBit(code);  // 8 bits
+  if (code >= 0x30 && code <= 0xBF) return static_cast<int>(code) - 0x30;
+  if (code >= 0xC0 && code <= 0xC7) return 280 + static_cast<int>(code) - 0xC0;
+  code = reader->ReadCodeBit(code);  // 9 bits
+  if (code >= 0x190 && code <= 0x1FF) {
+    return 144 + static_cast<int>(code) - 0x190;
+  }
+  return -1;
+}
+
+}  // namespace
+
+uint32_t Adler32(const std::string& data) {
+  // RFC 1950: two running sums modulo 65521. The modulo is deferred
+  // across runs of 5552 bytes (the largest count that cannot overflow
+  // 32 bits), zlib's NMAX optimization.
+  const uint32_t kMod = 65521;
+  const size_t kNmax = 5552;
+  uint32_t a = 1;
+  uint32_t b = 0;
+  size_t i = 0;
+  const auto* bytes = reinterpret_cast<const unsigned char*>(data.data());
+  while (i < data.size()) {
+    size_t run = std::min(kNmax, data.size() - i);
+    for (size_t j = 0; j < run; ++j) {
+      a += bytes[i + j];
+      b += a;
+    }
+    a %= kMod;
+    b %= kMod;
+    i += run;
+  }
+  return (b << 16) | a;
+}
+
+std::string ZlibCompress(const std::string& raw,
+                         const DeflateOptions& options) {
+  std::string out;
+  out.reserve(options.strategy == DeflateOptions::Strategy::kStored
+                  ? raw.size() + raw.size() / 65535 * 5 + 16
+                  : raw.size() / 4 + 64);
+  out.push_back('\x78');  // CMF: deflate, 32K window
+  out.push_back('\x01');  // FLG: no dict, check bits (CMF*256+FLG)%31==0
+  if (options.strategy == DeflateOptions::Strategy::kStored) {
+    AppendStoredBlocks(raw, &out);
+  } else {
+    AppendFixedHuffmanBlock(raw, options, &out);
+  }
+  uint32_t adler = Adler32(raw);
+  out.push_back(static_cast<char>((adler >> 24) & 0xff));
+  out.push_back(static_cast<char>((adler >> 16) & 0xff));
+  out.push_back(static_cast<char>((adler >> 8) & 0xff));
+  out.push_back(static_cast<char>(adler & 0xff));
+  return out;
+}
+
+StatusOr<std::string> ZlibDecompress(const std::string& stream) {
+  if (stream.size() < 6) {
+    return Status::InvalidArgument("zlib stream too short");
+  }
+  uint32_t cmf = static_cast<unsigned char>(stream[0]);
+  uint32_t flg = static_cast<unsigned char>(stream[1]);
+  if ((cmf & 0x0f) != 8) {
+    return Status::InvalidArgument("zlib compression method is not deflate");
+  }
+  if ((cmf * 256 + flg) % 31 != 0) {
+    return Status::InvalidArgument("zlib header check bits invalid");
+  }
+  if ((flg & 0x20) != 0) {
+    return Status::InvalidArgument("preset dictionaries unsupported");
+  }
+
+  std::string out;
+  BitReader reader(stream, 2);
+  bool final_block = false;
+  while (!final_block) {
+    final_block = reader.ReadBit() != 0;
+    uint32_t btype = reader.ReadBits(2);
+    if (!reader.ok()) {
+      return Status::InvalidArgument("truncated deflate block header");
+    }
+    if (btype == 0) {  // stored
+      uint8_t b0, b1, b2, b3;
+      if (!reader.ReadByte(&b0) || !reader.ReadByte(&b1) ||
+          !reader.ReadByte(&b2) || !reader.ReadByte(&b3)) {
+        return Status::InvalidArgument("truncated stored block header");
+      }
+      size_t len = static_cast<size_t>(b0) | (static_cast<size_t>(b1) << 8);
+      size_t nlen = static_cast<size_t>(b2) | (static_cast<size_t>(b3) << 8);
+      if ((len ^ nlen) != 0xffff) {
+        return Status::InvalidArgument("stored block LEN/NLEN mismatch");
+      }
+      if (reader.byte_pos() + len > stream.size()) {
+        return Status::InvalidArgument("truncated stored block");
+      }
+      for (size_t j = 0; j < len; ++j) {
+        uint8_t byte = 0;
+        if (!reader.ReadByte(&byte)) {
+          return Status::InvalidArgument("truncated stored block");
+        }
+        out.push_back(static_cast<char>(byte));
+      }
+    } else if (btype == 1) {  // fixed Huffman
+      for (;;) {
+        int sym = DecodeFixedLitLen(&reader);
+        if (!reader.ok()) {
+          return Status::InvalidArgument("truncated fixed-Huffman block");
+        }
+        if (sym < 0 || sym > 285) {
+          return Status::InvalidArgument("invalid fixed-Huffman symbol");
+        }
+        if (sym < 256) {
+          out.push_back(static_cast<char>(sym));
+          continue;
+        }
+        if (sym == 256) break;  // end of block
+        int lcode = sym - 257;
+        size_t length = static_cast<size_t>(kLengthBase[lcode]) +
+                        reader.ReadBits(kLengthExtra[lcode]);
+        uint32_t dcode = 0;
+        for (int i = 0; i < 5; ++i) dcode = reader.ReadCodeBit(dcode);
+        if (dcode > 29) {
+          return Status::InvalidArgument("invalid distance code");
+        }
+        size_t dist = static_cast<size_t>(kDistBase[dcode]) +
+                      reader.ReadBits(kDistExtra[dcode]);
+        if (!reader.ok()) {
+          return Status::InvalidArgument("truncated match");
+        }
+        if (dist == 0 || dist > out.size()) {
+          return Status::InvalidArgument(
+              "match distance reaches before output");
+        }
+        // Byte-by-byte: overlapping matches (dist < length) replicate.
+        size_t from = out.size() - dist;
+        for (size_t j = 0; j < length; ++j) {
+          out.push_back(out[from + j]);
+        }
+      }
+    } else if (btype == 2) {
+      return Status::Unimplemented(
+          "dynamic-Huffman blocks are outside the reference inflater");
+    } else {
+      return Status::InvalidArgument("reserved deflate block type");
+    }
+  }
+
+  reader.AlignToByte();
+  uint8_t a0, a1, a2, a3;
+  if (!reader.ReadByte(&a0) || !reader.ReadByte(&a1) ||
+      !reader.ReadByte(&a2) || !reader.ReadByte(&a3)) {
+    return Status::InvalidArgument("missing Adler-32 trailer");
+  }
+  uint32_t expected = (static_cast<uint32_t>(a0) << 24) |
+                      (static_cast<uint32_t>(a1) << 16) |
+                      (static_cast<uint32_t>(a2) << 8) |
+                      static_cast<uint32_t>(a3);
+  if (expected != Adler32(out)) {
+    return Status::InvalidArgument("Adler-32 mismatch");
+  }
+  return out;
+}
+
+}  // namespace vas

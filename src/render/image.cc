@@ -2,17 +2,18 @@
 
 #include <algorithm>
 #include <array>
+#include <cstdlib>
 #include <fstream>
 
-#include "util/logging.h"
+#include "render/deflate.h"
 
 namespace vas {
 
 namespace {
 
 // --- PNG encoding helpers. The format is small enough to emit by hand:
-// chunks framed by length/type/CRC32, pixel data wrapped in a zlib
-// stream whose deflate payload uses stored (uncompressed) blocks.
+// chunks framed by length/type/CRC32, pixel data row-filtered and
+// wrapped in a zlib stream (render/deflate).
 
 void AppendBe32(std::string* out, uint32_t v) {
   out->push_back(static_cast<char>((v >> 24) & 0xff));
@@ -45,43 +46,6 @@ uint32_t Crc32(const std::string& data) {
   return crc ^ 0xffffffffu;
 }
 
-uint32_t Adler32(const std::string& data) {
-  // RFC 1950: two running sums modulo the largest prime below 2^16.
-  const uint32_t kMod = 65521;
-  uint32_t a = 1;
-  uint32_t b = 0;
-  for (unsigned char byte : data) {
-    a = (a + byte) % kMod;
-    b = (b + a) % kMod;
-  }
-  return (b << 16) | a;
-}
-
-/// Wraps `raw` in a zlib stream of stored deflate blocks (max 65535
-/// bytes each). Stored blocks trade size for zero codec dependency;
-/// tiles are small enough that the wire cost is acceptable.
-std::string ZlibStored(const std::string& raw) {
-  std::string out;
-  out.reserve(raw.size() + raw.size() / 65535 * 5 + 16);
-  out.push_back('\x78');  // CMF: deflate, 32K window
-  out.push_back('\x01');  // FLG: no dict, check bits make CMF*256+FLG % 31 == 0
-  size_t offset = 0;
-  do {
-    size_t block = std::min<size_t>(raw.size() - offset, 65535);
-    bool final = offset + block == raw.size();
-    out.push_back(final ? '\x01' : '\x00');  // BFINAL, BTYPE=00 (stored)
-    uint16_t len = static_cast<uint16_t>(block);
-    out.push_back(static_cast<char>(len & 0xff));
-    out.push_back(static_cast<char>((len >> 8) & 0xff));
-    out.push_back(static_cast<char>(~len & 0xff));
-    out.push_back(static_cast<char>((~len >> 8) & 0xff));
-    out.append(raw, offset, block);
-    offset += block;
-  } while (offset < raw.size());
-  AppendBe32(&out, Adler32(raw));
-  return out;
-}
-
 void AppendChunk(std::string* out, const char type[5],
                  const std::string& data) {
   AppendBe32(out, static_cast<uint32_t>(data.size()));
@@ -91,14 +55,110 @@ void AppendChunk(std::string* out, const char type[5],
   AppendBe32(out, Crc32(body));
 }
 
+// --- Row filtering (PNG filter method 0). Filters predict each byte
+// from its left/up/up-left neighbors; residuals of smooth images
+// cluster near zero, which is what makes them compressible.
+
+uint8_t PaethPredictor(uint8_t a, uint8_t b, uint8_t c) {
+  int p = static_cast<int>(a) + b - c;
+  int pa = std::abs(p - a);
+  int pb = std::abs(p - b);
+  int pc = std::abs(p - c);
+  if (pa <= pb && pa <= pc) return a;
+  if (pb <= pc) return b;
+  return c;
+}
+
+/// Minimum-sum-of-absolute-residuals cost of one filtered row, the
+/// standard heuristic for picking the filter most likely to compress
+/// well. Residual bytes are interpreted as signed deltas.
+uint64_t FilterCost(const uint8_t* filtered, size_t n) {
+  uint64_t sum = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint8_t v = filtered[i];
+    sum += v < 128 ? v : 256u - v;
+  }
+  return sum;
+}
+
+/// Applies filter `type` to `cur` (with `prev` being the prior raw row,
+/// null for the first row) into `out`. bpp is bytes per pixel.
+void ApplyFilter(int type, const uint8_t* cur, const uint8_t* prev,
+                 size_t stride, size_t bpp, uint8_t* out) {
+  for (size_t i = 0; i < stride; ++i) {
+    uint8_t x = cur[i];
+    uint8_t a = i >= bpp ? cur[i - bpp] : 0;
+    uint8_t b = prev != nullptr ? prev[i] : 0;
+    uint8_t c = (prev != nullptr && i >= bpp) ? prev[i - bpp] : 0;
+    uint8_t pred = 0;
+    switch (type) {
+      case 0:
+        pred = 0;
+        break;
+      case 1:
+        pred = a;
+        break;
+      case 2:
+        pred = b;
+        break;
+      case 3:
+        pred = static_cast<uint8_t>((static_cast<int>(a) + b) / 2);
+        break;
+      default:
+        pred = PaethPredictor(a, b, c);
+        break;
+    }
+    out[i] = static_cast<uint8_t>(x - pred);
+  }
+}
+
+/// Builds the filtered scanline stream: per row, a filter-type byte
+/// followed by the filtered bytes. With filtering off every row uses
+/// type 0 (None), reproducing the raw stream byte for byte.
+std::string BuildScanlines(const Rgb* pixels, size_t width, size_t height,
+                           bool filter_rows) {
+  const size_t bpp = sizeof(Rgb);
+  const size_t stride = width * bpp;
+  std::string raw;
+  raw.reserve(height * (1 + stride));
+  if (!filter_rows) {
+    for (size_t y = 0; y < height; ++y) {
+      raw.push_back('\0');
+      raw.append(reinterpret_cast<const char*>(pixels + y * width), stride);
+    }
+    return raw;
+  }
+  std::vector<uint8_t> candidate(stride);
+  std::vector<uint8_t> best(stride);
+  for (size_t y = 0; y < height; ++y) {
+    const uint8_t* cur = reinterpret_cast<const uint8_t*>(pixels + y * width);
+    const uint8_t* prev =
+        y > 0 ? reinterpret_cast<const uint8_t*>(pixels + (y - 1) * width)
+              : nullptr;
+    int best_type = 0;
+    uint64_t best_cost = ~uint64_t{0};
+    for (int type = 0; type < 5; ++type) {
+      ApplyFilter(type, cur, prev, stride, bpp, candidate.data());
+      uint64_t cost = FilterCost(candidate.data(), stride);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_type = type;
+        best.swap(candidate);
+      }
+    }
+    raw.push_back(static_cast<char>(best_type));
+    raw.append(reinterpret_cast<const char*>(best.data()), stride);
+  }
+  return raw;
+}
+
 }  // namespace
 
 Image::Image(size_t width, size_t height, Rgb fill)
-    : width_(width), height_(height), pixels_(width * height, fill) {
-  VAS_CHECK_MSG(width > 0 && height > 0, "image must have positive size");
-}
+    : width_(width), height_(height), pixels_(width * height, fill) {}
 
 double Image::InkFraction(Rgb background) const {
+  if (pixels_.empty()) return 0.0;
   size_t ink = 0;
   for (const Rgb& p : pixels_) {
     if (!(p == background)) ++ink;
@@ -116,15 +176,10 @@ Status Image::WritePpm(const std::string& path) const {
   return Status::OK();
 }
 
-std::string Image::EncodePng() const {
-  // Raw scanline stream: every row prefixed by filter type 0 (None).
-  std::string raw;
-  raw.reserve(height_ * (1 + width_ * 3));
-  for (size_t y = 0; y < height_; ++y) {
-    raw.push_back('\0');
-    raw.append(reinterpret_cast<const char*>(&pixels_[y * width_]),
-               width_ * sizeof(Rgb));
-  }
+std::string Image::EncodePng(const PngEncodeOptions& options) const {
+  if (width_ == 0 || height_ == 0) return std::string();
+  std::string raw =
+      BuildScanlines(pixels_.data(), width_, height_, options.filter_rows);
 
   std::string png("\x89PNG\r\n\x1a\n", 8);
   std::string ihdr;
@@ -136,15 +191,19 @@ std::string Image::EncodePng() const {
   ihdr.push_back('\0');    // filter method 0
   ihdr.push_back('\0');    // no interlace
   AppendChunk(&png, "IHDR", ihdr);
-  AppendChunk(&png, "IDAT", ZlibStored(raw));
+  AppendChunk(&png, "IDAT", ZlibCompress(raw, options.deflate));
   AppendChunk(&png, "IEND", std::string());
   return png;
 }
 
-Status Image::WritePng(const std::string& path) const {
+Status Image::WritePng(const std::string& path,
+                       const PngEncodeOptions& options) const {
+  if (width_ == 0 || height_ == 0) {
+    return Status::InvalidArgument("cannot encode zero-sized image as PNG");
+  }
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::IoError("cannot open for write: " + path);
-  std::string png = EncodePng();
+  std::string png = EncodePng(options);
   out.write(png.data(), static_cast<std::streamsize>(png.size()));
   if (!out) return Status::IoError("write failed: " + path);
   return Status::OK();

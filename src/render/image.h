@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "render/deflate.h"
 #include "util/status.h"
 
 namespace vas {
@@ -22,7 +23,31 @@ struct Rgb {
   }
 };
 
-/// Fixed-size RGB raster. Pixel (0,0) is the top-left corner.
+/// How EncodePng turns pixels into bytes. The default — per-row filter
+/// heuristic plus fixed-Huffman DEFLATE — is what tiles ship with; the
+/// stored preset reproduces the legacy ~raw-size stream byte for byte
+/// and stays as the zero-codec fallback.
+struct PngEncodeOptions {
+  DeflateOptions deflate;
+  /// Chooses the best PNG filter per row (None/Sub/Up/Average/Paeth by
+  /// minimum absolute-residual sum) before compressing. Off = filter
+  /// type 0 on every row.
+  bool filter_rows = true;
+
+  /// The pre-compression wire format: stored deflate blocks, no row
+  /// filtering. Kept as a fallback and as the bench baseline.
+  static PngEncodeOptions Stored() {
+    PngEncodeOptions options;
+    options.deflate.strategy = DeflateOptions::Strategy::kStored;
+    options.filter_rows = false;
+    return options;
+  }
+};
+
+/// Fixed-size RGB raster. Pixel (0,0) is the top-left corner. Zero-area
+/// images (width or height 0) are representable — operations on them
+/// are no-ops — but cannot be written as PNG (the format forbids zero
+/// dimensions).
 class Image {
  public:
   Image(size_t width, size_t height, Rgb fill = {255, 255, 255});
@@ -43,22 +68,28 @@ class Image {
     Set(static_cast<size_t>(x), static_cast<size_t>(y), c);
   }
 
+  /// Row-major pixel storage; row y starts at row(y)[0].
+  Rgb* row(size_t y) { return pixels_.data() + y * width_; }
+  const Rgb* row(size_t y) const { return pixels_.data() + y * width_; }
+
   /// Fraction of pixels that differ from the background color — a crude
-  /// ink metric used in tests.
+  /// ink metric used in tests. Zero for a zero-area image.
   double InkFraction(Rgb background) const;
 
   /// Binary PPM (P6).
   Status WritePpm(const std::string& path) const;
 
-  /// Encodes the raster as a complete PNG byte stream (8-bit RGB,
-  /// no interlace). Self-contained: the zlib stream uses stored
-  /// (uncompressed) deflate blocks, so no external codec is needed.
-  /// Deterministic — identical pixels yield identical bytes, which is
-  /// what lets the tile cache serve byte-identical responses.
-  std::string EncodePng() const;
+  /// Encodes the raster as a complete PNG byte stream (8-bit RGB, no
+  /// interlace). Self-contained and deterministic — identical pixels
+  /// and options yield identical bytes, which is what lets the tile
+  /// cache serve byte-identical responses. Returns an empty string for
+  /// zero-area images (PNG forbids zero dimensions).
+  std::string EncodePng(const PngEncodeOptions& options = {}) const;
 
-  /// EncodePng() written to `path`.
-  Status WritePng(const std::string& path) const;
+  /// EncodePng() written to `path`; InvalidArgument for zero-area
+  /// images.
+  Status WritePng(const std::string& path,
+                  const PngEncodeOptions& options = {}) const;
 
  private:
   size_t width_;

@@ -1,12 +1,169 @@
 #include "render/scatter_renderer.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <limits>
+#include <memory>
+#include <unordered_map>
 
 #include "util/logging.h"
 #include "util/random.h"
 
 namespace vas {
+
+namespace {
+
+/// Points per SoA transform chunk. Small enough that the scratch
+/// buffers stay L1-resident, large enough to amortize loop overhead.
+constexpr size_t kTransformChunk = 1024;
+
+/// Per-chunk scratch for the two-phase pipeline: coordinates gathered
+/// into SoA form, then pixel positions and an in-viewport mask. The
+/// mask is a double (1.0 / 0.0) rather than a byte: SSE2 has no lane
+/// packing from 2-wide double compares down to byte stores, and a
+/// same-width mask is what lets the whole loop vectorize.
+struct TransformScratch {
+  std::array<double, kTransformChunk> xs;
+  std::array<double, kTransformChunk> ys;
+  std::array<int32_t, kTransformChunk> px;
+  std::array<int32_t, kTransformChunk> py;
+  std::array<double, kTransformChunk> inside;
+};
+
+/// Phase one of the binned pipeline and the auto-vectorization target:
+/// contiguous loads, no branches (the ternaries lower to min/max and
+/// compare-blend under -fno-trapping-math), all lanes independent.
+/// Mirrors Viewport::ToPixel bit for bit (same divides, same operation
+/// order, same truncation) so the binned pipeline stays pixel-identical
+/// to the scalar one. Out-of-viewport lanes get inside=0.0; their pixel
+/// values are clamped into a cast-safe range and otherwise meaningless.
+void TransformToPixels(const double* __restrict__ xs,
+                       const double* __restrict__ ys, size_t n,
+                       const Rect& world, double denom_x, double denom_y,
+                       double wpx, double hpx, int32_t* __restrict__ px,
+                       int32_t* __restrict__ py,
+                       double* __restrict__ inside) {
+  const double min_x = world.min_x, max_x = world.max_x;
+  const double min_y = world.min_y, max_y = world.max_y;
+  for (size_t j = 0; j < n; ++j) {
+    double x = xs[j];
+    double y = ys[j];
+    double sx = (x - min_x) / denom_x * wpx;
+    double sy = (1.0 - (y - min_y) / denom_y) * hpx;
+    // Clamp into a cast-safe range; in-viewport lanes map into
+    // [0, wpx]x[0, hpx] and pass through unchanged. The >= form sends
+    // NaN to the floor instead of through the (undefined) out-of-range
+    // cast.
+    sx = sx >= -1.0 ? sx : -1.0;
+    sx = sx <= wpx + 1.0 ? sx : wpx + 1.0;
+    sy = sy >= -1.0 ? sy : -1.0;
+    sy = sy <= hpx + 1.0 ? sy : hpx + 1.0;
+    px[j] = static_cast<int32_t>(sx);
+    py[j] = static_cast<int32_t>(sy);
+    // Same inclusive test as Rect::Contains; NaN compares false on
+    // every edge, matching the scalar cull.
+    double in_x = (x >= min_x ? 1.0 : 0.0) * (x <= max_x ? 1.0 : 0.0);
+    double in_y = (y >= min_y ? 1.0 : 0.0) * (y <= max_y ? 1.0 : 0.0);
+    inside[j] = in_x * in_y;
+  }
+}
+
+/// Precomputed dot footprint: per row of the stencil, the inclusive
+/// half-width of the pixel span (or -1 for an empty row). Spans are
+/// contiguous because the circle test is monotone in |dx|.
+struct DotStencil {
+  long r = 0;
+  std::vector<long> max_dx;
+};
+
+/// Builds the stencil for `radius` with exactly DrawDot's circle test
+/// (dx*dx + dy*dy <= radius^2 on integer offsets).
+DotStencil BuildStencil(double radius) {
+  DotStencil s;
+  s.r = std::max<long>(0, static_cast<long>(std::ceil(radius)));
+  if (s.r == 0) return s;
+  double r2 = radius * radius;
+  s.max_dx.assign(static_cast<size_t>(2 * s.r + 1), -1);
+  for (long dy = -s.r; dy <= s.r; ++dy) {
+    long m = -1;
+    for (long dx = 0; dx <= s.r; ++dx) {
+      if (static_cast<double>(dx * dx + dy * dy) > r2) break;
+      m = dx;
+    }
+    s.max_dx[static_cast<size_t>(dy + s.r)] = m;
+  }
+  return s;
+}
+
+/// Phase two of the binned pipeline: stamps a stencil as row fills,
+/// clamped to the raster once per row instead of bounds-checking every
+/// pixel. Paints exactly the pixels DrawDot would.
+void StampDot(Image& img, long cx, long cy, const DotStencil& s, Rgb color) {
+  if (s.r == 0) {
+    img.SetClipped(cx, cy, color);
+    return;
+  }
+  const long w = static_cast<long>(img.width());
+  const long h = static_cast<long>(img.height());
+  for (long dy = -s.r; dy <= s.r; ++dy) {
+    long m = s.max_dx[static_cast<size_t>(dy + s.r)];
+    long y = cy + dy;
+    if (m < 0 || y < 0 || y >= h) continue;
+    long x0 = std::max(cx - m, 0L);
+    long x1 = std::min(cx + m, w - 1);
+    if (x0 > x1) continue;
+    Rgb* row = img.row(static_cast<size_t>(y));
+    std::fill(row + x0, row + x1 + 1, color);
+  }
+}
+
+/// Stencils keyed by density count: radius is a pure function of the
+/// count, and counts repeat heavily, so each distinct footprint is
+/// built once per render.
+class StencilCache {
+ public:
+  explicit StencilCache(const ScatterRenderer::Options& options)
+      : options_(options), plain_(BuildStencil(options.dot_radius_px)) {}
+
+  const DotStencil& Plain() const { return plain_; }
+
+  const DotStencil& ForDensity(uint64_t count) {
+    auto it = by_count_.find(count);
+    if (it != by_count_.end()) return it->second;
+    double radius =
+        std::min(options_.max_dot_radius_px,
+                 options_.dot_radius_px +
+                     options_.density_radius_scale *
+                         std::log1p(static_cast<double>(count)));
+    return by_count_.emplace(count, BuildStencil(radius)).first->second;
+  }
+
+ private:
+  const ScatterRenderer::Options& options_;
+  DotStencil plain_;
+  std::unordered_map<uint64_t, DotStencil> by_count_;
+};
+
+/// Shared by both pipelines: fixed range from options when set,
+/// otherwise the min/max over the sampled values.
+std::pair<double, double> ValueRange(const ScatterRenderer::Options& options,
+                                     const Dataset& dataset,
+                                     const SampleSet& sample) {
+  double lo = options.value_lo;
+  double hi = options.value_hi;
+  if (!(hi > lo) && dataset.has_values()) {
+    lo = std::numeric_limits<double>::infinity();
+    hi = -lo;
+    for (size_t id : sample.ids) {
+      lo = std::min(lo, dataset.values[id]);
+      hi = std::max(hi, dataset.values[id]);
+    }
+  }
+  return {lo, hi};
+}
+
+}  // namespace
 
 Viewport::Viewport(const Rect& world, size_t width_px, size_t height_px)
     : world_(world), width_px_(width_px), height_px_(height_px) {
@@ -55,11 +212,20 @@ void ScatterRenderer::DrawDot(Image& img, long cx, long cy, double radius,
     img.SetClipped(cx, cy, color);
     return;
   }
+  // Clamp the footprint to the raster once; only the circle test runs
+  // per pixel.
   double r2 = radius * radius;
-  for (long dy = -r; dy <= r; ++dy) {
-    for (long dx = -r; dx <= r; ++dx) {
+  long y0 = std::max(cy - r, 0L);
+  long y1 = std::min(cy + r, static_cast<long>(img.height()) - 1);
+  long x0 = std::max(cx - r, 0L);
+  long x1 = std::min(cx + r, static_cast<long>(img.width()) - 1);
+  for (long y = y0; y <= y1; ++y) {
+    long dy = y - cy;
+    Rgb* row = img.row(static_cast<size_t>(y));
+    for (long x = x0; x <= x1; ++x) {
+      long dx = x - cx;
       if (static_cast<double>(dx * dx + dy * dy) <= r2) {
-        img.SetClipped(cx + dx, cy + dy, color);
+        row[x] = color;
       }
     }
   }
@@ -76,17 +242,16 @@ Image ScatterRenderer::Render(const Dataset& dataset,
 Image ScatterRenderer::RenderSample(const Dataset& dataset,
                                     const SampleSet& sample,
                                     const Viewport& viewport) const {
+  return options_.pipeline == Options::Pipeline::kBinned
+             ? RenderSampleBinned(dataset, sample, viewport)
+             : RenderSampleScalar(dataset, sample, viewport);
+}
+
+Image ScatterRenderer::RenderSampleScalar(const Dataset& dataset,
+                                          const SampleSet& sample,
+                                          const Viewport& viewport) const {
   Image img(options_.width_px, options_.height_px, options_.background);
-  double lo = options_.value_lo;
-  double hi = options_.value_hi;
-  if (!(hi > lo) && dataset.has_values()) {
-    lo = std::numeric_limits<double>::infinity();
-    hi = -lo;
-    for (size_t id : sample.ids) {
-      lo = std::min(lo, dataset.values[id]);
-      hi = std::max(hi, dataset.values[id]);
-    }
-  }
+  auto [lo, hi] = ValueRange(options_, dataset, sample);
   for (size_t i = 0; i < sample.ids.size(); ++i) {
     size_t id = sample.ids[i];
     Point p = dataset.points[id];
@@ -109,21 +274,58 @@ Image ScatterRenderer::RenderSample(const Dataset& dataset,
   return img;
 }
 
+Image ScatterRenderer::RenderSampleBinned(const Dataset& dataset,
+                                          const SampleSet& sample,
+                                          const Viewport& viewport) const {
+  Image img(options_.width_px, options_.height_px, options_.background);
+  auto [lo, hi] = ValueRange(options_, dataset, sample);
+  const Rect& world = viewport.world();
+  const double denom_x = std::max(world.width(), 1e-300);
+  const double denom_y = std::max(world.height(), 1e-300);
+  const double wpx = static_cast<double>(options_.width_px);
+  const double hpx = static_cast<double>(options_.height_px);
+  const bool has_values = dataset.has_values();
+  const bool has_density = sample.has_density();
+  const Rgb default_color{31, 119, 180};
+  StencilCache stencils(options_);
+  auto scratch = std::make_unique<TransformScratch>();
+
+  const size_t total = sample.ids.size();
+  for (size_t base = 0; base < total; base += kTransformChunk) {
+    const size_t n = std::min(kTransformChunk, total - base);
+    for (size_t j = 0; j < n; ++j) {
+      Point p = dataset.points[sample.ids[base + j]];
+      scratch->xs[j] = p.x;
+      scratch->ys[j] = p.y;
+    }
+    TransformToPixels(scratch->xs.data(), scratch->ys.data(), n, world,
+                      denom_x, denom_y, wpx, hpx, scratch->px.data(),
+                      scratch->py.data(), scratch->inside.data());
+    // Blit in sample order so overlapping dots resolve exactly as the
+    // scalar loop does (later points win).
+    for (size_t j = 0; j < n; ++j) {
+      if (scratch->inside[j] == 0.0) continue;
+      size_t i = base + j;
+      size_t id = sample.ids[i];
+      const DotStencil& stencil = has_density
+                                      ? stencils.ForDensity(sample.density[i])
+                                      : stencils.Plain();
+      Rgb color = has_values
+                      ? MapColor(options_.colormap,
+                                 NormalizeValue(dataset.values[id], lo, hi))
+                      : default_color;
+      StampDot(img, scratch->px[j], scratch->py[j], stencil, color);
+    }
+  }
+  return img;
+}
+
 Image ScatterRenderer::RenderSampleJittered(const Dataset& dataset,
                                             const SampleSet& sample,
                                             const Viewport& viewport,
                                             uint64_t seed) const {
   Image img(options_.width_px, options_.height_px, options_.background);
-  double lo = options_.value_lo;
-  double hi = options_.value_hi;
-  if (!(hi > lo) && dataset.has_values()) {
-    lo = std::numeric_limits<double>::infinity();
-    hi = -lo;
-    for (size_t id : sample.ids) {
-      lo = std::min(lo, dataset.values[id]);
-      hi = std::max(hi, dataset.values[id]);
-    }
-  }
+  auto [lo, hi] = ValueRange(options_, dataset, sample);
   Rng rng(seed, /*seq=*/1212);
   for (size_t i = 0; i < sample.ids.size(); ++i) {
     size_t id = sample.ids[i];
@@ -157,16 +359,37 @@ std::vector<uint32_t> ScatterRenderer::RenderCounts(
     const Viewport& viewport) const {
   VAS_CHECK(weights.empty() || weights.size() == points.size());
   std::vector<uint32_t> counts(options_.width_px * options_.height_px, 0);
-  for (size_t i = 0; i < points.size(); ++i) {
-    if (!viewport.world().Contains(points[i])) continue;
-    auto [px, py] = viewport.ToPixel(points[i]);
-    if (px < 0 || py < 0 || px >= static_cast<long>(options_.width_px) ||
-        py >= static_cast<long>(options_.height_px)) {
-      continue;
+  const Rect& world = viewport.world();
+  const double denom_x = std::max(world.width(), 1e-300);
+  const double denom_y = std::max(world.height(), 1e-300);
+  const double wpx = static_cast<double>(options_.width_px);
+  const double hpx = static_cast<double>(options_.height_px);
+  const int32_t w_limit = static_cast<int32_t>(options_.width_px);
+  const int32_t h_limit = static_cast<int32_t>(options_.height_px);
+  auto scratch = std::make_unique<TransformScratch>();
+
+  for (size_t base = 0; base < points.size(); base += kTransformChunk) {
+    const size_t n = std::min(kTransformChunk, points.size() - base);
+    for (size_t j = 0; j < n; ++j) {
+      scratch->xs[j] = points[base + j].x;
+      scratch->ys[j] = points[base + j].y;
     }
-    uint64_t w = weights.empty() ? 1 : weights[i];
-    counts[static_cast<size_t>(py) * options_.width_px +
-           static_cast<size_t>(px)] += static_cast<uint32_t>(w);
+    TransformToPixels(scratch->xs.data(), scratch->ys.data(), n, world,
+                      denom_x, denom_y, wpx, hpx, scratch->px.data(),
+                      scratch->py.data(), scratch->inside.data());
+    for (size_t j = 0; j < n; ++j) {
+      // Points exactly on the viewport's max edge transform to pixel
+      // row/column width_px/height_px; the scalar loop dropped those
+      // and so does this one.
+      if (scratch->inside[j] == 0.0 || scratch->px[j] >= w_limit ||
+          scratch->py[j] >= h_limit) {
+        continue;
+      }
+      uint64_t w = weights.empty() ? 1 : weights[base + j];
+      counts[static_cast<size_t>(scratch->py[j]) * options_.width_px +
+             static_cast<size_t>(scratch->px[j])] +=
+          static_cast<uint32_t>(w);
+    }
   }
   return counts;
 }

@@ -49,8 +49,21 @@ class Viewport {
 class ScatterRenderer {
  public:
   struct Options {
+    /// How RenderSample/Render rasterize. The binned pipeline is
+    /// pixel-identical to the scalar one (covered by tests) — the knob
+    /// exists for A/B benching and as an escape hatch.
+    enum class Pipeline {
+      /// Per-point transform + DrawDot, the original loop.
+      kScalar,
+      /// Two-phase bin-then-blit: an SoA viewport-transform pass over
+      /// chunked coordinate arrays (branch-free, auto-vectorizable),
+      /// then a stamped-dot blit of row spans from cached stencils.
+      kBinned,
+    };
+
     size_t width_px = 512;
     size_t height_px = 512;
+    Pipeline pipeline = Pipeline::kBinned;
     /// Dot radius in pixels for an unweighted point.
     double dot_radius_px = 1.0;
     /// When the input carries density counts: radius scales with
@@ -99,6 +112,10 @@ class ScatterRenderer {
 
  private:
   void DrawDot(Image& img, long cx, long cy, double radius, Rgb color) const;
+  Image RenderSampleScalar(const Dataset& dataset, const SampleSet& sample,
+                           const Viewport& viewport) const;
+  Image RenderSampleBinned(const Dataset& dataset, const SampleSet& sample,
+                           const Viewport& viewport) const;
 
   Options options_;
 };

@@ -106,13 +106,22 @@ HttpResponse HandleTile(PlotService* service, const HttpRequest& request,
     response.body = "bad tile coordinates\n";
     return response;
   }
+  TileStyle style = TileStyle::kScatter;
+  auto style_param = request.query.find("style");
+  if (style_param != request.query.end()) {
+    auto parsed = ParseTileStyle(style_param->second);
+    if (!parsed.ok()) return ErrorResponse(parsed.status());
+    style = *parsed;
+  }
   auto if_none_match = request.headers.find("if-none-match");
   auto result = service->RenderTile(
       segments[1], tile,
-      if_none_match != request.headers.end() ? if_none_match->second : "");
+      if_none_match != request.headers.end() ? if_none_match->second : "",
+      style);
   if (!result.ok()) return ErrorResponse(result.status());
   HttpResponse response;
   response.extra_headers.emplace_back("ETag", result->etag);
+  response.extra_headers.emplace_back("X-Vas-Style", TileStyleName(style));
   response.extra_headers.emplace_back(
       "Cache-Control", TileCacheControl(service, result->build_done));
   response.extra_headers.emplace_back("X-Vas-Rung",
@@ -240,10 +249,11 @@ std::string JsonEscape(const std::string& s) {
 HttpServer::Handler MakeServiceHandler(
     PlotService* service, std::function<HttpServerStats()> stats_fn) {
   HttpServer::Handler base = MakeServiceHandler(service);
-  return [base = std::move(base), stats_fn = std::move(stats_fn)](
+  return [service, base = std::move(base), stats_fn = std::move(stats_fn)](
              const HttpRequest& request) -> HttpResponse {
     if (request.path == "/stats" && stats_fn != nullptr) {
       HttpServerStats stats = stats_fn();
+      PlotService::RenderStats render = service->render_stats();
       std::string out = "{";
       out += "\"requests_served\":" + std::to_string(stats.requests_served);
       out += ",\"connections_accepted\":" +
@@ -252,7 +262,19 @@ HttpServer::Handler MakeServiceHandler(
              std::to_string(stats.connections_refused);
       out += ",\"active_connections\":" +
              std::to_string(stats.active_connections);
-      out += "}\n";
+      out += ",\"render\":{";
+      out += "\"tiles_rendered\":" + std::to_string(render.tiles_rendered);
+      out += ",\"scatter_tiles_rendered\":" +
+             std::to_string(render.scatter_tiles_rendered);
+      out += ",\"heatmap_tiles_rendered\":" +
+             std::to_string(render.heatmap_tiles_rendered);
+      out += ",\"render_nanos\":" + std::to_string(render.render_nanos);
+      out += ",\"encode_nanos\":" + std::to_string(render.encode_nanos);
+      out += ",\"encode_bytes_in\":" +
+             std::to_string(render.encode_bytes_in);
+      out += ",\"encode_bytes_out\":" +
+             std::to_string(render.encode_bytes_out);
+      out += "}}\n";
       return JsonResponse(std::move(out));
     }
     return base(request);

@@ -1,11 +1,29 @@
 #include "service/plot_service.h"
 
+#include <chrono>
 #include <utility>
 
+#include "core/density.h"
 #include "service/http_server.h"  // EtagMatches
 #include "util/logging.h"
 
 namespace vas {
+
+const char* TileStyleName(TileStyle style) {
+  switch (style) {
+    case TileStyle::kScatter:
+      return "scatter";
+    case TileStyle::kHeatmap:
+      return "heatmap";
+  }
+  return "scatter";
+}
+
+StatusOr<TileStyle> ParseTileStyle(const std::string& name) {
+  if (name.empty() || name == "scatter") return TileStyle::kScatter;
+  if (name == "heatmap") return TileStyle::kHeatmap;
+  return Status::InvalidArgument("unknown tile style: " + name);
+}
 
 PlotService::PlotService(const Options& options)
     : options_(options),
@@ -109,9 +127,28 @@ ScatterRenderer::Options PlotService::TileRenderOptions() const {
   return render_options;
 }
 
+PlotService::RenderStats PlotService::render_stats() const {
+  RenderStats stats;
+  stats.tiles_rendered =
+      render_counters_.tiles_rendered.load(std::memory_order_relaxed);
+  stats.scatter_tiles_rendered =
+      render_counters_.scatter_tiles_rendered.load(std::memory_order_relaxed);
+  stats.heatmap_tiles_rendered =
+      render_counters_.heatmap_tiles_rendered.load(std::memory_order_relaxed);
+  stats.render_nanos =
+      render_counters_.render_nanos.load(std::memory_order_relaxed);
+  stats.encode_nanos =
+      render_counters_.encode_nanos.load(std::memory_order_relaxed);
+  stats.encode_bytes_in =
+      render_counters_.encode_bytes_in.load(std::memory_order_relaxed);
+  stats.encode_bytes_out =
+      render_counters_.encode_bytes_out.load(std::memory_order_relaxed);
+  return stats;
+}
+
 StatusOr<PlotService::TileResult> PlotService::RenderTile(
     const std::string& table, const TileKey& tile,
-    const std::string& if_none_match) {
+    const std::string& if_none_match, TileStyle style) {
   if (!TileGrid::IsValid(tile)) {
     return Status::InvalidArgument("tile out of range: " + tile.ToString());
   }
@@ -129,7 +166,7 @@ StatusOr<PlotService::TileResult> PlotService::RenderTile(
   result.rungs_total =
       build.ok() ? build->rungs_total : snapshot->samples().size();
   result.build_done = build.ok() && build->done;
-  result.etag = EtagFor(state.generation, tile, sample.size());
+  result.etag = EtagFor(state.generation, tile, sample.size(), style);
 
   // Conditional request: when the client already holds these exact
   // bytes (same generation + tile + rung), answer without touching the
@@ -144,7 +181,7 @@ StatusOr<PlotService::TileResult> PlotService::RenderTile(
   // be served for a newer one even if invalidation has not swept it
   // yet.
   std::string cache_key =
-      CacheKeyFor(table, state.generation, tile, sample.size());
+      CacheKeyFor(table, state.generation, tile, sample.size(), style);
   if (auto cached = cache_.Get(cache_key)) {
     result.png = std::move(cached);
     result.cache_hit = true;
@@ -171,8 +208,43 @@ StatusOr<PlotService::TileResult> PlotService::RenderTile(
   Viewport viewport(state.grid.TileBounds(tile), options_.tile_px,
                     options_.tile_px);
   ScatterRenderer renderer(TileRenderOptions());
-  Image image = renderer.RenderSample(*state.dataset, sample, viewport);
-  auto png = std::make_shared<const std::string>(image.EncodePng());
+  auto render_start = std::chrono::steady_clock::now();
+  Image image = [&] {
+    if (style == TileStyle::kHeatmap) {
+      // Density tile: the binning pass alone (no dot rasterization),
+      // weighted by embedded density when the rung carries it so counts
+      // approximate the full dataset, colormapped on a per-tile log
+      // scale.
+      std::vector<uint32_t> counts =
+          renderer.RenderCounts(sample.MaterializePoints(*state.dataset),
+                                DensityWeights(sample), viewport);
+      return RenderDensityImage(counts, options_.tile_px, options_.tile_px,
+                                options_.heatmap_colormap,
+                                options_.renderer.background);
+    }
+    return renderer.RenderSample(*state.dataset, sample, viewport);
+  }();
+  auto encode_start = std::chrono::steady_clock::now();
+  auto png = std::make_shared<const std::string>(image.EncodePng(options_.png));
+  auto encode_end = std::chrono::steady_clock::now();
+  auto nanos_between = [](std::chrono::steady_clock::time_point a,
+                          std::chrono::steady_clock::time_point b) {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+  };
+  render_counters_.tiles_rendered.fetch_add(1, std::memory_order_relaxed);
+  (style == TileStyle::kHeatmap ? render_counters_.heatmap_tiles_rendered
+                                : render_counters_.scatter_tiles_rendered)
+      .fetch_add(1, std::memory_order_relaxed);
+  render_counters_.render_nanos.fetch_add(
+      nanos_between(render_start, encode_start), std::memory_order_relaxed);
+  render_counters_.encode_nanos.fetch_add(
+      nanos_between(encode_start, encode_end), std::memory_order_relaxed);
+  render_counters_.encode_bytes_in.fetch_add(
+      static_cast<uint64_t>(image.width()) * image.height() * 3,
+      std::memory_order_relaxed);
+  render_counters_.encode_bytes_out.fetch_add(png->size(),
+                                              std::memory_order_relaxed);
   // Publish to the cache before leaving the single-flight window, so a
   // new request always finds the bytes in one place or the other.
   cache_.Put(cache_key, png);

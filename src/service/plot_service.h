@@ -27,6 +27,24 @@
 
 namespace vas {
 
+/// How a tile is rendered. Part of the cache key and the ETag: the two
+/// styles of one tile are distinct cached resources.
+enum class TileStyle {
+  /// Sampled scatter dots (the default).
+  kScatter,
+  /// Colormapped per-pixel density counts from the binning pass,
+  /// weighted by embedded density when the rung carries it.
+  kHeatmap,
+};
+
+/// Stable wire name ("scatter" / "heatmap") used in cache keys, ETags,
+/// and the ?style= query parameter.
+const char* TileStyleName(TileStyle style);
+
+/// Inverse of TileStyleName; empty input means kScatter (the default
+/// style). InvalidArgument for anything else.
+StatusOr<TileStyle> ParseTileStyle(const std::string& name);
+
 class PlotService {
  public:
   struct Options {
@@ -60,6 +78,28 @@ class PlotService {
     /// Renderer styling for tiles; width/height are overridden per tile
     /// with tile_px.
     ScatterRenderer::Options renderer;
+    /// PNG encoding knobs for tile bytes. The default (row filtering +
+    /// fixed-Huffman DEFLATE) is what keeps tiles small on the wire;
+    /// PngEncodeOptions::Stored() restores the legacy raw-size stream.
+    PngEncodeOptions png;
+    /// Colormap for ?style=heatmap tiles.
+    ColormapKind heatmap_colormap = ColormapKind::kViridis;
+  };
+
+  /// Counters for the render->encode hot path, served via /stats so
+  /// compression and vectorization wins are observable in production.
+  struct RenderStats {
+    /// Cold tile renders performed (cache hits and 304s excluded).
+    uint64_t tiles_rendered = 0;
+    uint64_t scatter_tiles_rendered = 0;
+    uint64_t heatmap_tiles_rendered = 0;
+    /// Wall time split between rasterizing and PNG encoding.
+    uint64_t render_nanos = 0;
+    uint64_t encode_nanos = 0;
+    /// Encoder input (raw RGB pixel bytes) vs output (PNG bytes): the
+    /// live compression ratio of served tiles.
+    uint64_t encode_bytes_in = 0;
+    uint64_t encode_bytes_out = 0;
   };
 
   struct TileResult {
@@ -136,16 +176,17 @@ class PlotService {
   /// absent; FailedPrecondition while its build is still running.
   Status DropTable(const std::string& table);
 
-  /// Renders (or serves from cache) one tile. Blocks only while the
-  /// table has no servable rung yet. NotFound for unknown tables,
-  /// InvalidArgument for keys outside the tile grid. `if_none_match`
-  /// is the raw If-None-Match header value (empty = unconditional): when
-  /// it matches the tile's current ETag, the result comes back with
-  /// not_modified set and no bytes — the render and cache lookup are
-  /// both skipped.
+  /// Renders (or serves from cache) one tile in `style`. Blocks only
+  /// while the table has no servable rung yet. NotFound for unknown
+  /// tables, InvalidArgument for keys outside the tile grid.
+  /// `if_none_match` is the raw If-None-Match header value (empty =
+  /// unconditional): when it matches the tile's current ETag, the
+  /// result comes back with not_modified set and no bytes — the render
+  /// and cache lookup are both skipped.
   StatusOr<TileResult> RenderTile(const std::string& table,
                                   const TileKey& tile,
-                                  const std::string& if_none_match = "");
+                                  const std::string& if_none_match = "",
+                                  TileStyle style = TileStyle::kScatter);
 
   /// Viewport aggregates for /plot; an empty rect means the whole
   /// domain.
@@ -168,6 +209,7 @@ class PlotService {
 
   CatalogManager& manager() { return *manager_; }
   TileCache::Stats cache_stats() const { return cache_.stats(); }
+  RenderStats render_stats() const;
   const Options& options() const { return options_; }
 
  private:
@@ -190,18 +232,19 @@ class PlotService {
   }
   static std::string CacheKeyFor(const std::string& table,
                                  uint64_t generation, const TileKey& tile,
-                                 size_t rung) {
+                                 size_t rung, TileStyle style) {
     return TablePrefix(table) + std::to_string(generation) + "\n" +
-           tile.ToString() + "\n" + std::to_string(rung);
+           tile.ToString() + "\n" + std::to_string(rung) + "\n" +
+           TileStyleName(style);
   }
 
   /// Strong ETag from the same material as the cache key (the table
   /// itself is named by the URL, so the tag distinguishes registration
-  /// generations, tiles, and rungs). Quoted per RFC 9110.
+  /// generations, tiles, rungs, and styles). Quoted per RFC 9110.
   static std::string EtagFor(uint64_t generation, const TileKey& tile,
-                             size_t rung) {
+                             size_t rung, TileStyle style) {
     return "\"g" + std::to_string(generation) + "-" + tile.ToString() +
-           "-k" + std::to_string(rung) + "\"";
+           "-k" + std::to_string(rung) + "-" + TileStyleName(style) + "\"";
   }
 
   StatusOr<Table> FindTable(const std::string& table) const;
@@ -209,6 +252,18 @@ class PlotService {
                      std::shared_ptr<const Dataset> dataset);
 
   const Options options_;
+  /// Backing counters for render_stats(); touched only on the cold
+  /// render path, so relaxed atomics suffice.
+  struct RenderCounters {
+    std::atomic<uint64_t> tiles_rendered{0};
+    std::atomic<uint64_t> scatter_tiles_rendered{0};
+    std::atomic<uint64_t> heatmap_tiles_rendered{0};
+    std::atomic<uint64_t> render_nanos{0};
+    std::atomic<uint64_t> encode_nanos{0};
+    std::atomic<uint64_t> encode_bytes_in{0};
+    std::atomic<uint64_t> encode_bytes_out{0};
+  };
+  RenderCounters render_counters_;
   /// Declared before manager_: build workers may still fire the
   /// rung-upgrade hook (which touches the cache) while the manager is
   /// shutting down, so the cache must outlive it.

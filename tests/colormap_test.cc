@@ -78,5 +78,48 @@ TEST(NormalizeValueTest, DegenerateRangesMapToCenter) {
   EXPECT_DOUBLE_EQ(NormalizeValue(3.0, std::nan(""), 1.0), 0.5);
 }
 
+TEST(RenderDensityImageTest, LogScalesCountsAndKeepsBackgroundAtZero) {
+  Rgb background{10, 20, 30};
+  // max = 7, so t(c) = log1p(c)/log1p(7).
+  std::vector<uint32_t> counts = {0, 1, 3, 7};
+  Image img = RenderDensityImage(counts, 4, 1, ColormapKind::kGrayscale,
+                                 background);
+  EXPECT_EQ(img.Get(0, 0), background);
+  double log_max = std::log1p(7.0);
+  for (size_t x = 1; x < 4; ++x) {
+    double t = std::log1p(static_cast<double>(counts[x])) / log_max;
+    EXPECT_EQ(img.Get(x, 0), MapColor(ColormapKind::kGrayscale, t))
+        << "x=" << x;
+  }
+  EXPECT_EQ(img.Get(3, 0), (Rgb{255, 255, 255})) << "max count maps to t=1";
+}
+
+TEST(RenderDensityImageTest, AllZeroAndMismatchedInputsYieldBackground) {
+  Rgb background{1, 2, 3};
+  Image zeros = RenderDensityImage(std::vector<uint32_t>(6, 0), 3, 2,
+                                   ColormapKind::kViridis, background);
+  Image mismatched = RenderDensityImage({1, 2}, 3, 2, ColormapKind::kViridis,
+                                        background);
+  for (size_t y = 0; y < 2; ++y) {
+    for (size_t x = 0; x < 3; ++x) {
+      EXPECT_EQ(zeros.Get(x, y), background);
+      EXPECT_EQ(mismatched.Get(x, y), background);
+    }
+  }
+}
+
+TEST(RenderDensityImageTest, MemoizedAndDirectColorPathsAgree) {
+  // Counts straddling the 4096-entry memo table: large counts take the
+  // direct-compute path and must color identically to the formula.
+  std::vector<uint32_t> counts = {0, 1, 4095, 4096, 100000};
+  Image img = RenderDensityImage(counts, 5, 1, ColormapKind::kViridis,
+                                 {255, 255, 255});
+  double log_max = std::log1p(100000.0);
+  for (size_t x = 1; x < 5; ++x) {
+    double t = std::log1p(static_cast<double>(counts[x])) / log_max;
+    EXPECT_EQ(img.Get(x, 0), MapColor(ColormapKind::kViridis, t)) << x;
+  }
+}
+
 }  // namespace
 }  // namespace vas

@@ -1,0 +1,151 @@
+#include "render/deflate.h"
+
+#include <random>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace vas {
+namespace {
+
+std::string RandomBytes(size_t n, uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> byte(0, 255);
+  std::string out(n, '\0');
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<char>(byte(rng));
+  }
+  return out;
+}
+
+std::string RoundTrip(const std::string& raw, const DeflateOptions& options) {
+  std::string compressed = ZlibCompress(raw, options);
+  auto decoded = ZlibDecompress(compressed);
+  EXPECT_TRUE(decoded.ok()) << decoded.status().message();
+  return decoded.ok() ? *decoded : std::string("<decode failed>");
+}
+
+TEST(DeflateTest, EmptyInputRoundTripsBothStrategies) {
+  for (auto strategy : {DeflateOptions::Strategy::kStored,
+                        DeflateOptions::Strategy::kFixedHuffman}) {
+    DeflateOptions options;
+    options.strategy = strategy;
+    EXPECT_EQ(RoundTrip("", options), "");
+  }
+}
+
+TEST(DeflateTest, SmallStringsRoundTrip) {
+  DeflateOptions options;
+  for (const char* s :
+       {"a", "ab", "abc", "hello hello hello hello", "mississippi",
+        "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"}) {
+    EXPECT_EQ(RoundTrip(s, options), s) << s;
+  }
+}
+
+TEST(DeflateTest, RandomDataRoundTripsAtManySizes) {
+  DeflateOptions options;
+  // Sizes straddle block and window boundaries.
+  for (size_t n : {1u, 2u, 3u, 255u, 256u, 4095u, 32768u, 65535u, 65536u,
+                   200000u}) {
+    std::string raw = RandomBytes(n, static_cast<uint32_t>(n));
+    EXPECT_EQ(RoundTrip(raw, options), raw) << "n=" << n;
+  }
+}
+
+TEST(DeflateTest, AllOneColorCompressesToTinyStream) {
+  // A flat tile is the adversarial-compressible case: one long run.
+  std::string raw(256 * 256 * 3, '\x7f');
+  std::string compressed = ZlibCompress(raw);
+  auto decoded = ZlibDecompress(compressed);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+  EXPECT_EQ(*decoded, raw);
+  // Fixed-Huffman LZ77 should crush a 196608-byte run by >100x.
+  EXPECT_LT(compressed.size(), raw.size() / 100);
+}
+
+TEST(DeflateTest, IncompressibleDataStaysNearRawSize) {
+  // Random bytes are the worst case: no matches, literals only. Fixed
+  // Huffman spends 8-9 bits per literal, so expansion is bounded.
+  std::string raw = RandomBytes(100000, 99);
+  std::string compressed = ZlibCompress(raw);
+  auto decoded = ZlibDecompress(compressed);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+  EXPECT_EQ(*decoded, raw);
+  EXPECT_LT(compressed.size(), raw.size() * 9 / 8 + 64);
+}
+
+TEST(DeflateTest, RepetitiveTextBeatsStored) {
+  std::string raw;
+  for (int i = 0; i < 500; ++i) {
+    raw += "the quick brown fox jumps over the lazy dog; ";
+  }
+  DeflateOptions stored;
+  stored.strategy = DeflateOptions::Strategy::kStored;
+  std::string fixed = ZlibCompress(raw);
+  std::string flat = ZlibCompress(raw, stored);
+  EXPECT_EQ(RoundTrip(raw, DeflateOptions{}), raw);
+  EXPECT_LT(fixed.size(), flat.size() / 4);
+}
+
+TEST(DeflateTest, MatchesSpanningWindowBoundaryRoundTrip) {
+  // Period just under the 32 KiB window forces maximum-distance matches.
+  std::string unit = RandomBytes(32700, 5);
+  std::string raw = unit + unit + unit;
+  EXPECT_EQ(RoundTrip(raw, DeflateOptions{}), raw);
+}
+
+TEST(DeflateTest, DeterministicAcrossRuns) {
+  std::string raw = RandomBytes(50000, 11) + std::string(10000, 'x');
+  EXPECT_EQ(ZlibCompress(raw), ZlibCompress(raw));
+  DeflateOptions stored;
+  stored.strategy = DeflateOptions::Strategy::kStored;
+  EXPECT_EQ(ZlibCompress(raw, stored), ZlibCompress(raw, stored));
+}
+
+TEST(DeflateTest, ChainDepthTradesSizeForNothingElse) {
+  std::string raw;
+  std::mt19937 rng(13);
+  std::uniform_int_distribution<int> word(0, 63);
+  for (int i = 0; i < 20000; ++i) {
+    raw += "w" + std::to_string(word(rng)) + " ";
+  }
+  DeflateOptions shallow;
+  shallow.max_chain_length = 1;
+  DeflateOptions deep;
+  deep.max_chain_length = 256;
+  std::string a = ZlibCompress(raw, shallow);
+  std::string b = ZlibCompress(raw, deep);
+  EXPECT_EQ(RoundTrip(raw, shallow), raw);
+  EXPECT_EQ(RoundTrip(raw, deep), raw);
+  EXPECT_LE(b.size(), a.size());
+}
+
+TEST(DeflateTest, StoredStrategyRoundTripsLargeInput) {
+  DeflateOptions stored;
+  stored.strategy = DeflateOptions::Strategy::kStored;
+  std::string raw = RandomBytes(150000, 3);
+  EXPECT_EQ(RoundTrip(raw, stored), raw);
+}
+
+TEST(DeflateTest, Adler32MatchesKnownVectors) {
+  EXPECT_EQ(Adler32(""), 1u);
+  EXPECT_EQ(Adler32("Wikipedia"), 0x11E60398u);
+}
+
+TEST(DeflateTest, RejectsMalformedStreams) {
+  EXPECT_FALSE(ZlibDecompress("").ok());
+  EXPECT_FALSE(ZlibDecompress("x").ok());
+  // Bad zlib header check bits.
+  EXPECT_FALSE(ZlibDecompress(std::string("\x78\x02\x03\x00", 4)).ok());
+  // Truncated valid stream loses the Adler trailer.
+  std::string good = ZlibCompress("hello world hello world");
+  EXPECT_FALSE(ZlibDecompress(good.substr(0, good.size() - 2)).ok());
+  // Corrupt checksum.
+  std::string bad = good;
+  bad.back() = static_cast<char>(bad.back() ^ 0x5a);
+  EXPECT_FALSE(ZlibDecompress(bad).ok());
+}
+
+}  // namespace
+}  // namespace vas

@@ -89,5 +89,15 @@ TEST(DensityTest, WithDensityRenamesMethod) {
   EXPECT_TRUE(s.has_density());
 }
 
+TEST(DensityTest, DensityWeightsMirrorEmbeddedCounts) {
+  Dataset d = Skewed(1000);
+  UniformReservoirSampler sampler(7);
+  SampleSet plain = sampler.Sample(d, 40);
+  EXPECT_TRUE(DensityWeights(plain).empty())
+      << "no embedded density means weight 1 per point";
+  SampleSet dense = WithDensity(d, plain);
+  EXPECT_EQ(DensityWeights(dense), dense.density);
+}
+
 }  // namespace
 }  // namespace vas

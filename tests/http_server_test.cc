@@ -914,6 +914,71 @@ TEST_F(ServiceEndpointTest, TileConditionalRequestsGet304) {
   EXPECT_EQ(mismatch->body, cold.body);
 }
 
+TEST_F(ServiceEndpointTest, HeatmapStyleServesDistinctCachedTiles) {
+  auto scatter = Get("/tiles/geo/1/0/1.png");
+  auto heatmap = Get("/tiles/geo/1/0/1.png?style=heatmap");
+  EXPECT_EQ(heatmap.status, 200);
+  EXPECT_EQ(heatmap.headers["content-type"], "image/png");
+  EXPECT_EQ(heatmap.headers["x-vas-style"], "heatmap");
+  EXPECT_EQ(scatter.headers["x-vas-style"], "scatter");
+  EXPECT_NE(heatmap.headers["etag"], scatter.headers["etag"])
+      << "the two styles are distinct resources";
+  ASSERT_GE(heatmap.body.size(), 8u);
+  EXPECT_EQ(heatmap.body.substr(0, 8), std::string("\x89PNG\r\n\x1a\n", 8));
+  EXPECT_NE(heatmap.body, scatter.body);
+  EXPECT_EQ(heatmap.headers["x-vas-cache"], "miss");
+
+  auto warm = Get("/tiles/geo/1/0/1.png?style=heatmap");
+  EXPECT_EQ(warm.headers["x-vas-cache"], "hit");
+  EXPECT_EQ(warm.body, heatmap.body);
+
+  // An explicit ?style=scatter is the same resource as the default.
+  auto explicit_scatter = Get("/tiles/geo/1/0/1.png?style=scatter");
+  EXPECT_EQ(explicit_scatter.headers["x-vas-cache"], "hit");
+  EXPECT_EQ(explicit_scatter.body, scatter.body);
+  EXPECT_EQ(explicit_scatter.headers["etag"], scatter.headers["etag"]);
+}
+
+TEST_F(ServiceEndpointTest, HeatmapConditionalRequestsArePerStyle) {
+  auto heatmap = Get("/tiles/geo/1/0/1.png?style=heatmap");
+  ASSERT_EQ(heatmap.status, 200);
+  std::string etag = heatmap.headers["etag"];
+  auto client = HttpClient::Connect(server_->port());
+  ASSERT_TRUE(client.ok());
+  auto conditional = client->Get("/tiles/geo/1/0/1.png?style=heatmap",
+                                 {{"If-None-Match", etag}});
+  ASSERT_TRUE(conditional.ok());
+  EXPECT_EQ(conditional->status, 304);
+  // The heatmap tag must not validate the scatter resource.
+  auto cross = client->Get("/tiles/geo/1/0/1.png",
+                           {{"If-None-Match", etag}});
+  ASSERT_TRUE(cross.ok());
+  EXPECT_EQ(cross->status, 200);
+}
+
+TEST_F(ServiceEndpointTest, UnknownTileStyleIs400) {
+  auto result = Get("/tiles/geo/1/0/1.png?style=sepia");
+  EXPECT_EQ(result.status, 400);
+  EXPECT_NE(result.body.find("unknown tile style"), std::string::npos)
+      << result.body;
+}
+
+TEST_F(ServiceEndpointTest, StatsReportsRenderAndEncodeCounters) {
+  ASSERT_EQ(Get("/tiles/geo/0/0/0.png").status, 200);
+  ASSERT_EQ(Get("/tiles/geo/0/0/0.png?style=heatmap").status, 200);
+  auto result = Get("/stats");
+  EXPECT_EQ(result.status, 200);
+  EXPECT_NE(result.body.find("\"render\":{"), std::string::npos)
+      << result.body;
+  EXPECT_NE(result.body.find("\"tiles_rendered\":2"), std::string::npos);
+  EXPECT_NE(result.body.find("\"scatter_tiles_rendered\":1"),
+            std::string::npos);
+  EXPECT_NE(result.body.find("\"heatmap_tiles_rendered\":1"),
+            std::string::npos);
+  EXPECT_NE(result.body.find("\"encode_bytes_in\":"), std::string::npos);
+  EXPECT_NE(result.body.find("\"encode_bytes_out\":"), std::string::npos);
+}
+
 TEST_F(ServiceEndpointTest, JsonEndpointsAreNoCache) {
   EXPECT_EQ(Get("/catalogs").headers["cache-control"], "no-cache");
   EXPECT_EQ(Get("/status/geo").headers["cache-control"], "no-cache");

@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/density.h"
 #include "engine/catalog_io.h"
 #include "service/plot_service.h"
 #include "sampling/uniform_sampler.h"
@@ -435,6 +436,124 @@ TEST(PlotServiceTest, DropWhileBuildingIsFailedPrecondition) {
   gate.set_value();
   ASSERT_TRUE(service.manager().WaitUntilDone(CatalogKey{"geo"}).ok());
   EXPECT_TRUE(service.DropTable("geo").ok());
+}
+
+TEST(TileStyleTest, NamesAndParsingRoundTrip) {
+  EXPECT_STREQ(TileStyleName(TileStyle::kScatter), "scatter");
+  EXPECT_STREQ(TileStyleName(TileStyle::kHeatmap), "heatmap");
+  EXPECT_EQ(*ParseTileStyle(""), TileStyle::kScatter)
+      << "no ?style= means the default";
+  EXPECT_EQ(*ParseTileStyle("scatter"), TileStyle::kScatter);
+  EXPECT_EQ(*ParseTileStyle("heatmap"), TileStyle::kHeatmap);
+  EXPECT_EQ(ParseTileStyle("sepia").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseTileStyle("Heatmap").status().code(),
+            StatusCode::kInvalidArgument)
+      << "style names are exact, not case-folded";
+}
+
+TEST(PlotServiceTest, HeatmapStyleIsADistinctCachedResource) {
+  PlotService service;
+  ASSERT_TRUE(service
+                  .RegisterTable("geo", SkewedShared(3000), UniformFactory(5),
+                                 Ladder({400}))
+                  .ok());
+  TileKey tile{0, 0, 0};
+  auto scatter = service.RenderTile("geo", tile);
+  auto heatmap = service.RenderTile("geo", tile, "", TileStyle::kHeatmap);
+  ASSERT_TRUE(scatter.ok());
+  ASSERT_TRUE(heatmap.ok());
+  EXPECT_FALSE(scatter->cache_hit);
+  EXPECT_FALSE(heatmap->cache_hit)
+      << "the styles must not collide on one cache entry";
+  EXPECT_NE(scatter->etag, heatmap->etag);
+  ASSERT_NE(heatmap->png, nullptr);
+  EXPECT_EQ(heatmap->png->substr(0, 8), std::string("\x89PNG\r\n\x1a\n", 8));
+  EXPECT_NE(*heatmap->png, *scatter->png);
+
+  // Each style warms its own entry.
+  EXPECT_TRUE(service.RenderTile("geo", tile)->cache_hit);
+  EXPECT_TRUE(
+      service.RenderTile("geo", tile, "", TileStyle::kHeatmap)->cache_hit);
+
+  // Conditional requests are per style: the scatter tag can never 304
+  // the heatmap resource.
+  EXPECT_TRUE(service.RenderTile("geo", tile, heatmap->etag,
+                                 TileStyle::kHeatmap)
+                  ->not_modified);
+  EXPECT_FALSE(service.RenderTile("geo", tile, scatter->etag,
+                                  TileStyle::kHeatmap)
+                   ->not_modified);
+}
+
+TEST(PlotServiceTest, HeatmapTileMatchesDirectDensityRender) {
+  // The byte-identity contract for the heatmap style: RenderCounts with
+  // the rung's density weights, colormapped by RenderDensityImage and
+  // encoded with the service's PNG options, reproduces the served tile
+  // exactly.
+  PlotService::Options options;
+  options.tile_px = 64;
+  PlotService service(options);
+  auto dataset = SkewedShared(4000);
+  SampleCatalog::Options ladder = Ladder({300});
+  ladder.embed_density = true;  // weights flow into the counts
+  ASSERT_TRUE(
+      service.RegisterTable("geo", dataset, UniformFactory(9), ladder).ok());
+  CatalogKey key{"geo", "x", "y"};
+  ASSERT_TRUE(service.manager().WaitUntilDone(key).ok());
+
+  TileKey tile{1, 0, 0};
+  auto served = service.RenderTile("geo", tile, "", TileStyle::kHeatmap);
+  ASSERT_TRUE(served.ok());
+
+  auto snapshot = service.manager().Snapshot(key);
+  ASSERT_TRUE(snapshot.ok());
+  const SampleSet& rung = (*snapshot)->ChooseForTimeBudget(
+      service.options().tile_time_budget_seconds, service.options().viz_model);
+  ASSERT_TRUE(rung.has_density());
+
+  auto grid = service.GridFor("geo");
+  ASSERT_TRUE(grid.ok());
+  Viewport viewport(grid->TileBounds(tile), options.tile_px, options.tile_px);
+  ScatterRenderer renderer(service.TileRenderOptions());
+  std::vector<uint32_t> counts = renderer.RenderCounts(
+      rung.MaterializePoints(*dataset), DensityWeights(rung), viewport);
+  Image direct =
+      RenderDensityImage(counts, options.tile_px, options.tile_px,
+                         service.options().heatmap_colormap,
+                         service.options().renderer.background);
+  EXPECT_EQ(direct.EncodePng(service.options().png), *served->png);
+}
+
+TEST(PlotServiceTest, RenderStatsCountColdRendersPerStyle) {
+  PlotService service;
+  ASSERT_TRUE(service
+                  .RegisterTable("geo", SkewedShared(2000), UniformFactory(3),
+                                 Ladder({200}))
+                  .ok());
+  auto zero = service.render_stats();
+  EXPECT_EQ(zero.tiles_rendered, 0u);
+  EXPECT_EQ(zero.encode_bytes_out, 0u);
+
+  TileKey tile{0, 0, 0};
+  auto scatter = service.RenderTile("geo", tile);
+  auto heatmap = service.RenderTile("geo", tile, "", TileStyle::kHeatmap);
+  ASSERT_TRUE(scatter.ok());
+  ASSERT_TRUE(heatmap.ok());
+  // Neither a cache hit nor a 304 is a render.
+  ASSERT_TRUE(service.RenderTile("geo", tile)->cache_hit);
+  ASSERT_TRUE(service.RenderTile("geo", tile, scatter->etag)->not_modified);
+
+  auto stats = service.render_stats();
+  EXPECT_EQ(stats.tiles_rendered, 2u);
+  EXPECT_EQ(stats.scatter_tiles_rendered, 1u);
+  EXPECT_EQ(stats.heatmap_tiles_rendered, 1u);
+  size_t px = service.options().tile_px;
+  EXPECT_EQ(stats.encode_bytes_in, 2u * px * px * 3u);
+  EXPECT_EQ(stats.encode_bytes_out,
+            scatter->png->size() + heatmap->png->size());
+  EXPECT_GT(stats.render_nanos, 0u);
+  EXPECT_GT(stats.encode_nanos, 0u);
 }
 
 TEST(PlotServiceTest, GetTableReportsWorldAndBuildState) {

@@ -236,6 +236,141 @@ TEST(VizTimeModelTest, CalibratedAgainstPaperFigure2) {
               2.0, 0.1);
 }
 
+// --- Scalar vs binned pipeline identity. The binned (vectorized)
+// pipeline must be pixel-identical to the per-point scalar loop on any
+// input; the tile cache's byte-identity contract depends on it.
+
+Image RenderWith(ScatterRenderer::Options opt,
+                 ScatterRenderer::Options::Pipeline pipeline,
+                 const Dataset& d, const SampleSet& s, const Viewport& vp) {
+  opt.pipeline = pipeline;
+  return ScatterRenderer(opt).RenderSample(d, s, vp);
+}
+
+void ExpectPixelIdentical(const Image& a, const Image& b) {
+  ASSERT_EQ(a.width(), b.width());
+  ASSERT_EQ(a.height(), b.height());
+  for (size_t y = 0; y < a.height(); ++y) {
+    for (size_t x = 0; x < a.width(); ++x) {
+      ASSERT_EQ(a.Get(x, y), b.Get(x, y)) << "(" << x << "," << y << ")";
+    }
+  }
+}
+
+void ExpectPipelinesAgree(ScatterRenderer::Options opt, const Dataset& d,
+                          const SampleSet& s, const Viewport& vp) {
+  Image scalar =
+      RenderWith(opt, ScatterRenderer::Options::Pipeline::kScalar, d, s, vp);
+  Image binned =
+      RenderWith(opt, ScatterRenderer::Options::Pipeline::kBinned, d, s, vp);
+  ExpectPixelIdentical(scalar, binned);
+}
+
+SampleSet EveryNth(const Dataset& d, size_t n, bool with_density) {
+  SampleSet s;
+  for (size_t i = 0; i < d.size(); i += n) {
+    s.ids.push_back(i);
+    if (with_density) s.density.push_back(i * 7 % 997 + 1);
+  }
+  return s;
+}
+
+TEST(PipelineIdentityTest, PlainDotsOnSkewedData) {
+  Dataset d = test::Skewed(20000);
+  SampleSet s = EveryNth(d, 3, /*with_density=*/false);
+  ScatterRenderer::Options opt;
+  opt.width_px = 256;
+  opt.height_px = 256;
+  ExpectPipelinesAgree(opt, d, s, Viewport(d.Bounds(), 256, 256));
+}
+
+TEST(PipelineIdentityTest, DensityAndValuesWithOverlaps) {
+  // Values drive per-dot colors (overlap order matters) and density
+  // drives per-dot radii (stencil cache) at once.
+  Dataset d;
+  std::mt19937 rng(42);
+  std::uniform_real_distribution<double> coord(0.0, 10.0);
+  std::uniform_real_distribution<double> value(-3.0, 3.0);
+  for (size_t i = 0; i < 8000; ++i) {
+    d.Add({coord(rng), coord(rng)}, value(rng));
+  }
+  SampleSet s = EveryNth(d, 2, /*with_density=*/true);
+  ScatterRenderer::Options opt;
+  opt.width_px = 200;
+  opt.height_px = 160;
+  opt.density_radius_scale = 0.8;
+  ExpectPipelinesAgree(opt, d, s, Viewport(d.Bounds(), 200, 160));
+}
+
+TEST(PipelineIdentityTest, ZoomedViewportCullsTheSamePoints) {
+  Dataset d = test::Skewed(15000);
+  SampleSet s = EveryNth(d, 1, /*with_density=*/true);
+  ScatterRenderer::Options opt;
+  opt.width_px = 128;
+  opt.height_px = 128;
+  Viewport full(d.Bounds(), 128, 128);
+  ExpectPipelinesAgree(opt, d, s, full.ZoomedIn(d.Bounds().Center(), 8.0));
+}
+
+TEST(PipelineIdentityTest, EdgePointsAndLargeDots) {
+  // Points exactly on every viewport edge and corner, with radii big
+  // enough that stamps clip against all four image borders. Max-edge
+  // points transform to pixel column/row width_px/height_px — outside
+  // the raster — yet their dots still paint clipped coverage.
+  Dataset d;
+  for (double t : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    d.Add({10.0 * t, 0.0}, 0.0);
+    d.Add({10.0 * t, 10.0}, 0.0);
+    d.Add({0.0, 10.0 * t}, 0.0);
+    d.Add({10.0, 10.0 * t}, 0.0);
+  }
+  d.Add({10.1, 5.0}, 0.0);  // just outside: culled by both pipelines
+  SampleSet s = EveryNth(d, 1, /*with_density=*/true);
+  for (auto& dens : s.density) dens = 100000;  // forces max_dot_radius_px
+  ScatterRenderer::Options opt;
+  opt.width_px = 64;
+  opt.height_px = 64;
+  opt.density_radius_scale = 2.0;
+  Viewport vp(Rect::Of(0, 0, 10, 10), 64, 64);
+  ExpectPipelinesAgree(opt, d, s, vp);
+  Image img =
+      RenderWith(opt, ScatterRenderer::Options::Pipeline::kBinned, d, s, vp);
+  // The corner dot is clipped, not dropped: its quarter-disc shows up.
+  EXPECT_FALSE(img.Get(0, 63) == opt.background);
+  EXPECT_GT(img.InkFraction(opt.background), 0.0);
+}
+
+TEST(PipelineIdentityTest, SubPixelAndZeroRadiusDots) {
+  Dataset d = test::Skewed(5000);
+  SampleSet s = EveryNth(d, 1, /*with_density=*/false);
+  for (double radius : {0.0, 0.5, 1.5}) {
+    ScatterRenderer::Options opt;
+    opt.width_px = 100;
+    opt.height_px = 100;
+    opt.dot_radius_px = radius;
+    ExpectPipelinesAgree(opt, d, s, Viewport(d.Bounds(), 100, 100));
+  }
+}
+
+TEST(RendererTest, JitteredDotsNearEdgesStayClipped) {
+  // Jitter can push companion dot centers outside the raster; DrawDot
+  // must clamp their coverage instead of writing out of bounds.
+  Dataset d;
+  d.Add({0.05, 0.05}, 0.0);
+  d.Add({9.95, 9.95}, 0.0);
+  SampleSet s;
+  s.ids = {0, 1};
+  s.density = {100000, 100000};
+  ScatterRenderer::Options opt;
+  opt.width_px = 32;
+  opt.height_px = 32;
+  opt.jitter_radius_px = 20.0;
+  ScatterRenderer renderer(opt);
+  Viewport vp(Rect::Of(0, 0, 10, 10), 32, 32);
+  Image img = renderer.RenderSampleJittered(d, s, vp);
+  EXPECT_GT(img.InkFraction(opt.background), 0.0);
+}
+
 TEST(RendererIntegrationTest, SampledRenderIsCheaperSameCoverage) {
   Dataset d = test::Skewed(20000);
   UniformReservoirSampler sampler(3);
