@@ -6,15 +6,16 @@
 #include <vector>
 
 #include "data/serial.h"
+#include "engine/catalog_store.h"
 #include "sampling/sample_io.h"
 
 namespace vas {
 
-namespace {
-constexpr uint64_t kCatalogMagic = 0x5641530043415431ULL;  // "VAS\0CAT1"
-}  // namespace
-
 Status WriteCatalog(const SampleCatalog& catalog, const std::string& path) {
+  return WriteCatalogPaged(catalog, path, CatalogWriteOptions{});
+}
+
+Status WriteCatalogV1(const SampleCatalog& catalog, const std::string& path) {
   for (const SampleSet& rung : catalog.samples()) {
     // Validate before opening: a rejected write must not have truncated
     // a previously valid catalog at `path`.
@@ -25,7 +26,7 @@ Status WriteCatalog(const SampleCatalog& catalog, const std::string& path) {
   }
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::IoError("cannot open for write: " + path);
-  VAS_RETURN_IF_ERROR(WriteU64(out, kCatalogMagic, path));
+  VAS_RETURN_IF_ERROR(WriteU64(out, kCatalogMagicV1, path));
   VAS_RETURN_IF_ERROR(WriteU64(out, catalog.samples().size(), path));
   for (const SampleSet& rung : catalog.samples()) {
     VAS_RETURN_IF_ERROR(WriteSampleSetTo(out, rung, path));
@@ -34,10 +35,16 @@ Status WriteCatalog(const SampleCatalog& catalog, const std::string& path) {
 }
 
 StatusOr<SampleCatalog> ReadCatalog(const std::string& path) {
+  VAS_ASSIGN_OR_RETURN(CatalogFormat format, SniffCatalogFormat(path));
+  if (format == CatalogFormat::kV2) {
+    VAS_ASSIGN_OR_RETURN(std::shared_ptr<const CatalogStore> store,
+                         CatalogStore::Open(path));
+    return store->ReadAll(/*dataset_size=*/0);
+  }
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open for read: " + path);
   auto magic = ReadU64(in, path);
-  if (!magic.ok() || *magic != kCatalogMagic) {
+  if (!magic.ok() || *magic != kCatalogMagicV1) {
     return Status::InvalidArgument("not a VAS catalog file: " + path);
   }
   VAS_ASSIGN_OR_RETURN(uint64_t rungs, ReadU64(in, path));

@@ -1,19 +1,19 @@
-// Catalog persistence (paper §II-B: the sample ladder is built once,
-// offline, and then served like any other index). A catalog file holds
-// every rung of one ladder in the sample framing the standalone sample
-// files use, under a single magic:
+// Catalog persistence compatibility surface (paper §II-B: the sample
+// ladder is built once, offline, and then served like any other index).
+// Two on-disk formats exist:
 //
-//   u64 magic "VAS\0CAT1"
-//   u64 rung count
-//   per rung (ascending by size):
-//     u64 method length, method bytes
-//     u64 id count n, u64 has_density
-//     n × u64 sample ids
-//     [n × u64 density counts]
+//   CAT1 (legacy, u64 magic "VAS\0CAT1" at offset 0): one serial blob —
+//     u64 rung count, then per rung the standalone sample framing
+//     (method, id count, has_density, packed ids, optional densities).
+//   CAT2 (paged, engine/catalog_store): fixed-size CRC-checked pages
+//     with a per-rung grid-cell index, mmap-able and partially loadable.
 //
-// This is both the explicit save/load surface (vas_tool save-catalog /
-// load-catalog) and the spill format CatalogManager uses when evicting
-// cold catalogs under a memory budget.
+// WriteCatalog writes CAT2 by default; ReadCatalog sniffs the magic and
+// loads either, so every CAT1 file written by earlier builds keeps
+// loading byte-identically. CatalogManager spills through the CAT2
+// writer directly (with cell partitioning); these wrappers remain the
+// explicit save/load surface (vas_tool save-catalog / load-catalog) and
+// the migration path (vas_tool convert-catalog).
 #ifndef VAS_ENGINE_CATALOG_IO_H_
 #define VAS_ENGINE_CATALOG_IO_H_
 
@@ -24,11 +24,19 @@
 
 namespace vas {
 
-/// Writes every rung of `catalog` to `path`, overwriting.
+/// Writes every rung of `catalog` to `path` in the CAT2 paged format
+/// (1×1 cell grids — no dataset is available at this surface; pass the
+/// dataset to WriteCatalogPaged for cell-partitioned files),
+/// overwriting.
 Status WriteCatalog(const SampleCatalog& catalog, const std::string& path);
 
-/// Reads a catalog written by WriteCatalog. Validates structure but not
-/// id range; pair with ValidateCatalogAgainst() before serving.
+/// Writes the legacy CAT1 serial format. Kept for format back-compat
+/// tests and for producing fixtures older builds can read.
+Status WriteCatalogV1(const SampleCatalog& catalog, const std::string& path);
+
+/// Reads a catalog written by either WriteCatalog (CAT1 or CAT2,
+/// auto-detected by magic). Validates structure but not id range; pair
+/// with ValidateCatalogAgainst() before serving.
 StatusOr<SampleCatalog> ReadCatalog(const std::string& path);
 
 /// Checks every rung's ids against a dataset of `dataset_size` rows.

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "engine/catalog_io.h"
+#include "engine/catalog_store.h"
 #include "util/logging.h"
 
 namespace vas {
@@ -66,7 +67,11 @@ CatalogManager::~CatalogManager() {
   pool_.Shutdown();
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [key, entry] : entries_) {
-    if (!entry->spill_path.empty()) std::remove(entry->spill_path.c_str());
+    // User-supplied catalog files registered via LoadCatalog are not
+    // ours to delete; only manager-created spill files are cache state.
+    if (!entry->spill_path.empty() && entry->owns_spill_file) {
+      std::remove(entry->spill_path.c_str());
+    }
   }
 }
 
@@ -150,8 +155,40 @@ Status CatalogManager::AddCatalog(const CatalogKey& key,
 Status CatalogManager::LoadCatalog(const CatalogKey& key,
                                    std::shared_ptr<const Dataset> dataset,
                                    const std::string& path) {
-  VAS_ASSIGN_OR_RETURN(SampleCatalog catalog, ReadCatalog(path));
-  return AddCatalog(key, std::move(dataset), std::move(catalog));
+  // File problems (missing, unreadable, not a catalog) are diagnosed
+  // before argument problems so callers see the actionable error.
+  VAS_ASSIGN_OR_RETURN(CatalogFormat format, SniffCatalogFormat(path));
+  if (dataset == nullptr) {
+    return Status::InvalidArgument("null dataset for " + key.ToString());
+  }
+  if (format != CatalogFormat::kV2) {
+    // Legacy CAT1: nothing to map; deserialize whole and register
+    // resident.
+    VAS_ASSIGN_OR_RETURN(SampleCatalog catalog, ReadCatalog(path));
+    return AddCatalog(key, std::move(dataset), std::move(catalog));
+  }
+  // Paged CAT2: register the mapping cold, without materializing a
+  // single rung. The metadata is enough to reject files whose ids
+  // cannot belong to this dataset; per-page CRCs and exact id range
+  // checks happen lazily as pages are first touched.
+  VAS_ASSIGN_OR_RETURN(std::shared_ptr<const CatalogStore> store,
+                       CatalogStore::Open(path));
+  for (size_t k = 0; k < store->rung_count(); ++k) {
+    const CatalogStore::Rung& rung = store->rung(k);
+    if (rung.count > 0 && rung.max_id >= dataset->size()) {
+      return Status::InvalidArgument("catalog ids out of dataset range: " +
+                                     path);
+    }
+  }
+  auto entry = std::make_shared<Entry>();
+  entry->dataset = std::move(dataset);
+  entry->rungs_total = store->rung_count();
+  entry->store = std::move(store);
+  entry->spill_path = path;
+  entry->spill_valid = true;
+  entry->owns_spill_file = false;
+  std::lock_guard<std::mutex> lock(mu_);
+  return Insert(key, std::move(entry));
 }
 
 Status CatalogManager::SaveCatalog(const CatalogKey& key,
@@ -162,7 +199,11 @@ Status CatalogManager::SaveCatalog(const CatalogKey& key,
   }
   auto snapshot = Resolve(key, entry, WaitMode::kAll);
   if (!snapshot.ok()) return snapshot.status();
-  return WriteCatalog(**snapshot, path);
+  // The dataset is at hand, so saved files get real cell partitioning
+  // (partial tile loads), unlike the dataset-less WriteCatalog surface.
+  CatalogWriteOptions options;
+  options.dataset = entry->dataset.get();
+  return WriteCatalogPaged(**snapshot, path, options);
 }
 
 Status CatalogManager::Drop(const CatalogKey& key) {
@@ -179,7 +220,7 @@ Status CatalogManager::Drop(const CatalogKey& key) {
                                         key.ToString());
     }
     if (entry.catalog != nullptr) resident_bytes_ -= entry.bytes;
-    spill_path = entry.spill_path;
+    if (entry.owns_spill_file) spill_path = entry.spill_path;
     entries_.erase(it);
   }
   if (!spill_path.empty()) std::remove(spill_path.c_str());
@@ -210,19 +251,32 @@ void CatalogManager::EnforceBudgetLocked(const Entry* keep,
   while (resident_bytes_ - pending > options_.memory_budget_bytes) {
     std::shared_ptr<Entry> victim;
     const CatalogKey* victim_key = nullptr;
+    bool victim_free = false;
     for (const auto& [key, entry] : entries_) {
       if (entry.get() == keep || entry->builder != nullptr ||
           entry->catalog == nullptr || entry->spilling) {
         continue;
       }
-      if (victim == nullptr || entry->last_used < victim->last_used) {
+      // Cost-aware selection: evicting an entry whose backing file is
+      // current is free (drop the in-memory ladder, keep the mapping),
+      // so any such entry beats any entry that would need a spill
+      // write; within a cost class, least recently used wins.
+      const bool free_evict = entry->spill_valid;
+      const bool better =
+          victim == nullptr || (free_evict && !victim_free) ||
+          (free_evict == victim_free && entry->last_used < victim->last_used);
+      if (better) {
         victim = entry;
         victim_key = &key;
+        victim_free = free_evict;
       }
     }
     if (victim == nullptr) return;  // nothing evictable; budget best-effort
     if (victim->spill_valid) {
-      // The spill file is already current: evict without touching disk.
+      // The backing file is already current: evict without touching
+      // disk. (The mmap, if any, stays open — mapped pages are clean
+      // file-backed memory the OS can reclaim, and the next tile
+      // faults in only what it touches.)
       victim->catalog = nullptr;
       resident_bytes_ -= victim->bytes;
       ++evictions_;
@@ -250,7 +304,11 @@ void CatalogManager::PerformSpills(std::vector<SpillJob> jobs) const {
   for (SpillJob& job : jobs) {
     // The expensive serialization runs with no manager lock held, so
     // other keys' snapshots, builds, and reloads proceed concurrently.
-    Status written = WriteCatalog(*job.catalog, job.path);
+    // Spills are cell-partitioned against the entry's dataset so the
+    // file supports partial (per-cell) loads when served back.
+    CatalogWriteOptions options;
+    options.dataset = job.entry->dataset.get();
+    Status written = WriteCatalogPaged(*job.catalog, job.path, options);
     bool mapped = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -259,6 +317,7 @@ void CatalogManager::PerformSpills(std::vector<SpillJob> jobs) const {
       mapped = it != entries_.end() && it->second == job.entry;
       if (written.ok() && mapped) {
         job.entry->spill_valid = true;
+        ++spill_writes_;
         if (job.entry->catalog != nullptr) {
           job.entry->catalog = nullptr;
           resident_bytes_ -= job.entry->bytes;
@@ -279,13 +338,44 @@ void CatalogManager::PerformSpills(std::vector<SpillJob> jobs) const {
   }
 }
 
+Status CatalogManager::EnsureStoreLocked(Entry& entry) const {
+  if (entry.store != nullptr) return Status::OK();
+  if (!entry.spill_valid || entry.spill_path.empty()) {
+    return Status::FailedPrecondition("no current backing file");
+  }
+  VAS_ASSIGN_OR_RETURN(CatalogFormat format,
+                       SniffCatalogFormat(entry.spill_path));
+  if (format != CatalogFormat::kV2) {
+    return Status::FailedPrecondition("backing file is not paged");
+  }
+  VAS_ASSIGN_OR_RETURN(entry.store, CatalogStore::Open(entry.spill_path));
+  return Status::OK();
+}
+
 Status CatalogManager::ReloadLocked(const CatalogKey& key, Entry& entry,
                                     std::vector<SpillJob>* jobs) const {
   if (!entry.spill_valid) {
     return Status::Internal("catalog neither resident nor spilled: " +
                             key.ToString());
   }
-  VAS_ASSIGN_OR_RETURN(SampleCatalog loaded, ReadCatalog(entry.spill_path));
+  // Prefer reading back through the mmap'd store (reuses an already
+  // open mapping and its verified pages); fall back to the serial
+  // reader for CAT1 backing files.
+  SampleCatalog loaded(std::vector<SampleSet>{});
+  Status ensured = EnsureStoreLocked(entry);
+  if (ensured.ok()) {
+    auto read = entry.store->ReadAll(/*dataset_size=*/0);
+    if (!read.ok()) {
+      return Status::Internal("spill file corrupt for " + key.ToString() +
+                              ": " + read.status().ToString());
+    }
+    loaded = std::move(read).value();
+  } else if (ensured.code() == StatusCode::kFailedPrecondition) {
+    VAS_ASSIGN_OR_RETURN(loaded, ReadCatalog(entry.spill_path));
+  } else {
+    return Status::Internal("spill file corrupt for " + key.ToString() +
+                            ": " + ensured.ToString());
+  }
   // A damaged (or swapped) spill file must never reach a session: ids
   // out of range for the entry's dataset would index out of bounds.
   Status valid = ValidateCatalogAgainst(loaded, entry.dataset->size());
@@ -398,6 +488,74 @@ StatusOr<std::shared_ptr<const SampleCatalog>> CatalogManager::Resolve(
   }
 }
 
+StatusOr<CatalogView> CatalogManager::ViewFor(const CatalogKey& key) const {
+  std::shared_ptr<Entry> entry = FindEntry(key);
+  if (entry == nullptr) {
+    return Status::NotFound("no catalog registered: " + key.ToString());
+  }
+  for (;;) {
+    std::shared_ptr<SampleCatalog::Builder> builder;
+    std::vector<SpillJob> spills;
+    bool finalized = false;
+    StatusOr<CatalogView> resolved(Status::Internal("unresolved"));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      builder = entry->builder;
+      if (builder == nullptr) {
+        finalized = true;
+        auto it = entries_.find(key);
+        const bool mapped = it != entries_.end() && it->second == entry;
+        if (entry->catalog != nullptr) {
+          // Resident: serve the snapshot directly, zero-copy.
+          if (mapped) TouchLocked(*entry);
+          resolved = CatalogView(entry->catalog);
+        } else if (!mapped) {
+          resolved =
+              Status::NotFound("no catalog registered: " + key.ToString());
+        } else {
+          // Spilled: the paged path. Serving through the mapping keeps
+          // the ladder cold — a tile render afterwards faults in only
+          // the pages its cells intersect, instead of this wait paying
+          // a full materialization.
+          Status ensured = EnsureStoreLocked(*entry);
+          if (ensured.ok()) {
+            TouchLocked(*entry);
+            resolved = CatalogView(entry->store, entry->dataset->size());
+          } else if (ensured.code() == StatusCode::kFailedPrecondition) {
+            // Non-paged backing file: reload whole, serve resident.
+            Status reloaded = ReloadLocked(key, *entry, &spills);
+            if (reloaded.ok()) {
+              TouchLocked(*entry);
+              resolved = CatalogView(entry->catalog);
+            } else {
+              resolved = reloaded;
+            }
+          } else {
+            resolved = Status::Internal("spill file corrupt for " +
+                                        key.ToString() + ": " +
+                                        ensured.ToString());
+          }
+        }
+      }
+    }
+    if (finalized) {
+      PerformSpills(std::move(spills));
+      return resolved;
+    }
+    // Build in flight: wait for the first rung with no manager lock
+    // held, then serve the builder's snapshot.
+    std::shared_ptr<const SampleCatalog> snapshot = builder->WaitForRung(1);
+    if (!builder->done()) {
+      if (snapshot == nullptr) {
+        return Status::FailedPrecondition("no rung built yet: " +
+                                          key.ToString());
+      }
+      return CatalogView(std::move(snapshot));
+    }
+    Finalize(key, entry, builder);
+  }
+}
+
 StatusOr<CatalogManager::BuildStatus> CatalogManager::GetStatus(
     const CatalogKey& key) const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -415,6 +573,7 @@ StatusOr<CatalogManager::BuildStatus> CatalogManager::GetStatus(
     status.rungs_ready = entry.rungs_total;
     status.done = true;
     status.resident = entry.catalog != nullptr;
+    status.mapped = entry.store != nullptr;
     status.memory_bytes = entry.bytes;
   }
   return status;
@@ -469,8 +628,15 @@ CatalogManager::MemoryStats CatalogManager::memory_stats() const {
   MemoryStats stats;
   stats.budget_bytes = options_.memory_budget_bytes;
   stats.resident_bytes = resident_bytes_;
+  for (const auto& [key, entry] : entries_) {
+    if (entry->store != nullptr) {
+      stats.mapped_bytes += entry->store->file_bytes();
+      stats.touched_page_bytes += entry->store->touched_bytes();
+    }
+  }
   stats.evictions = evictions_;
   stats.reloads = reloads_;
+  stats.spill_writes = spill_writes_;
   return stats;
 }
 

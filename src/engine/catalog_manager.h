@@ -10,8 +10,19 @@
 // catalog file (SaveCatalog), a previously saved ladder can be
 // registered without rebuilding (LoadCatalog / AddCatalog), and under a
 // configured memory budget cold catalogs are transparently spilled to
-// disk LRU-first and reloaded on their next access — so the set of
-// catalogs a server holds is bounded by disk, not RAM.
+// disk and reloaded on their next access — so the set of catalogs a
+// server holds is bounded by disk, not RAM.
+//
+// Spills are written in the paged CAT2 format (engine/catalog_store),
+// cell-partitioned against the entry's dataset. Because finished
+// ladders are immutable, a current backing file makes eviction free:
+// the victim's in-memory ladder is simply dropped (no serialization),
+// and eviction prefers such victims over ones whose ladder would first
+// have to be written — cost-aware, not purely LRU. A spilled ladder can
+// be served two ways: Snapshot()/WaitFor* rematerialize the whole
+// ladder (the classic path), while ViewFor() hands out a CatalogView
+// over the mmap'd store so tile rendering faults in only the pages
+// whose grid cells intersect the viewport.
 #ifndef VAS_ENGINE_CATALOG_MANAGER_H_
 #define VAS_ENGINE_CATALOG_MANAGER_H_
 
@@ -22,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/catalog_store.h"
 #include "engine/sample_catalog.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -86,6 +98,8 @@ class CatalogManager {
     /// Whether the finished ladder is currently in memory (false while
     /// spilled; meaningless before done).
     bool resident = false;
+    /// Whether a paged backing file is currently mmap'd for this key.
+    bool mapped = false;
     /// Approximate footprint of the finished ladder (0 while building).
     size_t memory_bytes = 0;
   };
@@ -94,8 +108,16 @@ class CatalogManager {
   struct MemoryStats {
     size_t budget_bytes = 0;
     size_t resident_bytes = 0;
+    /// Total file bytes of currently mmap'd catalog stores.
+    size_t mapped_bytes = 0;
+    /// Bytes of mapped pages actually faulted in (CRC-verified) so far
+    /// — the real memory cost of serving through mapped stores.
+    size_t touched_page_bytes = 0;
     size_t evictions = 0;
     size_t reloads = 0;
+    /// Spill files written. Evictions of ladders whose backing file is
+    /// already current don't write, so evictions can exceed this.
+    size_t spill_writes = 0;
   };
 
   /// `num_threads` sizes the shared build pool; 0 = hardware
@@ -124,9 +146,13 @@ class CatalogManager {
                     std::shared_ptr<const Dataset> dataset,
                     SampleCatalog catalog);
 
-  /// Reads the catalog file at `path` and registers it under `key` —
-  /// the cold-start path: serving begins at disk-load cost instead of
-  /// rebuild cost.
+  /// Registers the catalog file at `path` under `key` — the cold-start
+  /// path: serving begins at disk-load cost instead of rebuild cost. A
+  /// CAT2 file is mmap'd and registered *without* materializing (the
+  /// first full snapshot pays the load; ViewFor serves tiles straight
+  /// from the mapping); a CAT1 file is deserialized whole. The file at
+  /// `path` stays owned by the caller and is never deleted by Drop()
+  /// or the destructor.
   Status LoadCatalog(const CatalogKey& key,
                      std::shared_ptr<const Dataset> dataset,
                      const std::string& path);
@@ -160,6 +186,14 @@ class CatalogManager {
   StatusOr<std::shared_ptr<const SampleCatalog>> WaitUntilDone(
       const CatalogKey& key) const;
 
+  /// A servable view of `key`'s best available ladder, waiting for the
+  /// first rung like WaitForFirstRung — but a spilled ladder with a
+  /// current paged backing file is served through the mmap'd store
+  /// *without* rematerializing, so a tile render afterwards touches
+  /// only the pages its viewport's cells intersect. Falls back to a
+  /// full reload for non-paged backing files.
+  StatusOr<CatalogView> ViewFor(const CatalogKey& key) const;
+
   /// Registered keys, sorted.
   std::vector<CatalogKey> Keys() const;
 
@@ -191,10 +225,18 @@ class CatalogManager {
     std::shared_ptr<SampleCatalog::Builder> builder;
     /// The finished ladder; null while spilled to disk.
     std::shared_ptr<const SampleCatalog> catalog;
+    /// The mmap'd paged backing file, opened lazily the first time a
+    /// spilled ladder is served through ViewFor (or reloaded). Non-null
+    /// only while spill_valid.
+    std::shared_ptr<const CatalogStore> store;
     /// Spill file holding a current copy of the ladder (catalogs are
     /// immutable once finished, so one write serves every eviction).
     std::string spill_path;
     bool spill_valid = false;
+    /// Whether spill_path was created by this manager (and is therefore
+    /// ours to delete). False for user-supplied files registered via
+    /// LoadCatalog.
+    bool owns_spill_file = true;
     /// A spill write for this entry is in flight off-lock; the entry
     /// stays resident (and servable) until the write completes, and no
     /// second eviction may select it meanwhile.
@@ -238,12 +280,15 @@ class CatalogManager {
     std::string path;
   };
 
-  /// Selects LRU victims until the budget holds, never touching `keep`,
+  /// Selects victims until the budget holds, never touching `keep`,
   /// entries still building, or entries already spilling. Caller holds
-  /// mu_. Victims whose spill file is already current are evicted
-  /// immediately; the rest are marked `spilling` and appended to
-  /// `jobs` for the caller to write *after releasing the mutex*
-  /// (PerformSpills) — serialization never blocks other keys' access.
+  /// mu_. Selection is cost-aware: among evictable entries, ones whose
+  /// backing file is already current (eviction = dropping the in-memory
+  /// ladder, write-free) are preferred — LRU-ordered — over entries
+  /// that would first need serializing; the latter are marked
+  /// `spilling` and appended to `jobs` for the caller to write *after
+  /// releasing the mutex* (PerformSpills) — serialization never blocks
+  /// other keys' access.
   void EnforceBudgetLocked(const Entry* keep,
                            std::vector<SpillJob>* jobs) const;
 
@@ -262,6 +307,11 @@ class CatalogManager {
   Status ReloadLocked(const CatalogKey& key, Entry& entry,
                       std::vector<SpillJob>* jobs) const;
 
+  /// Opens (mmaps) the entry's paged backing file if not already open.
+  /// FailedPrecondition when there is no current paged backing file —
+  /// callers then fall back to ReloadLocked. Caller holds mu_.
+  Status EnsureStoreLocked(Entry& entry) const;
+
   const Options options_;
   /// Per-manager token so concurrent processes sharing a spill dir
   /// cannot clobber each other's files.
@@ -278,6 +328,7 @@ class CatalogManager {
   mutable size_t resident_bytes_ = 0;
   mutable size_t evictions_ = 0;
   mutable size_t reloads_ = 0;
+  mutable size_t spill_writes_ = 0;
 };
 
 }  // namespace vas

@@ -1,0 +1,702 @@
+#include "engine/catalog_store.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+#include <utility>
+
+#include "data/serial.h"
+#include "util/crc32.h"
+
+namespace vas {
+
+namespace {
+
+constexpr uint64_t kFooterMagic = 0x5641530046545232ULL;  // "VAS\0FTR2"
+constexpr uint64_t kFormatVersion = 2;
+constexpr size_t kFooterBytes = 48;
+constexpr size_t kPageHeaderBytes = 8;  // u32 crc + u32 payload_len
+constexpr size_t kMinPageSize = 512;
+constexpr size_t kMaxPageSize = 1 << 20;
+constexpr size_t kMaxMethodLen = 4096;
+constexpr uint64_t kMaxRungs = 4096;
+constexpr uint64_t kMaxGridCells = 1ULL << 22;
+constexpr uint8_t kPageVerified = 1;
+
+uint64_t LoadU64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+uint32_t LoadU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+double U64ToDouble(uint64_t bits) {
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+uint64_t DoubleToU64(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+/// Clamped grid coordinate of value `v` on the axis [lo, hi] split into
+/// `dim` cells. Monotone non-decreasing in `v`, and the writer and
+/// reader share this one function, so the cell range computed for a
+/// query interval is guaranteed to cover every point inside it.
+size_t CellCoord(double v, double lo, double hi, uint64_t dim) {
+  if (dim <= 1 || !(hi > lo)) return 0;
+  double scaled = (v - lo) / (hi - lo) * static_cast<double>(dim);
+  if (!(scaled > 0.0)) return 0;
+  if (scaled >= static_cast<double>(dim)) return static_cast<size_t>(dim - 1);
+  return static_cast<size_t>(scaled);
+}
+
+struct RungLayout {
+  uint64_t grid_x = 1;
+  uint64_t grid_y = 1;
+  Rect domain;
+  uint64_t max_id = 0;
+  uint64_t slot_base = 0;
+  uint64_t perm_base = 0;
+  std::vector<uint64_t> cell_counts;
+  std::vector<uint64_t> ids;      // cell-major, id-sorted within cells
+  std::vector<uint64_t> density;  // parallel to ids (empty when absent)
+  std::vector<uint64_t> perm;     // original position of each entry
+};
+
+/// Chooses a square grid aiming at `target_entries_per_cell`.
+uint64_t GridDimFor(size_t count, const CatalogWriteOptions& options) {
+  size_t per_cell = std::max<size_t>(1, options.target_entries_per_cell);
+  double cells =
+      static_cast<double>(count) / static_cast<double>(per_cell);
+  auto dim = static_cast<uint64_t>(std::ceil(std::sqrt(std::max(cells, 1.0))));
+  return std::max<uint64_t>(
+      1, std::min<uint64_t>(dim, std::max<size_t>(1, options.max_grid_dim)));
+}
+
+Status LayOutRung(const SampleSet& sample, const CatalogWriteOptions& options,
+                  RungLayout* out) {
+  const size_t n = sample.size();
+  if (sample.has_density() && sample.density.size() != n) {
+    return Status::InvalidArgument("rung density column not parallel to ids");
+  }
+  const Dataset* dataset = options.dataset;
+  if (dataset != nullptr && n > 0) {
+    for (size_t id : sample.ids) {
+      if (id >= dataset->size()) {
+        return Status::InvalidArgument(
+            "sample id out of range of the partitioning dataset");
+      }
+      out->domain.Extend(dataset->points[id]);
+    }
+    out->grid_x = GridDimFor(n, options);
+    out->grid_y = out->grid_x;
+  }
+  const uint64_t gx = out->grid_x;
+  const uint64_t gy = out->grid_y;
+
+  // Bucket entries by cell, then sort by (cell, id): cell-major runs are
+  // what partial loads read contiguously, and within-cell id order keeps
+  // the layout deterministic.
+  std::vector<uint32_t> cell_of(n, 0);
+  if (dataset != nullptr && gx * gy > 1) {
+    for (size_t i = 0; i < n; ++i) {
+      const Point p = dataset->points[sample.ids[i]];
+      const size_t cx =
+          CellCoord(p.x, out->domain.min_x, out->domain.max_x, gx);
+      const size_t cy =
+          CellCoord(p.y, out->domain.min_y, out->domain.max_y, gy);
+      cell_of[i] = static_cast<uint32_t>(cy * gx + cx);
+    }
+  }
+  std::vector<uint64_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](uint64_t a, uint64_t b) {
+                     if (cell_of[a] != cell_of[b]) {
+                       return cell_of[a] < cell_of[b];
+                     }
+                     return sample.ids[a] < sample.ids[b];
+                   });
+
+  out->cell_counts.assign(gx * gy, 0);
+  out->ids.resize(n);
+  out->perm.resize(n);
+  if (sample.has_density()) out->density.resize(n);
+  for (size_t e = 0; e < n; ++e) {
+    const uint64_t src = order[e];
+    ++out->cell_counts[cell_of[src]];
+    out->ids[e] = sample.ids[src];
+    out->perm[e] = src;
+    if (sample.has_density()) out->density[e] = sample.density[src];
+    out->max_id = std::max<uint64_t>(out->max_id, sample.ids[src]);
+  }
+  return Status::OK();
+}
+
+Status WritePage(std::ofstream& out, const uint8_t* payload, size_t len,
+                 size_t page_size, const std::string& path) {
+  uint8_t header[kPageHeaderBytes];
+  const uint32_t crc = Crc32(payload, len);
+  const auto len32 = static_cast<uint32_t>(len);
+  std::memcpy(header, &crc, sizeof(crc));
+  std::memcpy(header + sizeof(crc), &len32, sizeof(len32));
+  VAS_RETURN_IF_ERROR(WriteRaw(out, header, sizeof(header), path));
+  if (len > 0) VAS_RETURN_IF_ERROR(WriteRaw(out, payload, len, path));
+  static const std::string kZeros(kMaxPageSize, '\0');
+  const size_t pad = page_size - kPageHeaderBytes - len;
+  if (pad > 0) VAS_RETURN_IF_ERROR(WriteRaw(out, kZeros.data(), pad, path));
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<CatalogFormat> SniffCatalogFormat(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open catalog file: " + path);
+  uint8_t head[16];
+  in.read(reinterpret_cast<char*>(head), sizeof(head));
+  if (in.gcount() != static_cast<std::streamsize>(sizeof(head))) {
+    return Status::InvalidArgument("truncated catalog file: " + path);
+  }
+  if (LoadU64(head) == kCatalogMagicV1) return CatalogFormat::kV1;
+  // CAT2 puts the page CRC header first, so its magic starts the
+  // superblock *payload* at byte 8.
+  if (LoadU64(head + 8) == kCatalogMagicV2) return CatalogFormat::kV2;
+  return Status::InvalidArgument("not a catalog file: " + path);
+}
+
+Status WriteCatalogPaged(const SampleCatalog& catalog, const std::string& path,
+                         const CatalogWriteOptions& options) {
+  const size_t page_size = options.page_size;
+  if (page_size < kMinPageSize || page_size > kMaxPageSize ||
+      page_size % 8 != 0) {
+    return Status::InvalidArgument(
+        "catalog page size must be a multiple of 8 in [512, 1 MiB]");
+  }
+  const auto& rungs = catalog.samples();
+  if (rungs.empty()) {
+    return Status::InvalidArgument("refusing to write an empty catalog");
+  }
+  if (rungs.size() > kMaxRungs) {
+    return Status::InvalidArgument("catalog has too many rungs");
+  }
+
+  std::vector<RungLayout> layouts(rungs.size());
+  uint64_t next_slot = 0;
+  for (size_t k = 0; k < rungs.size(); ++k) {
+    VAS_RETURN_IF_ERROR(LayOutRung(rungs[k], options, &layouts[k]));
+    const uint64_t n = rungs[k].size();
+    const uint64_t width = rungs[k].has_density() ? 2 : 1;
+    layouts[k].slot_base = next_slot;
+    layouts[k].perm_base = next_slot + n * width;
+    next_slot = layouts[k].perm_base + n;
+  }
+  const uint64_t total_slots = next_slot;
+
+  // Rung metadata stream (paged after the data region).
+  std::ostringstream meta_stream(std::ios::binary);
+  for (size_t k = 0; k < rungs.size(); ++k) {
+    const SampleSet& s = rungs[k];
+    const RungLayout& l = layouts[k];
+    VAS_RETURN_IF_ERROR(
+        WriteLengthPrefixedString(meta_stream, s.method, path));
+    VAS_RETURN_IF_ERROR(WriteU64(meta_stream, s.size(), path));
+    VAS_RETURN_IF_ERROR(WriteU64(meta_stream, s.has_density() ? 1 : 0, path));
+    VAS_RETURN_IF_ERROR(WriteU64(meta_stream, l.max_id, path));
+    VAS_RETURN_IF_ERROR(WriteU64(meta_stream, l.grid_x, path));
+    VAS_RETURN_IF_ERROR(WriteU64(meta_stream, l.grid_y, path));
+    VAS_RETURN_IF_ERROR(
+        WriteU64(meta_stream, DoubleToU64(l.domain.min_x), path));
+    VAS_RETURN_IF_ERROR(
+        WriteU64(meta_stream, DoubleToU64(l.domain.min_y), path));
+    VAS_RETURN_IF_ERROR(
+        WriteU64(meta_stream, DoubleToU64(l.domain.max_x), path));
+    VAS_RETURN_IF_ERROR(
+        WriteU64(meta_stream, DoubleToU64(l.domain.max_y), path));
+    VAS_RETURN_IF_ERROR(WriteU64(meta_stream, l.slot_base, path));
+    VAS_RETURN_IF_ERROR(WriteU64(meta_stream, l.perm_base, path));
+    for (uint64_t count : l.cell_counts) {
+      VAS_RETURN_IF_ERROR(WriteU64(meta_stream, count, path));
+    }
+  }
+  const std::string meta = meta_stream.str();
+
+  const size_t payload_cap = page_size - kPageHeaderBytes;
+  const size_t slots_per_page = payload_cap / 8;
+  const size_t data_pages =
+      (total_slots + slots_per_page - 1) / slots_per_page;
+  const size_t meta_pages =
+      std::max<size_t>(1, (meta.size() + payload_cap - 1) / payload_cap);
+  const size_t page_count = 1 + data_pages + meta_pages;
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+
+  // Superblock.
+  {
+    std::ostringstream sb(std::ios::binary);
+    VAS_RETURN_IF_ERROR(WriteU64(sb, kCatalogMagicV2, path));
+    VAS_RETURN_IF_ERROR(WriteU64(sb, kFormatVersion, path));
+    VAS_RETURN_IF_ERROR(WriteU64(sb, page_size, path));
+    VAS_RETURN_IF_ERROR(WriteU64(sb, page_count, path));
+    VAS_RETURN_IF_ERROR(WriteU64(sb, data_pages, path));
+    VAS_RETURN_IF_ERROR(WriteU64(sb, rungs.size(), path));
+    VAS_RETURN_IF_ERROR(WriteU64(sb, total_slots, path));
+    const std::string payload = sb.str();
+    VAS_RETURN_IF_ERROR(
+        WritePage(out, reinterpret_cast<const uint8_t*>(payload.data()),
+                  payload.size(), page_size, path));
+  }
+
+  // Data pages: one flat slot stream — per rung the cell-major ids, the
+  // parallel densities, then the original-order permutation.
+  {
+    std::vector<uint64_t> window;
+    window.reserve(slots_per_page);
+    auto flush = [&]() -> Status {
+      if (window.empty()) return Status::OK();
+      VAS_RETURN_IF_ERROR(
+          WritePage(out, reinterpret_cast<const uint8_t*>(window.data()),
+                    window.size() * 8, page_size, path));
+      window.clear();
+      return Status::OK();
+    };
+    auto append = [&](const std::vector<uint64_t>& slots) -> Status {
+      for (uint64_t slot : slots) {
+        window.push_back(slot);
+        if (window.size() == slots_per_page) VAS_RETURN_IF_ERROR(flush());
+      }
+      return Status::OK();
+    };
+    for (const RungLayout& l : layouts) {
+      VAS_RETURN_IF_ERROR(append(l.ids));
+      VAS_RETURN_IF_ERROR(append(l.density));
+      VAS_RETURN_IF_ERROR(append(l.perm));
+    }
+    VAS_RETURN_IF_ERROR(flush());
+  }
+
+  // Meta pages.
+  for (size_t p = 0; p < meta_pages; ++p) {
+    const size_t off = p * payload_cap;
+    const size_t len = std::min(payload_cap, meta.size() - off);
+    VAS_RETURN_IF_ERROR(
+        WritePage(out, reinterpret_cast<const uint8_t*>(meta.data()) + off,
+                  len, page_size, path));
+  }
+
+  // Footer.
+  {
+    uint8_t footer[kFooterBytes];
+    std::memset(footer, 0, sizeof(footer));
+    const uint64_t fields[5] = {kFooterMagic, page_size, page_count,
+                                1 + data_pages, meta_pages};
+    std::memcpy(footer, fields, sizeof(fields));
+    const uint64_t crc = Crc32(footer, sizeof(fields));
+    std::memcpy(footer + sizeof(fields), &crc, sizeof(crc));
+    VAS_RETURN_IF_ERROR(WriteRaw(out, footer, sizeof(footer), path));
+  }
+  out.flush();
+  if (!out) return Status::IoError("failed writing catalog: " + path);
+  return Status::OK();
+}
+
+CatalogStore::~CatalogStore() {
+  if (base_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(base_), file_bytes_);
+  }
+}
+
+Status CatalogStore::EnsurePage(size_t page) const {
+  if (page >= page_count_) {
+    return Status::InvalidArgument("catalog page index out of range: " +
+                                   path_);
+  }
+  std::atomic<uint8_t>& state = page_state_[page];
+  if (state.load(std::memory_order_acquire) == kPageVerified) {
+    return Status::OK();
+  }
+  const uint8_t* p = base_ + page * page_size_;
+  const uint32_t crc = LoadU32(p);
+  const uint32_t len = LoadU32(p + 4);
+  if (len > page_size_ - kPageHeaderBytes) {
+    return Status::IoError("catalog page " + std::to_string(page) +
+                           " has an oversized payload: " + path_);
+  }
+  if (Crc32(p + kPageHeaderBytes, len) != crc) {
+    return Status::IoError("catalog page " + std::to_string(page) +
+                           " checksum mismatch: " + path_);
+  }
+  if (state.exchange(kPageVerified, std::memory_order_release) !=
+      kPageVerified) {
+    pages_touched_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+Status CatalogStore::ReadSlots(uint64_t slot, size_t n, uint64_t* out) const {
+  while (n > 0) {
+    const size_t page = 1 + static_cast<size_t>(slot / slots_per_page_);
+    const size_t offset = static_cast<size_t>(slot % slots_per_page_);
+    if (page > data_page_count_) {
+      return Status::InvalidArgument("catalog slot beyond data region: " +
+                                     path_);
+    }
+    const size_t take = std::min(n, slots_per_page_ - offset);
+    VAS_RETURN_IF_ERROR(EnsurePage(page));
+    const uint8_t* p = base_ + page * page_size_;
+    const uint32_t len = LoadU32(p + 4);
+    if ((offset + take) * 8 > len) {
+      return Status::IoError("catalog slot range beyond page payload: " +
+                             path_);
+    }
+    std::memcpy(out, p + kPageHeaderBytes + offset * 8, take * 8);
+    out += take;
+    slot += take;
+    n -= take;
+  }
+  return Status::OK();
+}
+
+StatusOr<std::shared_ptr<const CatalogStore>> CatalogStore::Open(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IoError("cannot open catalog file: " + path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IoError("cannot stat catalog file: " + path);
+  }
+  const auto file_bytes = static_cast<size_t>(st.st_size);
+  if (file_bytes < kMinPageSize + kFooterBytes) {
+    ::close(fd);
+    return Status::InvalidArgument("truncated catalog file: " + path);
+  }
+  void* map = ::mmap(nullptr, file_bytes, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (map == MAP_FAILED) {
+    return Status::IoError("cannot mmap catalog file: " + path);
+  }
+  std::shared_ptr<CatalogStore> store(new CatalogStore());
+  store->path_ = path;
+  store->base_ = static_cast<const uint8_t*>(map);
+  store->file_bytes_ = file_bytes;
+
+  // Footer → page geometry. Everything after this is CRC-protected.
+  const uint8_t* footer = store->base_ + file_bytes - kFooterBytes;
+  if (LoadU64(footer) != kFooterMagic) {
+    return Status::InvalidArgument("not a CAT2 catalog (bad footer): " + path);
+  }
+  const uint64_t crc_stored = LoadU64(footer + 40);
+  if (Crc32(footer, 40) != crc_stored) {
+    return Status::IoError("catalog footer checksum mismatch: " + path);
+  }
+  const uint64_t page_size = LoadU64(footer + 8);
+  const uint64_t page_count = LoadU64(footer + 16);
+  const uint64_t meta_first = LoadU64(footer + 24);
+  const uint64_t meta_pages = LoadU64(footer + 32);
+  if (page_size < kMinPageSize || page_size > kMaxPageSize ||
+      page_size % 8 != 0) {
+    return Status::InvalidArgument("catalog page size invalid: " + path);
+  }
+  if (page_count < 2 || (file_bytes - kFooterBytes) % page_size != 0 ||
+      page_count != (file_bytes - kFooterBytes) / page_size) {
+    return Status::InvalidArgument("truncated catalog file: " + path);
+  }
+  if (meta_pages < 1 || meta_pages > page_count || meta_first < 1 ||
+      meta_first > page_count || meta_first + meta_pages != page_count) {
+    return Status::InvalidArgument("catalog page directory out of range: " +
+                                   path);
+  }
+  store->page_size_ = page_size;
+  store->page_count_ = page_count;
+  store->data_page_count_ = meta_first - 1;
+  store->slots_per_page_ = (page_size - kPageHeaderBytes) / 8;
+  store->page_state_ =
+      std::make_unique<std::atomic<uint8_t>[]>(page_count);
+
+  // Superblock.
+  VAS_RETURN_IF_ERROR(store->EnsurePage(0));
+  const uint8_t* sb = store->base_ + kPageHeaderBytes;
+  const uint32_t sb_len = LoadU32(store->base_ + 4);
+  if (sb_len < 56) {
+    return Status::InvalidArgument("catalog superblock too small: " + path);
+  }
+  if (LoadU64(sb) != kCatalogMagicV2) {
+    return Status::InvalidArgument("not a CAT2 catalog: " + path);
+  }
+  if (LoadU64(sb + 8) != kFormatVersion) {
+    return Status::InvalidArgument("unsupported catalog format version: " +
+                                   path);
+  }
+  if (LoadU64(sb + 16) != page_size || LoadU64(sb + 24) != page_count ||
+      LoadU64(sb + 32) != store->data_page_count_) {
+    return Status::InvalidArgument(
+        "catalog superblock disagrees with footer: " + path);
+  }
+  const uint64_t rung_count = LoadU64(sb + 40);
+  store->total_slots_ = LoadU64(sb + 48);
+  if (rung_count < 1 || rung_count > kMaxRungs) {
+    return Status::InvalidArgument("catalog rung count invalid: " + path);
+  }
+  if (store->total_slots_ >
+      store->data_page_count_ * store->slots_per_page_) {
+    return Status::InvalidArgument("catalog slot count exceeds data pages: " +
+                                   path);
+  }
+
+  // Meta region: verify its pages, then parse the concatenated payloads
+  // with the shared serial helpers.
+  std::string meta;
+  for (uint64_t p = meta_first; p < page_count; ++p) {
+    VAS_RETURN_IF_ERROR(store->EnsurePage(p));
+    const uint8_t* page = store->base_ + p * page_size;
+    meta.append(reinterpret_cast<const char*>(page + kPageHeaderBytes),
+                LoadU32(page + 4));
+  }
+  std::istringstream in(meta, std::ios::binary);
+  store->rungs_.resize(rung_count);
+  for (uint64_t k = 0; k < rung_count; ++k) {
+    Rung& r = store->rungs_[k];
+    VAS_ASSIGN_OR_RETURN(r.method,
+                         ReadLengthPrefixedString(in, kMaxMethodLen, path));
+    VAS_ASSIGN_OR_RETURN(r.count, ReadU64(in, path));
+    VAS_ASSIGN_OR_RETURN(const uint64_t has_density, ReadU64(in, path));
+    if (has_density > 1) {
+      return Status::InvalidArgument("catalog rung header corrupt: " + path);
+    }
+    r.has_density = has_density == 1;
+    VAS_ASSIGN_OR_RETURN(r.max_id, ReadU64(in, path));
+    VAS_ASSIGN_OR_RETURN(r.grid_x, ReadU64(in, path));
+    VAS_ASSIGN_OR_RETURN(r.grid_y, ReadU64(in, path));
+    if (r.grid_x < 1 || r.grid_y < 1 || r.grid_x * r.grid_y > kMaxGridCells) {
+      return Status::InvalidArgument("catalog rung grid invalid: " + path);
+    }
+    uint64_t bits[4];
+    for (auto& b : bits) {
+      VAS_ASSIGN_OR_RETURN(b, ReadU64(in, path));
+    }
+    r.domain = Rect::Of(U64ToDouble(bits[0]), U64ToDouble(bits[1]),
+                        U64ToDouble(bits[2]), U64ToDouble(bits[3]));
+    VAS_ASSIGN_OR_RETURN(r.slot_base, ReadU64(in, path));
+    VAS_ASSIGN_OR_RETURN(r.perm_base, ReadU64(in, path));
+    const uint64_t width = r.has_density ? 2 : 1;
+    if (r.count > store->total_slots_) {
+      return Status::InvalidArgument("catalog rung size exceeds file slots: " +
+                                     path);
+    }
+    if (r.perm_base != r.slot_base + r.count * width ||
+        r.perm_base + r.count < r.perm_base ||
+        r.perm_base + r.count > store->total_slots_) {
+      return Status::InvalidArgument("catalog rung slots out of range: " +
+                                     path);
+    }
+    const uint64_t cells = r.grid_x * r.grid_y;
+    VAS_ASSIGN_OR_RETURN(const size_t left, RemainingBytes(in, path));
+    if (left < cells * 8) {
+      return Status::InvalidArgument("catalog cell index truncated: " + path);
+    }
+    r.cell_counts.resize(cells);
+    r.cell_starts.resize(cells);
+    uint64_t sum = 0;
+    for (uint64_t c = 0; c < cells; ++c) {
+      VAS_ASSIGN_OR_RETURN(r.cell_counts[c], ReadU64(in, path));
+      r.cell_starts[c] = sum;
+      if (r.cell_counts[c] > r.count - sum) {
+        return Status::InvalidArgument(
+            "catalog cell counts exceed rung size: " + path);
+      }
+      sum += r.cell_counts[c];
+      if (r.cell_counts[c] > 0) {
+        ++r.occupied_cells;
+        r.max_cell_entries = std::max(r.max_cell_entries, r.cell_counts[c]);
+      }
+    }
+    if (sum != r.count) {
+      return Status::InvalidArgument(
+          "catalog cell counts disagree with rung size: " + path);
+    }
+  }
+  return std::shared_ptr<const CatalogStore>(std::move(store));
+}
+
+StatusOr<SampleSet> CatalogStore::MaterializeRung(size_t k,
+                                                  size_t dataset_size) const {
+  if (k >= rungs_.size()) {
+    return Status::InvalidArgument("catalog rung index out of range");
+  }
+  const Rung& r = rungs_[k];
+  SampleSet out;
+  out.method = r.method;
+  const auto n = static_cast<size_t>(r.count);
+  if (n == 0) return out;
+  if (dataset_size > 0 && r.max_id >= dataset_size) {
+    return Status::OutOfRange("catalog sample id out of dataset range: " +
+                              path_);
+  }
+  std::vector<uint64_t> ids(n);
+  std::vector<uint64_t> perm(n);
+  VAS_RETURN_IF_ERROR(ReadSlots(r.slot_base, n, ids.data()));
+  VAS_RETURN_IF_ERROR(ReadSlots(r.perm_base, n, perm.data()));
+  std::vector<uint64_t> density;
+  if (r.has_density) {
+    density.resize(n);
+    VAS_RETURN_IF_ERROR(ReadSlots(r.slot_base + n, n, density.data()));
+  }
+  out.ids.assign(n, 0);
+  if (r.has_density) out.density.assign(n, 0);
+  std::vector<uint8_t> seen(n, 0);
+  for (size_t e = 0; e < n; ++e) {
+    const uint64_t pos = perm[e];
+    if (pos >= n || seen[pos]) {
+      return Status::InvalidArgument("catalog rung permutation corrupt: " +
+                                     path_);
+    }
+    seen[pos] = 1;
+    if (dataset_size > 0 && ids[e] >= dataset_size) {
+      return Status::OutOfRange("catalog sample id out of dataset range: " +
+                                path_);
+    }
+    out.ids[pos] = static_cast<size_t>(ids[e]);
+    if (r.has_density) out.density[pos] = density[e];
+  }
+  return out;
+}
+
+StatusOr<SampleSet> CatalogStore::MaterializeCells(size_t k, const Rect& query,
+                                                   size_t dataset_size) const {
+  if (k >= rungs_.size()) {
+    return Status::InvalidArgument("catalog rung index out of range");
+  }
+  const Rung& r = rungs_[k];
+  SampleSet out;
+  out.method = r.method;
+  if (r.count == 0 || query.empty()) return out;
+  // Every point of the rung lies inside its recorded domain, so a query
+  // that misses the domain loads nothing. (Rungs written without a
+  // partitioning dataset have an empty domain and a 1×1 grid; they fall
+  // through and load whole.)
+  if (!r.domain.empty() && !query.Intersects(r.domain)) return out;
+  const size_t cx0 = CellCoord(query.min_x, r.domain.min_x, r.domain.max_x,
+                               r.grid_x);
+  const size_t cx1 = CellCoord(query.max_x, r.domain.min_x, r.domain.max_x,
+                               r.grid_x);
+  const size_t cy0 = CellCoord(query.min_y, r.domain.min_y, r.domain.max_y,
+                               r.grid_y);
+  const size_t cy1 = CellCoord(query.max_y, r.domain.min_y, r.domain.max_y,
+                               r.grid_y);
+  std::vector<uint64_t> buffer;
+  for (size_t cy = cy0; cy <= cy1; ++cy) {
+    // Cells of one grid row are consecutive, so a row's x-range is one
+    // contiguous entry range — two slot runs (ids + densities) per row.
+    const size_t c0 = cy * r.grid_x + cx0;
+    const size_t c1 = cy * r.grid_x + cx1;
+    const uint64_t e0 = r.cell_starts[c0];
+    const uint64_t e1 = r.cell_starts[c1] + r.cell_counts[c1];
+    const auto run = static_cast<size_t>(e1 - e0);
+    if (run == 0) continue;
+    buffer.resize(run);
+    VAS_RETURN_IF_ERROR(ReadSlots(r.slot_base + e0, run, buffer.data()));
+    for (uint64_t id : buffer) {
+      if (dataset_size > 0 && id >= dataset_size) {
+        return Status::OutOfRange("catalog sample id out of dataset range: " +
+                                  path_);
+      }
+      out.ids.push_back(static_cast<size_t>(id));
+    }
+    if (r.has_density) {
+      VAS_RETURN_IF_ERROR(
+          ReadSlots(r.slot_base + r.count + e0, run, buffer.data()));
+      out.density.insert(out.density.end(), buffer.begin(), buffer.end());
+    }
+  }
+  return out;
+}
+
+StatusOr<SampleCatalog> CatalogStore::ReadAll(size_t dataset_size) const {
+  std::vector<SampleSet> samples;
+  samples.reserve(rungs_.size());
+  for (size_t k = 0; k < rungs_.size(); ++k) {
+    VAS_ASSIGN_OR_RETURN(SampleSet s, MaterializeRung(k, dataset_size));
+    samples.push_back(std::move(s));
+  }
+  return SampleCatalog(std::move(samples));
+}
+
+CatalogView::CatalogView(std::shared_ptr<const SampleCatalog> resident)
+    : resident_(std::move(resident)) {}
+
+CatalogView::CatalogView(std::shared_ptr<const CatalogStore> store,
+                         size_t dataset_size)
+    : store_(std::move(store)), dataset_size_(dataset_size) {
+  order_.resize(store_->rung_count());
+  std::iota(order_.begin(), order_.end(), 0);
+  std::stable_sort(order_.begin(), order_.end(), [&](size_t a, size_t b) {
+    return store_->rung(a).count < store_->rung(b).count;
+  });
+}
+
+size_t CatalogView::rung_count() const {
+  if (resident_ != nullptr) return resident_->samples().size();
+  if (store_ != nullptr) return order_.size();
+  return 0;
+}
+
+size_t CatalogView::rung_size(size_t k) const {
+  if (resident_ != nullptr) return resident_->samples()[k].size();
+  return static_cast<size_t>(store_->rung(order_[k]).count);
+}
+
+size_t CatalogView::ChooseForTimeBudget(double seconds,
+                                        const VizTimeModel& model) const {
+  size_t best = 0;
+  for (size_t k = 0; k < rung_count(); ++k) {
+    if (model.SecondsFor(rung_size(k)) <= seconds) best = k;
+  }
+  return best;
+}
+
+const SampleSet* CatalogView::ResidentRung(size_t k) const {
+  if (resident_ == nullptr) return nullptr;
+  return &resident_->samples()[k];
+}
+
+StatusOr<SampleSet> CatalogView::MaterializeForRect(size_t k,
+                                                    const Rect& rect) const {
+  if (k >= rung_count()) {
+    return Status::InvalidArgument("catalog rung index out of range");
+  }
+  if (store_ != nullptr) {
+    return store_->MaterializeCells(order_[k], rect, dataset_size_);
+  }
+  return SampleSet(resident_->samples()[k]);
+}
+
+StatusOr<SampleSet> CatalogView::MaterializeRung(size_t k) const {
+  if (k >= rung_count()) {
+    return Status::InvalidArgument("catalog rung index out of range");
+  }
+  if (store_ != nullptr) {
+    return store_->MaterializeRung(order_[k], dataset_size_);
+  }
+  return SampleSet(resident_->samples()[k]);
+}
+
+}  // namespace vas

@@ -1,0 +1,216 @@
+// Paged, mmap-able catalog storage (format v2, "VAS\0CAT2"). CAT1 kept
+// a ladder as one serial blob, so serving a cold catalog meant
+// deserializing every rung even when a tile needed a sliver of one.
+// CAT2 lays the ladder out LevelDB-style as fixed-size CRC-checked
+// pages plus a per-rung grid-cell index, so a reader can fault in only
+// the pages whose cells intersect a viewport:
+//
+//   page 0 .. page_count-1, each `page_size` bytes:
+//     u32 crc32(payload)   u32 payload_len   payload   zero padding
+//   footer (48 bytes at end of file):
+//     u64 footer magic, u64 page_size, u64 page_count,
+//     u64 meta_first_page, u64 meta_page_count, u64 crc32(first 40 B)
+//   (file_size must equal page_count * page_size + 48)
+//
+// Page 0 is the superblock; its payload starts with the catalog magic,
+// which therefore sits at file offset 8 (offset 0 is the page CRC/len
+// header) — CAT1 keeps its magic at offset 0, so the two formats are
+// distinguished by sniffing both words. Pages 1..data_page_count hold a
+// flat stream of u64 "slots" ((page_size-8)/8 per page); the remaining
+// pages hold the rung metadata stream:
+//
+//   per rung: method (length-prefixed), u64 count, u64 has_density,
+//     u64 max_id, u64 grid_x, u64 grid_y, 4 × u64 domain rect (double
+//     bit patterns), u64 slot_base, u64 perm_base,
+//     grid_x*grid_y × u64 per-cell entry counts (row-major)
+//
+// A rung's entries are grouped by grid cell (row-major over the rung's
+// domain bounding box) and sorted by id within each cell, so densities
+// ride alongside ids: slots [slot_base, +n) are the cell-major ids,
+// [slot_base+n, +n) the parallel densities (when has_density), and
+// [perm_base, +n) the original position of each entry — full
+// materialization applies that permutation to reproduce the rung
+// byte-identically to what was written, while partial loads never touch
+// it. Page CRCs are verified lazily, once, on first touch; the verified
+// set doubles as the store's touched-page accounting.
+#ifndef VAS_ENGINE_CATALOG_STORE_H_
+#define VAS_ENGINE_CATALOG_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "engine/sample_catalog.h"
+#include "geom/rect.h"
+#include "sampling/sample_set.h"
+#include "util/status.h"
+
+namespace vas {
+
+/// File magics. CAT1 is the legacy serial format (engine/catalog_io);
+/// CAT2 is the paged format this header describes.
+constexpr uint64_t kCatalogMagicV1 = 0x5641530043415431ULL;  // "VAS\0CAT1"
+constexpr uint64_t kCatalogMagicV2 = 0x5641530043415432ULL;  // "VAS\0CAT2"
+
+enum class CatalogFormat { kV1 = 1, kV2 = 2 };
+
+/// Reads the first 16 bytes of `path` and identifies the catalog
+/// format, without validating anything else.
+StatusOr<CatalogFormat> SniffCatalogFormat(const std::string& path);
+
+struct CatalogWriteOptions {
+  /// Source dataset of the catalog's sample ids. When set, each rung is
+  /// partitioned into a grid over the bounding box of its sampled
+  /// points, enabling cell-range partial loads. When null the writer
+  /// falls back to a 1×1 grid (still a valid CAT2 file; partial loads
+  /// degrade to full-rung loads).
+  const Dataset* dataset = nullptr;
+  /// Page size in bytes. Must be a multiple of 8 in [512, 1 MiB].
+  size_t page_size = 4096;
+  /// Grid sizing target: aim for roughly this many entries per cell.
+  size_t target_entries_per_cell = 2048;
+  /// Upper bound on grid_x / grid_y.
+  size_t max_grid_dim = 64;
+};
+
+/// Writes every rung of `catalog` to `path` in the CAT2 paged format,
+/// overwriting.
+Status WriteCatalogPaged(const SampleCatalog& catalog, const std::string& path,
+                         const CatalogWriteOptions& options = {});
+
+/// A read-only mmap of one CAT2 file. Open() validates the footer,
+/// superblock, and rung metadata eagerly (bounded, small); data pages
+/// are CRC-verified lazily on first touch, so opening a store costs
+/// O(metadata), not O(file). Thread-safe: all const methods may be
+/// called concurrently.
+class CatalogStore {
+ public:
+  /// Everything known about one rung without touching its data pages.
+  struct Rung {
+    std::string method;
+    uint64_t count = 0;
+    bool has_density = false;
+    uint64_t max_id = 0;     // largest sample id in the rung
+    uint64_t grid_x = 1;     // cell grid dimensions
+    uint64_t grid_y = 1;
+    Rect domain;             // bounding box the grid spans
+    uint64_t slot_base = 0;  // first slot of the cell-major id array
+    uint64_t perm_base = 0;  // first slot of the original-order permutation
+    std::vector<uint64_t> cell_counts;  // row-major, grid_x*grid_y entries
+    std::vector<uint64_t> cell_starts;  // exclusive prefix sums of counts
+    uint64_t occupied_cells = 0;
+    uint64_t max_cell_entries = 0;
+  };
+
+  static StatusOr<std::shared_ptr<const CatalogStore>> Open(
+      const std::string& path);
+
+  ~CatalogStore();
+  CatalogStore(const CatalogStore&) = delete;
+  CatalogStore& operator=(const CatalogStore&) = delete;
+
+  const std::string& path() const { return path_; }
+  size_t page_size() const { return page_size_; }
+  size_t page_count() const { return page_count_; }
+  /// Pages holding slot data (pages 1..data_page_count); the remainder
+  /// after the superblock hold rung metadata.
+  size_t data_page_count() const { return data_page_count_; }
+  size_t file_bytes() const { return file_bytes_; }
+  size_t rung_count() const { return rungs_.size(); }
+  const Rung& rung(size_t k) const { return rungs_[k]; }
+
+  /// Pages CRC-verified so far — exactly the pages whose bytes this
+  /// store has faulted in. `touched_bytes` is the resident-byte
+  /// accounting CatalogManager reports for mapped catalogs.
+  size_t touched_pages() const {
+    return pages_touched_.load(std::memory_order_relaxed);
+  }
+  size_t touched_bytes() const { return touched_pages() * page_size_; }
+
+  /// Reconstructs rung `k` exactly as written (original entry order via
+  /// the stored permutation). Ids are range-checked against
+  /// `dataset_size` unless it is 0.
+  StatusOr<SampleSet> MaterializeRung(size_t k, size_t dataset_size) const;
+
+  /// Materializes only the entries of rung `k` whose grid cells
+  /// intersect `query` — a superset of the entries inside `query`,
+  /// cell-major and id-sorted within cells, touching only the data
+  /// pages those cell ranges live on. Ids are range-checked against
+  /// `dataset_size` unless it is 0.
+  StatusOr<SampleSet> MaterializeCells(size_t k, const Rect& query,
+                                       size_t dataset_size) const;
+
+  /// Fully materializes every rung (each in original order).
+  StatusOr<SampleCatalog> ReadAll(size_t dataset_size) const;
+
+ private:
+  CatalogStore() = default;
+
+  Status EnsurePage(size_t page) const;
+  /// Copies `n` slots starting at data-region slot `slot` into `out`,
+  /// verifying each touched page's CRC.
+  Status ReadSlots(uint64_t slot, size_t n, uint64_t* out) const;
+
+  std::string path_;
+  const uint8_t* base_ = nullptr;  // mmap base (read-only)
+  size_t file_bytes_ = 0;
+  size_t page_size_ = 0;
+  size_t page_count_ = 0;
+  size_t data_page_count_ = 0;
+  size_t slots_per_page_ = 0;
+  uint64_t total_slots_ = 0;
+  std::vector<Rung> rungs_;
+
+  mutable std::unique_ptr<std::atomic<uint8_t>[]> page_state_;
+  mutable std::atomic<size_t> pages_touched_{0};
+};
+
+/// A catalog handle PlotService can serve from without forcing full
+/// materialization: either a resident SampleCatalog snapshot or a
+/// mapped CatalogStore. Rungs are addressed by ascending-size index in
+/// both cases, mirroring SampleCatalog's ordering.
+class CatalogView {
+ public:
+  CatalogView() = default;
+  explicit CatalogView(std::shared_ptr<const SampleCatalog> resident);
+  CatalogView(std::shared_ptr<const CatalogStore> store, size_t dataset_size);
+
+  bool valid() const { return resident_ != nullptr || store_ != nullptr; }
+  /// True when backed by a mapped store, i.e. rungs can be loaded one
+  /// cell range at a time instead of whole.
+  bool partial() const { return store_ != nullptr; }
+
+  size_t rung_count() const;
+  size_t rung_size(size_t k) const;
+
+  /// Index of the largest rung whose estimated viz time fits `seconds`
+  /// under `model`; falls back to the smallest (SampleCatalog
+  /// semantics).
+  size_t ChooseForTimeBudget(double seconds, const VizTimeModel& model) const;
+
+  /// The resident rung, or null when store-backed (callers then go
+  /// through MaterializeForRect / MaterializeRung).
+  const SampleSet* ResidentRung(size_t k) const;
+  std::shared_ptr<const SampleCatalog> resident() const { return resident_; }
+  std::shared_ptr<const CatalogStore> store() const { return store_; }
+
+  /// Entries of rung `k` whose cells intersect `rect` (store-backed:
+  /// partial page touch; resident: full copy, provided for symmetry).
+  StatusOr<SampleSet> MaterializeForRect(size_t k, const Rect& rect) const;
+
+  /// The whole rung, in original order.
+  StatusOr<SampleSet> MaterializeRung(size_t k) const;
+
+ private:
+  std::shared_ptr<const SampleCatalog> resident_;
+  std::shared_ptr<const CatalogStore> store_;
+  size_t dataset_size_ = 0;
+  std::vector<size_t> order_;  // store rung indices, ascending by size
+};
+
+}  // namespace vas
+
+#endif  // VAS_ENGINE_CATALOG_STORE_H_

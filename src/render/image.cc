@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "render/deflate.h"
+#include "util/crc32.h"
 
 namespace vas {
 
@@ -20,30 +21,6 @@ void AppendBe32(std::string* out, uint32_t v) {
   out->push_back(static_cast<char>((v >> 16) & 0xff));
   out->push_back(static_cast<char>((v >> 8) & 0xff));
   out->push_back(static_cast<char>(v & 0xff));
-}
-
-const std::array<uint32_t, 256>& Crc32Table() {
-  static const std::array<uint32_t, 256> table = []() {
-    std::array<uint32_t, 256> t{};
-    for (uint32_t n = 0; n < 256; ++n) {
-      uint32_t c = n;
-      for (int k = 0; k < 8; ++k) {
-        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
-      }
-      t[n] = c;
-    }
-    return t;
-  }();
-  return table;
-}
-
-uint32_t Crc32(const std::string& data) {
-  const auto& table = Crc32Table();
-  uint32_t crc = 0xffffffffu;
-  for (unsigned char byte : data) {
-    crc = table[(crc ^ byte) & 0xffu] ^ (crc >> 8);
-  }
-  return crc ^ 0xffffffffu;
 }
 
 void AppendChunk(std::string* out, const char type[5],

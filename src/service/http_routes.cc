@@ -209,8 +209,12 @@ HttpResponse HandleStatus(PlotService* service, const std::string& table) {
   out += ",\"memory\":{";
   out += "\"budget_bytes\":" + std::to_string(memory.budget_bytes);
   out += ",\"resident_bytes\":" + std::to_string(memory.resident_bytes);
+  out += ",\"mapped_bytes\":" + std::to_string(memory.mapped_bytes);
+  out += ",\"touched_page_bytes\":" +
+         std::to_string(memory.touched_page_bytes);
   out += ",\"evictions\":" + std::to_string(memory.evictions);
   out += ",\"reloads\":" + std::to_string(memory.reloads);
+  out += ",\"spill_writes\":" + std::to_string(memory.spill_writes);
   out += "}";
   out += ",\"tile_cache\":{";
   out += "\"hits\":" + std::to_string(cache.hits);
@@ -268,6 +272,8 @@ HttpServer::Handler MakeServiceHandler(
              std::to_string(render.scatter_tiles_rendered);
       out += ",\"heatmap_tiles_rendered\":" +
              std::to_string(render.heatmap_tiles_rendered);
+      out += ",\"partial_tile_loads\":" +
+             std::to_string(render.partial_tile_loads);
       out += ",\"render_nanos\":" + std::to_string(render.render_nanos);
       out += ",\"encode_nanos\":" + std::to_string(render.encode_nanos);
       out += ",\"encode_bytes_in\":" +

@@ -135,6 +135,8 @@ PlotService::RenderStats PlotService::render_stats() const {
       render_counters_.scatter_tiles_rendered.load(std::memory_order_relaxed);
   stats.heatmap_tiles_rendered =
       render_counters_.heatmap_tiles_rendered.load(std::memory_order_relaxed);
+  stats.partial_tile_loads =
+      render_counters_.partial_tile_loads.load(std::memory_order_relaxed);
   stats.render_nanos =
       render_counters_.render_nanos.load(std::memory_order_relaxed);
   stats.encode_nanos =
@@ -154,19 +156,21 @@ StatusOr<PlotService::TileResult> PlotService::RenderTile(
   }
   VAS_ASSIGN_OR_RETURN(Table state, FindTable(table));
   // Best ladder available right now; blocks only before the first rung.
-  VAS_ASSIGN_OR_RETURN(std::shared_ptr<const SampleCatalog> snapshot,
-                       manager_->WaitForFirstRung(state.key));
-  const SampleSet& sample = snapshot->ChooseForTimeBudget(
+  // A spilled table with a paged backing file comes back as a mapped
+  // view — choosing the rung and keying the cache need only the rung
+  // *sizes*, so no sample data is faulted in unless we actually render.
+  VAS_ASSIGN_OR_RETURN(CatalogView view, manager_->ViewFor(state.key));
+  const size_t rung_index = view.ChooseForTimeBudget(
       options_.tile_time_budget_seconds, options_.viz_model);
+  const size_t rung_points = view.rung_size(rung_index);
 
   TileResult result;
-  result.sample_size = sample.size();
-  result.rungs_ready = snapshot->samples().size();
+  result.sample_size = rung_points;
+  result.rungs_ready = view.rung_count();
   auto build = manager_->GetStatus(state.key);
-  result.rungs_total =
-      build.ok() ? build->rungs_total : snapshot->samples().size();
+  result.rungs_total = build.ok() ? build->rungs_total : view.rung_count();
   result.build_done = build.ok() && build->done;
-  result.etag = EtagFor(state.generation, tile, sample.size(), style);
+  result.etag = EtagFor(state.generation, tile, rung_points, style);
 
   // Conditional request: when the client already holds these exact
   // bytes (same generation + tile + rung), answer without touching the
@@ -181,7 +185,7 @@ StatusOr<PlotService::TileResult> PlotService::RenderTile(
   // be served for a newer one even if invalidation has not swept it
   // yet.
   std::string cache_key =
-      CacheKeyFor(table, state.generation, tile, sample.size(), style);
+      CacheKeyFor(table, state.generation, tile, rung_points, style);
   if (auto cached = cache_.Get(cache_key)) {
     result.png = std::move(cached);
     result.cache_hit = true;
@@ -199,6 +203,12 @@ StatusOr<PlotService::TileResult> PlotService::RenderTile(
       auto pending = it->second;
       lock.unlock();
       result.png = pending.get();
+      if (result.png == nullptr) {
+        // The elected renderer failed (e.g. a corrupt page surfaced
+        // mid-materialization); surface an error instead of empty
+        // bytes and let the client retry.
+        return Status::Internal("tile render failed: " + cache_key);
+      }
       result.cache_hit = true;
       return result;
     }
@@ -207,6 +217,38 @@ StatusOr<PlotService::TileResult> PlotService::RenderTile(
 
   Viewport viewport(state.grid.TileBounds(tile), options_.tile_px,
                     options_.tile_px);
+  // Resolve the sample to draw. Resident ladders render their rung
+  // in place. Mapped (spilled) ladders materialize from the paged
+  // store — only the grid cells this tile's viewport intersects when
+  // that is pixel-identical to a full-rung render: heatmap bins are
+  // additive and out-of-viewport points contribute nothing, and
+  // value-less scatter stamps a constant color, so any superset of the
+  // in-viewport points draws the same pixels. Value-colored scatter
+  // normalizes colors over the *whole* rung (ValueRange) — those tiles
+  // materialize the full rung so served bytes never depend on the
+  // residency path.
+  const SampleSet* sample = view.ResidentRung(rung_index);
+  SampleSet materialized_storage;
+  bool partial_load = false;
+  if (sample == nullptr) {
+    const bool identity_safe =
+        style == TileStyle::kHeatmap || !state.dataset->has_values();
+    auto materialized =
+        identity_safe
+            ? view.MaterializeForRect(rung_index, state.grid.TileBounds(tile))
+            : view.MaterializeRung(rung_index);
+    if (!materialized.ok()) {
+      {
+        std::lock_guard<std::mutex> lock(inflight_mu_);
+        inflight_.erase(cache_key);
+      }
+      render_promise.set_value(nullptr);
+      return materialized.status();
+    }
+    materialized_storage = std::move(*materialized);
+    sample = &materialized_storage;
+    partial_load = identity_safe;
+  }
   ScatterRenderer renderer(TileRenderOptions());
   auto render_start = std::chrono::steady_clock::now();
   Image image = [&] {
@@ -216,13 +258,13 @@ StatusOr<PlotService::TileResult> PlotService::RenderTile(
       // approximate the full dataset, colormapped on a per-tile log
       // scale.
       std::vector<uint32_t> counts =
-          renderer.RenderCounts(sample.MaterializePoints(*state.dataset),
-                                DensityWeights(sample), viewport);
+          renderer.RenderCounts(sample->MaterializePoints(*state.dataset),
+                                DensityWeights(*sample), viewport);
       return RenderDensityImage(counts, options_.tile_px, options_.tile_px,
                                 options_.heatmap_colormap,
                                 options_.renderer.background);
     }
-    return renderer.RenderSample(*state.dataset, sample, viewport);
+    return renderer.RenderSample(*state.dataset, *sample, viewport);
   }();
   auto encode_start = std::chrono::steady_clock::now();
   auto png = std::make_shared<const std::string>(image.EncodePng(options_.png));
@@ -236,6 +278,10 @@ StatusOr<PlotService::TileResult> PlotService::RenderTile(
   (style == TileStyle::kHeatmap ? render_counters_.heatmap_tiles_rendered
                                 : render_counters_.scatter_tiles_rendered)
       .fetch_add(1, std::memory_order_relaxed);
+  if (partial_load) {
+    render_counters_.partial_tile_loads.fetch_add(1,
+                                                  std::memory_order_relaxed);
+  }
   render_counters_.render_nanos.fetch_add(
       nanos_between(render_start, encode_start), std::memory_order_relaxed);
   render_counters_.encode_nanos.fetch_add(

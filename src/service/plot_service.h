@@ -93,6 +93,10 @@ class PlotService {
     uint64_t tiles_rendered = 0;
     uint64_t scatter_tiles_rendered = 0;
     uint64_t heatmap_tiles_rendered = 0;
+    /// Cold renders that served a spilled table straight from its
+    /// mmap'd paged catalog, materializing only the grid cells the
+    /// tile's viewport intersects (instead of reloading the ladder).
+    uint64_t partial_tile_loads = 0;
     /// Wall time split between rasterizing and PNG encoding.
     uint64_t render_nanos = 0;
     uint64_t encode_nanos = 0;
@@ -258,6 +262,7 @@ class PlotService {
     std::atomic<uint64_t> tiles_rendered{0};
     std::atomic<uint64_t> scatter_tiles_rendered{0};
     std::atomic<uint64_t> heatmap_tiles_rendered{0};
+    std::atomic<uint64_t> partial_tile_loads{0};
     std::atomic<uint64_t> render_nanos{0};
     std::atomic<uint64_t> encode_nanos{0};
     std::atomic<uint64_t> encode_bytes_in{0};

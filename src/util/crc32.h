@@ -1,0 +1,21 @@
+#ifndef VAS_UTIL_CRC32_H_
+#define VAS_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace vas {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xedb88320) over a byte
+/// range. Shared by the PNG encoder and the paged catalog store so
+/// both sides of a checksum agree on one implementation.
+uint32_t Crc32(const void* data, size_t len);
+
+inline uint32_t Crc32(const std::string& data) {
+  return Crc32(data.data(), data.size());
+}
+
+}  // namespace vas
+
+#endif  // VAS_UTIL_CRC32_H_

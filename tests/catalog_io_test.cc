@@ -8,6 +8,7 @@
 #include <fstream>
 
 #include "engine/catalog_io.h"
+#include "engine/catalog_store.h"
 #include "sampling/uniform_sampler.h"
 #include "test_util.h"
 
@@ -133,6 +134,53 @@ TEST_F(CatalogIoTest, RejectsTruncatedFiles) {
     out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
   }
   EXPECT_FALSE(ReadCatalog(path()).ok());
+}
+
+TEST_F(CatalogIoTest, LegacyV1FilesLoadByteIdentically) {
+  // Files written by earlier builds (CAT1) must keep loading through
+  // the auto-detecting reader with nothing lost or reordered.
+  Dataset d = test::Skewed(1500);
+  SampleCatalog catalog = Build(d, {40, 300, 1000}, /*density=*/true);
+  ASSERT_TRUE(WriteCatalogV1(catalog, path()).ok());
+  auto format = SniffCatalogFormat(path());
+  ASSERT_TRUE(format.ok());
+  EXPECT_EQ(*format, CatalogFormat::kV1);
+
+  auto back = ReadCatalog(path());
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->samples().size(), catalog.samples().size());
+  for (size_t r = 0; r < catalog.samples().size(); ++r) {
+    EXPECT_EQ(back->samples()[r].method, catalog.samples()[r].method);
+    EXPECT_EQ(back->samples()[r].ids, catalog.samples()[r].ids);
+    EXPECT_EQ(back->samples()[r].density, catalog.samples()[r].density);
+  }
+}
+
+TEST_F(CatalogIoTest, V1ToV2ConversionKeepsEverySample) {
+  // The migration path: read a CAT1 file, rewrite it paged (what
+  // vas_tool convert-catalog does), and get the same ladder back.
+  Dataset d = test::Skewed(2500);
+  SampleCatalog catalog = Build(d, {60, 700}, /*density=*/true);
+  ASSERT_TRUE(WriteCatalogV1(catalog, path()).ok());
+  auto legacy = ReadCatalog(path());
+  ASSERT_TRUE(legacy.ok());
+
+  CatalogWriteOptions wopt;
+  wopt.dataset = &d;  // conversion may add cell partitioning
+  ASSERT_TRUE(WriteCatalogPaged(*legacy, path(), wopt).ok());
+  auto format = SniffCatalogFormat(path());
+  ASSERT_TRUE(format.ok());
+  EXPECT_EQ(*format, CatalogFormat::kV2);
+
+  auto converted = ReadCatalog(path());
+  ASSERT_TRUE(converted.ok());
+  ASSERT_EQ(converted->samples().size(), catalog.samples().size());
+  for (size_t r = 0; r < catalog.samples().size(); ++r) {
+    EXPECT_EQ(converted->samples()[r].method, catalog.samples()[r].method);
+    EXPECT_EQ(converted->samples()[r].ids, catalog.samples()[r].ids);
+    EXPECT_EQ(converted->samples()[r].density, catalog.samples()[r].density);
+  }
+  EXPECT_TRUE(ValidateCatalogAgainst(*converted, d.size()).ok());
 }
 
 TEST_F(CatalogIoTest, MemoryBytesTracksLadderSize) {

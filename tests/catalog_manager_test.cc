@@ -9,6 +9,7 @@
 #include <atomic>
 #include <chrono>
 #include <filesystem>
+#include <fstream>
 #include <future>
 #include <memory>
 #include <string>
@@ -616,6 +617,191 @@ TEST(CatalogManagerTest, ConcurrentAccessAcrossKeysWhileSpillsAreInFlight) {
             stats.budget_bytes + 2 * 24 * 1024)
       << "residency may transiently exceed budget while writes are in "
          "flight, but never unboundedly";
+}
+
+// ---------------------------------------------------------------------------
+// Paged (CAT2) backing: mmap'd loads, write-free eviction, partial
+// views, and corrupt-backing isolation.
+
+TEST(CatalogManagerTest, MappedCatalogEvictsWithoutRewritingItsSpill) {
+  // A catalog whose CAT2 backing is current never pays a spill write:
+  // eviction just drops the resident ladder and keeps the mapping.
+  test::ScopedTempFile file("vas_manager_mapped.vascat");
+  auto d = std::make_shared<Dataset>(test::Skewed(3000));
+  d->CacheBounds();
+  CatalogKey key{"mapped"};
+
+  CatalogManager builder_side(2);
+  ASSERT_TRUE(builder_side
+                  .StartBuild(key, d, UniformFactory(31),
+                              NoDensityLadder({100, 800}))
+                  .ok());
+  ASSERT_TRUE(builder_side.SaveCatalog(key, file.path()).ok());
+  auto built = builder_side.WaitUntilDone(key);
+  ASSERT_TRUE(built.ok());
+
+  // Two keys served from the same CAT2 file under a budget that fits
+  // neither: every access evicts the other key, and since both
+  // backings are always current, no eviction ever writes a file.
+  CatalogKey other{"mapped-too"};
+  CatalogManager::Options options;
+  options.num_threads = 1;
+  options.memory_budget_bytes = 1;  // evict everything not in use
+  CatalogManager manager(options);
+  ASSERT_TRUE(manager.LoadCatalog(key, d, file.path()).ok());
+  ASSERT_TRUE(manager.LoadCatalog(other, d, file.path()).ok());
+  auto status = manager.GetStatus(key);
+  ASSERT_TRUE(status.ok());
+  EXPECT_TRUE(status->mapped) << "a CAT2 load should mmap, not read";
+  EXPECT_GT(manager.memory_stats().mapped_bytes, 0u);
+  EXPECT_EQ(manager.memory_stats().spill_writes, 0u);
+
+  for (int round = 0; round < 3; ++round) {
+    for (const CatalogKey& k : {key, other}) {
+      auto snapshot = manager.Snapshot(k);
+      ASSERT_TRUE(snapshot.ok());
+      ASSERT_EQ((*snapshot)->samples().size(), 2u);
+      EXPECT_EQ((*snapshot)->samples()[0].ids, (*built)->samples()[0].ids);
+      EXPECT_EQ((*snapshot)->samples()[1].ids, (*built)->samples()[1].ids);
+    }
+  }
+  auto stats = manager.memory_stats();
+  EXPECT_GE(stats.evictions, 2u);
+  EXPECT_EQ(stats.spill_writes, 0u)
+      << "evicting a catalog with current CAT2 backing must be free";
+
+  // A built (never-saved) ladder has no backing yet, so its first
+  // eviction does pay exactly one write; later ones are free again.
+  CatalogKey fresh{"fresh"};
+  ASSERT_TRUE(manager
+                  .StartBuild(fresh, d, UniformFactory(32),
+                              NoDensityLadder({100, 800}))
+                  .ok());
+  ASSERT_TRUE(manager.WaitUntilDone(fresh).ok());
+  ASSERT_TRUE(manager.Snapshot(key).ok());  // evicts "fresh": must spill
+  for (int i = 0; i < 500 && manager.memory_stats().spill_writes == 0;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(manager.memory_stats().spill_writes, 1u);
+}
+
+TEST(CatalogManagerTest, ViewForServesSpilledCatalogsWithoutReloading) {
+  auto d = std::make_shared<Dataset>(test::Skewed(50000));
+  d->CacheBounds();
+  CatalogManager::Options options;
+  options.num_threads = 1;
+  options.memory_budget_bytes = 1;
+  CatalogManager manager(options);
+  CatalogKey key{"viewed"};
+  CatalogKey pusher{"pusher"};
+  ASSERT_TRUE(manager
+                  .StartBuild(key, d, UniformFactory(41),
+                              NoDensityLadder({200, 20000}))
+                  .ok());
+  auto built = manager.WaitUntilDone(key);
+  ASSERT_TRUE(built.ok());
+  // A second key's access makes "viewed" the eviction victim; wait out
+  // the off-lock spill write, after which only the CAT2 backing
+  // remains.
+  ASSERT_TRUE(manager
+                  .StartBuild(pusher, d, UniformFactory(42),
+                              NoDensityLadder({100}))
+                  .ok());
+  ASSERT_TRUE(manager.WaitUntilDone(pusher).ok());
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(manager.Snapshot(pusher).ok());
+    auto status = manager.GetStatus(key);
+    ASSERT_TRUE(status.ok());
+    if (!status->resident) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_FALSE(manager.GetStatus(key)->resident);
+  const size_t reloads_before = manager.memory_stats().reloads;
+
+  auto view = manager.ViewFor(key);
+  ASSERT_TRUE(view.ok());
+  EXPECT_TRUE(view->partial()) << "spilled catalogs should serve mapped";
+  ASSERT_EQ(view->rung_count(), 2u);
+  EXPECT_EQ(view->rung_size(0), 200u);
+  EXPECT_EQ(view->rung_size(1), 20000u);
+
+  // A small viewport materializes a strict subset of the big rung,
+  // touching only part of the file.
+  Rect bounds = d->Bounds();
+  Rect viewport = Rect::Of(bounds.min_x + bounds.width() * 0.45,
+                           bounds.min_y + bounds.height() * 0.45,
+                           bounds.min_x + bounds.width() * 0.55,
+                           bounds.min_y + bounds.height() * 0.55);
+  auto subset = view->MaterializeForRect(1, viewport);
+  ASSERT_TRUE(subset.ok());
+  EXPECT_LT(subset->size(), 20000u);
+  auto whole = view->MaterializeRung(1);
+  ASSERT_TRUE(whole.ok());
+  EXPECT_EQ(whole->ids, (*built)->samples()[1].ids);
+
+  auto stats = manager.memory_stats();
+  EXPECT_EQ(stats.reloads, reloads_before)
+      << "serving through a view must not trigger a full reload";
+  EXPECT_GT(stats.mapped_bytes, 0u);
+  EXPECT_GT(stats.touched_page_bytes, 0u);
+  EXPECT_LT(stats.touched_page_bytes, stats.mapped_bytes);
+
+  // Snapshot still reloads fully on demand, and a resident catalog
+  // yields a resident (non-partial) view.
+  auto reloaded = manager.Snapshot(key);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_GE(manager.memory_stats().reloads, reloads_before + 1);
+  auto resident_view = manager.ViewFor(key);
+  ASSERT_TRUE(resident_view.ok());
+  ASSERT_TRUE(resident_view->valid());
+}
+
+TEST(CatalogManagerTest, CorruptSpillFileSurfacesAsCleanError) {
+  test::ScopedTempFile file("vas_manager_corrupt.vascat");
+  auto d = std::make_shared<Dataset>(test::Skewed(2000));
+  d->CacheBounds();
+  CatalogKey key{"corrupt"};
+  {
+    CatalogManager builder_side(1);
+    ASSERT_TRUE(builder_side
+                    .StartBuild(key, d, UniformFactory(51),
+                                NoDensityLadder({600}))
+                    .ok());
+    ASSERT_TRUE(builder_side.SaveCatalog(key, file.path()).ok());
+  }
+  // Flip a bit inside the first data page. Page CRCs are lazy, so the
+  // load (which only parses metadata) still succeeds...
+  {
+    std::fstream io(file.path(),
+                    std::ios::binary | std::ios::in | std::ios::out);
+    io.seekg(4096 + 16);
+    char byte = 0;
+    io.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x10);
+    io.seekp(4096 + 16);
+    io.write(&byte, 1);
+  }
+  CatalogManager manager(1);
+  ASSERT_TRUE(manager.LoadCatalog(key, d, file.path()).ok());
+
+  // ...but materializing through the backing must fail with a clean
+  // Status (never bad ids), and the manager must survive the failure.
+  auto snapshot = manager.Snapshot(key);
+  ASSERT_FALSE(snapshot.ok());
+  EXPECT_EQ(snapshot.status().code(), StatusCode::kInternal);
+  EXPECT_NE(snapshot.status().ToString().find("spill file corrupt"),
+            std::string::npos)
+      << snapshot.status().ToString();
+  EXPECT_EQ(manager.Snapshot(key).status().code(), StatusCode::kInternal);
+  auto status = manager.GetStatus(key);
+  ASSERT_TRUE(status.ok());
+  EXPECT_FALSE(status->resident);
+
+  // Structural corruption (a truncated file) is caught at load time.
+  std::filesystem::resize_file(file.path(), 200);
+  CatalogManager fresh(1);
+  EXPECT_FALSE(fresh.LoadCatalog(CatalogKey{"t"}, d, file.path()).ok());
 }
 
 TEST(CatalogManagerTest, DropRacingAnInFlightSpillLeavesNoFiles) {

@@ -556,6 +556,72 @@ TEST(PlotServiceTest, RenderStatsCountColdRendersPerStyle) {
   EXPECT_GT(stats.encode_nanos, 0u);
 }
 
+TEST(PlotServiceTest, SpilledMillionPointTableServesIdenticalTilesPartially) {
+  // The acceptance criterion for the paged catalog store: a table
+  // whose ladder was evicted to its CAT2 spill file serves tiles
+  // byte-identical to the fully-resident path, while the mmap'd
+  // backing faults in strictly fewer bytes than a full
+  // materialization would read.
+  constexpr size_t kMillion = 1000000;
+  auto dataset = SkewedShared(kMillion);
+  ASSERT_GE(dataset->size(), kMillion);
+  UniformReservoirSampler sampler(77);
+  SampleCatalog catalog(*dataset, sampler, Ladder({20000}));
+
+  PlotService resident;  // unlimited memory: the baseline pixels
+  ASSERT_TRUE(resident.AddTable("geo", dataset, catalog).ok());
+
+  PlotService::Options tight;
+  tight.catalog.memory_budget_bytes = 1;  // evict everything not in use
+  PlotService spilled(tight);
+  ASSERT_TRUE(spilled.AddTable("geo", dataset, catalog).ok());
+  // Eviction spares the entry being accessed, so a second table's
+  // registration is what pushes "geo" out; the spill write itself runs
+  // off-lock — wait until the ladder is provably out of memory.
+  auto tiny_dataset = SkewedShared(2000);
+  UniformReservoirSampler tiny_sampler(78);
+  SampleCatalog tiny_catalog(*tiny_dataset, tiny_sampler, Ladder({100}));
+  ASSERT_TRUE(spilled.AddTable("tiny", tiny_dataset, tiny_catalog).ok());
+  CatalogKey key{"geo", "x", "y"};
+  for (int i = 0; i < 500; ++i) {
+    auto status = spilled.manager().GetStatus(key);
+    ASSERT_TRUE(status.ok());
+    if (!status->resident) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_FALSE(spilled.manager().GetStatus(key)->resident);
+
+  // A deep-zoom tile and both styles: the spilled service must render
+  // the very same bytes. The heatmap comes from a cell-range partial
+  // load; the scatter tile is value-colored (Skewed data has values),
+  // so pixel identity demands the whole rung and the service must NOT
+  // count it as a partial load.
+  TileKey tile{3, 4, 3};
+  for (TileStyle style : {TileStyle::kScatter, TileStyle::kHeatmap}) {
+    auto baseline = resident.RenderTile("geo", tile, "", style);
+    auto partial = spilled.RenderTile("geo", tile, "", style);
+    ASSERT_TRUE(baseline.ok());
+    ASSERT_TRUE(partial.ok());
+    EXPECT_EQ(baseline->sample_size, 20000u);
+    EXPECT_EQ(partial->sample_size, 20000u);
+    EXPECT_EQ(*partial->png, *baseline->png)
+        << "spilled tile diverged from the resident render";
+  }
+  EXPECT_EQ(spilled.render_stats().partial_tile_loads, 1u);
+  EXPECT_EQ(resident.render_stats().partial_tile_loads, 0u);
+
+  // The resident-byte accounting proves the partial load: the mapped
+  // store faulted in some pages, but strictly fewer than the whole
+  // file a full materialization reads.
+  auto stats = spilled.manager().memory_stats();
+  EXPECT_GT(stats.mapped_bytes, 0u);
+  EXPECT_GT(stats.touched_page_bytes, 0u);
+  EXPECT_LT(stats.touched_page_bytes, stats.mapped_bytes);
+  // The tiles really came from the mapping, not a transparent reload.
+  EXPECT_EQ(stats.reloads, 0u);
+  EXPECT_FALSE(spilled.manager().GetStatus(key)->resident);
+}
+
 TEST(PlotServiceTest, GetTableReportsWorldAndBuildState) {
   PlotService service;
   auto dataset = SkewedShared(2500);

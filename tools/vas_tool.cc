@@ -9,6 +9,8 @@
 //   vas_tool save-catalog  --in=data.bin --ladder=1000,10000,100000
 //                          --out=catalog.vascat
 //   vas_tool load-catalog  --in=data.bin --catalog=catalog.vascat
+//   vas_tool catalog-info  --in=catalog.vascat
+//   vas_tool convert-catalog --in=old.vascat --data=data.bin
 //   vas_tool sample        --in=data.csv --k=10000 --method=vas
 //                          --density=true --out=sample.bin
 //   vas_tool render        --in=data.csv --sample=sample.bin --out=plot.ppm
@@ -27,6 +29,7 @@
 // writing C++. Individual samples persist in the library's binary
 // format (see sampling/sample_io.h), exactly like an index.
 #include <chrono>
+#include <cinttypes>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -36,7 +39,9 @@
 #include "core/vas.h"
 #include "data/dataset_io.h"
 #include "data/dataset_stream.h"
+#include "engine/catalog_io.h"
 #include "engine/catalog_manager.h"
+#include "engine/catalog_store.h"
 #include "engine/session.h"
 #include "render/scatter_renderer.h"
 #include "serve_main.h"
@@ -423,6 +428,106 @@ int CmdLoadCatalog(FlagSet& flags, int argc, char** argv) {
   return 0;
 }
 
+int CmdCatalogInfo(FlagSet& flags, int argc, char** argv) {
+  flags.Define("in", "catalog.vascat", "catalog file to inspect");
+  VAS_RETURN_IF_ERROR_INT(flags.Parse(argc, argv));
+  const std::string path = flags.GetString("in");
+
+  auto format = SniffCatalogFormat(path);
+  if (!format.ok()) return Fail(format.status());
+  if (*format == CatalogFormat::kV1) {
+    auto catalog = ReadCatalog(path);
+    if (!catalog.ok()) return Fail(catalog.status());
+    std::printf("format:  CAT1 (legacy serial blob)\n");
+    std::printf("rungs:   %zu\n", catalog->samples().size());
+    for (const SampleSet& rung : catalog->samples()) {
+      std::printf("  %s rung: %s points, density %s\n", rung.method.c_str(),
+                  FormatWithCommas(static_cast<int64_t>(rung.size())).c_str(),
+                  rung.has_density() ? "yes" : "no");
+    }
+    std::printf(
+        "hint: convert-catalog rewrites this file in the paged CAT2 "
+        "format\n");
+    return 0;
+  }
+
+  auto store = CatalogStore::Open(path);
+  if (!store.ok()) return Fail(store.status());
+  const CatalogStore& s = **store;
+  const size_t meta_pages = s.page_count() - 1 - s.data_page_count();
+  std::printf("format:  CAT2 (paged)\n");
+  std::printf("file:    %s bytes\n",
+              FormatWithCommas(static_cast<int64_t>(s.file_bytes())).c_str());
+  std::printf(
+      "pages:   %zu x %zu bytes (1 superblock, %zu data, %zu meta)\n",
+      s.page_count(), s.page_size(), s.data_page_count(), meta_pages);
+  std::printf("rungs:   %zu\n", s.rung_count());
+  for (size_t k = 0; k < s.rung_count(); ++k) {
+    const CatalogStore::Rung& rung = s.rung(k);
+    std::printf(
+        "  %s rung: %s points, density %s, max id %s\n", rung.method.c_str(),
+        FormatWithCommas(static_cast<int64_t>(rung.count)).c_str(),
+        rung.has_density ? "yes" : "no",
+        FormatWithCommas(static_cast<int64_t>(rung.max_id)).c_str());
+    std::printf(
+        "    cell index: %" PRIu64 "x%" PRIu64 " grid, %" PRIu64
+        "/%" PRIu64 " cells occupied, max %" PRIu64 " entries/cell\n",
+        rung.grid_x, rung.grid_y, rung.occupied_cells,
+        rung.grid_x * rung.grid_y, rung.max_cell_entries);
+  }
+  return 0;
+}
+
+int CmdConvertCatalog(FlagSet& flags, int argc, char** argv) {
+  flags.Define("in", "catalog.vascat", "catalog file to convert");
+  flags.Define("out", "",
+               "output path (empty = rewrite --in in place via a "
+               "temporary file)");
+  flags.Define("data", "",
+               "source dataset (.csv or .bin); when given, rungs are "
+               "partitioned into cell grids for partial loads");
+  flags.Define("page-size", "4096", "CAT2 page size in bytes");
+  flags.Define("cell-entries", "2048",
+               "grid sizing target: entries per cell");
+  VAS_RETURN_IF_ERROR_INT(flags.Parse(argc, argv));
+  const std::string in = flags.GetString("in");
+  std::string out = flags.GetString("out");
+  if (out.empty()) out = in;
+
+  auto catalog = ReadCatalog(in);
+  if (!catalog.ok()) return Fail(catalog.status());
+
+  CatalogWriteOptions wopt;
+  wopt.page_size = static_cast<size_t>(flags.GetInt("page-size"));
+  wopt.target_entries_per_cell =
+      static_cast<size_t>(flags.GetInt("cell-entries"));
+  Dataset dataset;
+  if (!flags.GetString("data").empty()) {
+    auto loaded = LoadInput(flags.GetString("data"));
+    if (!loaded.ok()) return Fail(loaded.status());
+    dataset = std::move(*loaded);
+    Status valid = ValidateCatalogAgainst(*catalog, dataset.size());
+    if (!valid.ok()) return Fail(valid);
+    wopt.dataset = &dataset;
+  }
+
+  // Write next to the destination and rename into place, so an
+  // interrupted conversion never leaves a half-written catalog under
+  // the final name (in-place rewrites keep the original intact until
+  // the rename).
+  const std::string tmp = out + ".tmp";
+  Status written = WriteCatalogPaged(*catalog, tmp, wopt);
+  if (!written.ok()) return Fail(written);
+  if (std::rename(tmp.c_str(), out.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Fail(Status::IoError("cannot rename " + tmp + " to " + out));
+  }
+  std::printf("converted %zu-rung catalog -> %s (%s grids)\n",
+              catalog->samples().size(), out.c_str(),
+              wopt.dataset != nullptr ? "cell-partitioned" : "1x1");
+  return 0;
+}
+
 int CmdRender(FlagSet& flags, int argc, char** argv) {
   flags.Define("in", "data.csv", "input dataset");
   flags.Define("sample", "", "optional sample file; empty renders all");
@@ -519,7 +624,8 @@ int Main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s <generate|ingest|build-catalog|save-catalog|"
-                 "load-catalog|sample|render|loss|info|serve> [flags]\n",
+                 "load-catalog|catalog-info|convert-catalog|sample|render|"
+                 "loss|info|serve> [flags]\n",
                  argv[0]);
     return 1;
   }
@@ -538,6 +644,12 @@ int Main(int argc, char** argv) {
   }
   if (cmd == "load-catalog") {
     return CmdLoadCatalog(flags, sub_argc, sub_argv);
+  }
+  if (cmd == "catalog-info") {
+    return CmdCatalogInfo(flags, sub_argc, sub_argv);
+  }
+  if (cmd == "convert-catalog") {
+    return CmdConvertCatalog(flags, sub_argc, sub_argv);
   }
   if (cmd == "sample") return CmdSample(flags, sub_argc, sub_argv);
   if (cmd == "render") return CmdRender(flags, sub_argc, sub_argv);
