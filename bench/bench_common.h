@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/vas.h"
+#include "obs/metrics.h"
 #include "util/flags.h"
 #include "util/status.h"
 #include "util/strings.h"
@@ -67,6 +68,30 @@ inline bool ParseBenchFlags(FlagSet& flags, int argc, char** argv,
   }
   return true;
 }
+
+/// Tail-latency digest over the same fixed-boundary histogram
+/// GET /metrics exports, so bench p95/p99 and production dashboards
+/// bucket (and therefore round) identically. Observations are taken in
+/// milliseconds and converted to the histogram's nanosecond domain.
+class LatencyDigest {
+ public:
+  LatencyDigest() : histogram_(obs::LatencyBoundariesNs()) {}
+
+  void ObserveMs(double ms) {
+    if (ms < 0) ms = 0;
+    histogram_.Observe(static_cast<uint64_t>(ms * 1e6));
+  }
+  void ObserveAllMs(const std::vector<double>& ms) {
+    for (double v : ms) ObserveMs(v);
+  }
+
+  /// Interpolated q-quantile in milliseconds (0 with no observations).
+  double QuantileMs(double q) const { return histogram_.Quantile(q) / 1e6; }
+  uint64_t count() const { return histogram_.TotalCount(); }
+
+ private:
+  obs::Histogram histogram_;
+};
 
 /// Headline metrics of one bench run, written as a flat JSON object so
 /// CI can upload them as a perf-trajectory artifact and diff runs over

@@ -287,20 +287,39 @@ int Run(int argc, char** argv) {
   metrics.Set("clients", clients);
   metrics.Set("requests_per_client", requests);
   metrics.Set("payload_bytes", payload_bytes);
+  // Tail latencies go through the obs::Histogram boundaries (the same
+  // buckets /metrics exports) instead of exact order statistics, so the
+  // checked-in baselines stay comparable with dashboard quantiles.
+  LatencyDigest reconnect_digest;
+  reconnect_digest.ObserveAllMs(reconnect.latencies_ms);
+  LatencyDigest reuse_digest;
+  reuse_digest.ObserveAllMs(reuse.latencies_ms);
+  LatencyDigest conditional_digest;
+  conditional_digest.ObserveAllMs(conditional.latencies_ms);
+  LatencyDigest idle_digest;
+  idle_digest.ObserveAllMs(idle.latencies_ms);
   metrics.Set("reconnect_rps", reconnect.Rps());
   metrics.Set("reconnect_p50_ms", reconnect_p50);
   metrics.Set("reconnect_p90_ms", Percentile(reconnect.latencies_ms, 0.9));
+  metrics.Set("reconnect_p95_ms", reconnect_digest.QuantileMs(0.95));
+  metrics.Set("reconnect_p99_ms", reconnect_digest.QuantileMs(0.99));
   metrics.Set("reuse_rps", reuse.Rps());
   metrics.Set("reuse_p50_ms", reuse_p50);
   metrics.Set("reuse_p90_ms", Percentile(reuse.latencies_ms, 0.9));
+  metrics.Set("reuse_p95_ms", reuse_digest.QuantileMs(0.95));
+  metrics.Set("reuse_p99_ms", reuse_digest.QuantileMs(0.99));
   metrics.Set("conditional_rps", conditional.Rps());
   metrics.Set("conditional_p50_ms", conditional_p50);
+  metrics.Set("conditional_p95_ms", conditional_digest.QuantileMs(0.95));
+  metrics.Set("conditional_p99_ms", conditional_digest.QuantileMs(0.99));
   metrics.Set("reuse_speedup_p50",
               reuse_p50 > 0 ? reconnect_p50 / reuse_p50 : 0.0);
   metrics.Set("idle_connections_held", idle_conns);
   metrics.Set("idle_rps", idle.Rps());
   metrics.Set("idle_p50_ms", idle_p50);
   metrics.Set("idle_p90_ms", Percentile(idle.latencies_ms, 0.9));
+  metrics.Set("idle_p95_ms", idle_digest.QuantileMs(0.95));
+  metrics.Set("idle_p99_ms", idle_digest.QuantileMs(0.99));
   metrics.Set("idle_vs_reuse_p50",
               reuse_p50 > 0 ? idle_p50 / reuse_p50 : 0.0);
   metrics.Set("connections_refused", refused);

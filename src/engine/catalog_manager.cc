@@ -50,16 +50,64 @@ std::string SanitizeForFilename(const std::string& name) {
 }  // namespace
 
 CatalogManager::CatalogManager(size_t num_threads)
-    : CatalogManager(Options{num_threads, 0, std::string(), nullptr}) {}
+    : CatalogManager(Options{num_threads, 0, std::string(), nullptr, nullptr}) {
+}
 
 CatalogManager::CatalogManager(const Options& options)
     : options_(Options{options.num_threads, options.memory_budget_bytes,
                        ResolveSpillDir(options.spill_dir),
-                       options.on_rung_ready}),
+                       options.on_rung_ready, options.registry}),
       spill_token_(MakeSpillToken()),
-      pool_(options.num_threads) {}
+      owned_registry_(options.registry == nullptr
+                          ? std::make_unique<obs::MetricsRegistry>()
+                          : nullptr),
+      registry_(options.registry != nullptr ? options.registry
+                                            : owned_registry_.get()),
+      pool_(options.num_threads, registry_, "catalog_build") {
+  rungs_built_ = registry_->GetCounter(
+      "vas_catalog_rungs_built_total",
+      "Sample-catalog rungs finished by the build pool.");
+  evictions_free_ = registry_->GetCounter(
+      "vas_catalog_evictions_total",
+      "Catalogs evicted from the residency budget, by whether the "
+      "eviction needed a spill write first.",
+      {{"kind", "free"}});
+  evictions_spill_ = registry_->GetCounter(
+      "vas_catalog_evictions_total",
+      "Catalogs evicted from the residency budget, by whether the "
+      "eviction needed a spill write first.",
+      {{"kind", "spill"}});
+  reloads_count_ = registry_->GetCounter(
+      "vas_catalog_reloads_total",
+      "Spilled catalogs read back into memory on access.");
+  spill_writes_count_ = registry_->GetCounter(
+      "vas_catalog_spill_writes_total", "Spill files written to disk.");
+  registry_->SetCallbackGauge(
+      "vas_catalog_resident_bytes",
+      "Bytes of finished catalog ladders currently held in memory.", {},
+      [this]() {
+        std::lock_guard<std::mutex> lock(mu_);
+        return static_cast<int64_t>(resident_bytes_);
+      });
+  registry_->SetCallbackGauge(
+      "vas_catalog_mapped_bytes",
+      "Total file bytes of currently mmap'd catalog stores.", {}, [this]() {
+        return static_cast<int64_t>(memory_stats().mapped_bytes);
+      });
+  registry_->SetCallbackGauge(
+      "vas_catalog_touched_page_bytes",
+      "Bytes of mapped catalog pages actually faulted in (CRC-verified).",
+      {}, [this]() {
+        return static_cast<int64_t>(memory_stats().touched_page_bytes);
+      });
+}
 
 CatalogManager::~CatalogManager() {
+  // The gauge callbacks capture `this`; unhook them before any member
+  // is torn down in case the registry outlives this manager.
+  registry_->RemoveCallbackGauge("vas_catalog_resident_bytes", {});
+  registry_->RemoveCallbackGauge("vas_catalog_mapped_bytes", {});
+  registry_->RemoveCallbackGauge("vas_catalog_touched_page_bytes", {});
   // Drain the pool first: every rung task and finalize task completes
   // before spill cleanup, so a late finalization cannot create a spill
   // file after we removed them. Spill files are cache state owned by
@@ -95,13 +143,14 @@ Status CatalogManager::StartBuild(const CatalogKey& key,
   }
   auto entry = std::make_shared<Entry>();
   entry->dataset = dataset;
-  SampleCatalog::Builder::RungCallback on_rung;
-  if (options_.on_rung_ready != nullptr) {
-    on_rung = [callback = options_.on_rung_ready, key](size_t ready,
-                                                       size_t total) {
-      callback(key, ready, total);
-    };
-  }
+  // Wrapped even with no user hook, so rung progress always reaches the
+  // registry.
+  SampleCatalog::Builder::RungCallback on_rung =
+      [this, callback = options_.on_rung_ready, key](size_t ready,
+                                                     size_t total) {
+        rungs_built_->Increment();
+        if (callback != nullptr) callback(key, ready, total);
+      };
   entry->builder = std::make_shared<SampleCatalog::Builder>(
       std::move(dataset), std::move(sampler_factory), std::move(options),
       &pool_, std::move(on_rung));
@@ -279,7 +328,7 @@ void CatalogManager::EnforceBudgetLocked(const Entry* keep,
       // faults in only what it touches.)
       victim->catalog = nullptr;
       resident_bytes_ -= victim->bytes;
-      ++evictions_;
+      evictions_free_->Increment();
       continue;
     }
     if (victim->spill_path.empty()) {
@@ -317,11 +366,11 @@ void CatalogManager::PerformSpills(std::vector<SpillJob> jobs) const {
       mapped = it != entries_.end() && it->second == job.entry;
       if (written.ok() && mapped) {
         job.entry->spill_valid = true;
-        ++spill_writes_;
+        spill_writes_count_->Increment();
         if (job.entry->catalog != nullptr) {
           job.entry->catalog = nullptr;
           resident_bytes_ -= job.entry->bytes;
-          ++evictions_;
+          evictions_spill_->Increment();
         }
       }
     }
@@ -386,7 +435,7 @@ Status CatalogManager::ReloadLocked(const CatalogKey& key, Entry& entry,
   entry.catalog = std::make_shared<const SampleCatalog>(std::move(loaded));
   entry.bytes = CatalogMemoryBytes(*entry.catalog);
   resident_bytes_ += entry.bytes;
-  ++reloads_;
+  reloads_count_->Increment();
   EnforceBudgetLocked(&entry, jobs);
   return Status::OK();
 }
@@ -634,9 +683,11 @@ CatalogManager::MemoryStats CatalogManager::memory_stats() const {
       stats.touched_page_bytes += entry->store->touched_bytes();
     }
   }
-  stats.evictions = evictions_;
-  stats.reloads = reloads_;
-  stats.spill_writes = spill_writes_;
+  // Read back from the registry counters so this snapshot can never
+  // disagree with /metrics.
+  stats.evictions = evictions_free_->Value() + evictions_spill_->Value();
+  stats.reloads = reloads_count_->Value();
+  stats.spill_writes = spill_writes_count_->Value();
   return stats;
 }
 

@@ -35,6 +35,7 @@
 
 #include "engine/catalog_store.h"
 #include "engine/sample_catalog.h"
+#include "obs/metrics.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -88,6 +89,11 @@ class CatalogManager {
     /// Optional rung-upgrade notification hook (see RungCallback). Must
     /// not call back into this manager's blocking waits.
     RungCallback on_rung_ready;
+    /// Metrics sink for rung/spill/eviction counters, build-pool queue
+    /// instrumentation, and the resident/mapped/touched byte gauges.
+    /// Null = a private registry owned by this manager (counters still
+    /// back memory_stats(); they are just not exported anywhere).
+    obs::MetricsRegistry* registry = nullptr;
   };
 
   /// Build progress for one key.
@@ -316,6 +322,10 @@ class CatalogManager {
   /// Per-manager token so concurrent processes sharing a spill dir
   /// cannot clobber each other's files.
   const std::string spill_token_;
+  // Declared before pool_ so the build pool can register its queue
+  // metrics against the resolved registry.
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  obs::MetricsRegistry* registry_ = nullptr;
   // Declared before entries_ so builders (which wait for their tasks)
   // are destroyed before the pool the tasks run on.
   ThreadPool pool_;
@@ -326,9 +336,15 @@ class CatalogManager {
   /// same filename fragment.
   mutable uint64_t spill_seq_ = 0;
   mutable size_t resident_bytes_ = 0;
-  mutable size_t evictions_ = 0;
-  mutable size_t reloads_ = 0;
-  mutable size_t spill_writes_ = 0;
+  /// Event counters live in the registry — the same objects /metrics
+  /// renders — and memory_stats() reads them back, so the two surfaces
+  /// agree by construction. Free evictions drop an already-persisted
+  /// ladder; spill evictions paid a serialization first.
+  obs::Counter* rungs_built_ = nullptr;
+  obs::Counter* evictions_free_ = nullptr;
+  obs::Counter* evictions_spill_ = nullptr;
+  obs::Counter* reloads_count_ = nullptr;
+  obs::Counter* spill_writes_count_ = nullptr;
 };
 
 }  // namespace vas

@@ -1,0 +1,114 @@
+#include "obs/log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+
+namespace vas::obs {
+
+namespace {
+
+std::atomic<int> g_format{static_cast<int>(LogFormat::kText)};
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+int64_t UnixNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+  }
+  return "info";
+}
+
+void SetLogFormat(LogFormat format) {
+  g_format.store(static_cast<int>(format), std::memory_order_relaxed);
+}
+LogFormat GetLogFormat() {
+  return static_cast<LogFormat>(g_format.load(std::memory_order_relaxed));
+}
+void SetMinLogLevel(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+LogLevel GetMinLogLevel() {
+  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+LogFields& LogFields::Add(const std::string& key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  fields_.push_back({key, buf, /*quoted=*/false});
+  return *this;
+}
+
+std::string FormatLogLine(LogLevel level, const std::string& message,
+                          const LogFields& fields, LogFormat format,
+                          int64_t unix_ms) {
+  std::string out;
+  if (format == LogFormat::kJson) {
+    out = "{\"ts_ms\":" + std::to_string(unix_ms);
+    out += ",\"level\":\"" + std::string(LogLevelName(level)) + "\"";
+    out += ",\"msg\":\"" + EscapeJson(message) + "\"";
+    for (const LogFields::Field& field : fields.fields()) {
+      out += ",\"" + EscapeJson(field.key) + "\":";
+      if (field.quoted) {
+        out += "\"" + EscapeJson(field.value) + "\"";
+      } else {
+        out += field.value;
+      }
+    }
+    out += "}\n";
+    return out;
+  }
+  out = "[" + std::string(LogLevelName(level)) + "] " + message;
+  for (const LogFields::Field& field : fields.fields()) {
+    out += " " + field.key + "=" + field.value;
+  }
+  out += "\n";
+  return out;
+}
+
+void Log(LogLevel level, const std::string& message, const LogFields& fields) {
+  if (static_cast<int>(level) <
+      g_min_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  std::string line =
+      FormatLogLine(level, message, fields, GetLogFormat(), UnixNowMs());
+  // One fwrite per event: stdio locks the stream, so concurrent log
+  // lines never interleave mid-line.
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+}  // namespace vas::obs

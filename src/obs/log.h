@@ -1,0 +1,84 @@
+// Structured logging: one event = level + message + key/value fields,
+// emitted to stderr as either human-readable text
+// (`[warn] slow request request_id=vas-1a2b total_ms=1534`) or one
+// JSON object per line
+// (`{"ts_ms":...,"level":"warn","msg":"slow request",...}`).
+// The sink format is a process-wide setting chosen at startup
+// (vas_serve --log-format=json|text); each event is written with a
+// single fwrite so concurrent loggers never interleave mid-line.
+#ifndef VAS_OBS_LOG_H_
+#define VAS_OBS_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace vas::obs {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+enum class LogFormat { kText, kJson };
+
+/// Lowercase level name ("debug" ... "error").
+const char* LogLevelName(LogLevel level);
+
+/// Process-wide sink configuration. Events below the minimum level are
+/// dropped before formatting.
+void SetLogFormat(LogFormat format);
+LogFormat GetLogFormat();
+void SetMinLogLevel(LogLevel level);
+LogLevel GetMinLogLevel();
+
+/// Ordered key/value fields of one event. Values keep their JSON type:
+/// strings are quoted (and escaped) in JSON output, numbers and bools
+/// are not; text output prints everything as `key=value`.
+class LogFields {
+ public:
+  LogFields() = default;
+
+  LogFields& Add(const std::string& key, const std::string& value) {
+    fields_.push_back({key, value, /*quoted=*/true});
+    return *this;
+  }
+  LogFields& Add(const std::string& key, const char* value) {
+    return Add(key, std::string(value));
+  }
+  LogFields& Add(const std::string& key, bool value) {
+    fields_.push_back({key, value ? "true" : "false", /*quoted=*/false});
+    return *this;
+  }
+  LogFields& Add(const std::string& key, double value);
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  LogFields& Add(const std::string& key, T value) {
+    fields_.push_back({key, std::to_string(value), /*quoted=*/false});
+    return *this;
+  }
+
+  struct Field {
+    std::string key;
+    std::string value;
+    /// True for string values: JSON output quotes and escapes them.
+    bool quoted = false;
+  };
+  const std::vector<Field>& fields() const { return fields_; }
+
+ private:
+  std::vector<Field> fields_;
+};
+
+/// Formats one event without emitting it (exposed for tests;
+/// `unix_ms` is the wall-clock timestamp the JSON line carries).
+std::string FormatLogLine(LogLevel level, const std::string& message,
+                          const LogFields& fields, LogFormat format,
+                          int64_t unix_ms);
+
+/// Formats and writes one event to stderr in the configured format.
+void Log(LogLevel level, const std::string& message,
+         const LogFields& fields = LogFields());
+
+}  // namespace vas::obs
+
+#endif  // VAS_OBS_LOG_H_

@@ -1,0 +1,170 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+
+namespace vas::obs {
+
+namespace {
+
+/// Minimal JSON string escaping (matches vas::JsonEscape's output for
+/// the characters traces can contain; kept local so obs stays free of
+/// service-layer includes).
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+uint64_t MonotonicNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string MintRequestId() {
+  // Unique within the process: a seed from the clock at first use,
+  // xor-folded with a monotonic counter. Not cryptographic — just
+  // distinct and greppable.
+  static const uint64_t seed = MonotonicNowNs() * 0x9e3779b97f4a7c15ull;
+  static std::atomic<uint64_t> next{1};
+  uint64_t id = seed ^ (next.fetch_add(1, std::memory_order_relaxed) *
+                        0xc2b2ae3d27d4eb4full);
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "vas-%016llx",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+RequestTrace::RequestTrace(std::string request_id, std::string target,
+                           uint64_t start_abs_ns)
+    : request_id_(std::move(request_id)),
+      target_(std::move(target)),
+      start_abs_ns_(start_abs_ns) {
+  spans_.reserve(8);
+}
+
+size_t RequestTrace::BeginSpan(const std::string& name) {
+  TraceSpan span;
+  span.name = name;
+  uint64_t now = MonotonicNowNs();
+  span.start_ns = now > start_abs_ns_ ? now - start_abs_ns_ : 0;
+  spans_.push_back(std::move(span));
+  return spans_.size() - 1;
+}
+
+void RequestTrace::EndSpan(size_t handle) {
+  if (handle >= spans_.size()) return;
+  TraceSpan& span = spans_[handle];
+  uint64_t now = MonotonicNowNs();
+  uint64_t rel = now > start_abs_ns_ ? now - start_abs_ns_ : 0;
+  span.duration_ns = rel > span.start_ns ? rel - span.start_ns : 0;
+}
+
+void RequestTrace::AddCompleteSpan(const std::string& name,
+                                   uint64_t start_abs_ns,
+                                   uint64_t end_abs_ns) {
+  TraceSpan span;
+  span.name = name;
+  span.start_ns =
+      start_abs_ns > start_abs_ns_ ? start_abs_ns - start_abs_ns_ : 0;
+  span.duration_ns = end_abs_ns > start_abs_ns ? end_abs_ns - start_abs_ns : 0;
+  spans_.push_back(std::move(span));
+}
+
+void RequestTrace::Annotate(size_t handle, const std::string& key,
+                            int64_t value) {
+  if (handle >= spans_.size()) return;
+  spans_[handle].annotations.emplace_back(key, value);
+}
+
+void RequestTrace::Finish() {
+  if (finished_) return;
+  finished_ = true;
+  uint64_t now = MonotonicNowNs();
+  total_ns_ = now > start_abs_ns_ ? now - start_abs_ns_ : 0;
+}
+
+uint64_t RequestTrace::SpanDurationNs(const std::string& name) const {
+  for (const TraceSpan& span : spans_) {
+    if (span.name == name) return span.duration_ns;
+  }
+  return 0;
+}
+
+TraceRing::TraceRing(size_t capacity)
+    : capacity_(capacity > 0 ? capacity : 1) {
+  ring_.resize(capacity_);
+}
+
+void TraceRing::Push(std::shared_ptr<const RequestTrace> trace) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_[next_] = std::move(trace);
+  next_ = (next_ + 1) % capacity_;
+  if (size_ < capacity_) ++size_;
+}
+
+std::vector<std::shared_ptr<const RequestTrace>> TraceRing::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::shared_ptr<const RequestTrace>> out;
+  out.reserve(size_);
+  for (size_t i = 0; i < size_; ++i) {
+    // Walk backwards from the most recently written slot.
+    size_t slot = (next_ + capacity_ - 1 - i) % capacity_;
+    if (ring_[slot] != nullptr) out.push_back(ring_[slot]);
+  }
+  return out;
+}
+
+std::string TraceToJson(const RequestTrace& trace) {
+  std::string out = "{";
+  out += "\"request_id\":\"" + EscapeJson(trace.request_id()) + "\"";
+  out += ",\"target\":\"" + EscapeJson(trace.target()) + "\"";
+  out += ",\"status\":" + std::to_string(trace.http_status());
+  out += ",\"total_ns\":" + std::to_string(trace.total_ns());
+  out += ",\"spans\":[";
+  bool first = true;
+  for (const TraceSpan& span : trace.spans()) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + EscapeJson(span.name) + "\"";
+    out += ",\"start_ns\":" + std::to_string(span.start_ns);
+    out += ",\"duration_ns\":" + std::to_string(span.duration_ns);
+    if (!span.annotations.empty()) {
+      out += ",\"annotations\":{";
+      bool first_annotation = true;
+      for (const auto& [key, value] : span.annotations) {
+        if (!first_annotation) out += ",";
+        first_annotation = false;
+        out += "\"" + EscapeJson(key) + "\":" + std::to_string(value);
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace vas::obs

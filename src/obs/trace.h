@@ -1,0 +1,131 @@
+// Per-request tracing: one RequestTrace follows a request from the
+// moment its head is parsed to the moment its last response byte
+// drains into the socket, accumulating named spans (queue_wait, parse,
+// rung_choice, materialize, render, encode, send_drain, ...) with
+// integer annotations (touched bytes, point counts). Finished traces
+// land in a fixed-size TraceRing served at /debug/requests, and slow
+// ones are emitted as one structured log line.
+//
+// Threading model: a trace is handed off stage to stage (event thread
+// -> worker -> event thread) through the server's existing queues, so
+// exactly one thread touches it at a time — no internal locking. The
+// ring takes a mutex only on Push/Snapshot.
+#ifndef VAS_OBS_TRACE_H_
+#define VAS_OBS_TRACE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vas::obs {
+
+/// Monotonic clock in nanoseconds (steady_clock).
+uint64_t MonotonicNowNs();
+
+/// Mints a process-unique request id ("vas-<16 hex>") for requests
+/// that arrive without an X-Vas-Request-Id header.
+std::string MintRequestId();
+
+/// One timed stage of a request. Times are relative to the trace
+/// start so /debug/requests output is stable and compact.
+struct TraceSpan {
+  std::string name;
+  uint64_t start_ns = 0;
+  uint64_t duration_ns = 0;
+  /// Integer facts about the stage ({"touched_bytes", 123456}, ...).
+  std::vector<std::pair<std::string, int64_t>> annotations;
+};
+
+class RequestTrace {
+ public:
+  /// `start_abs_ns` anchors the trace clock (pass the timestamp taken
+  /// before parsing so the parse span starts at 0).
+  RequestTrace(std::string request_id, std::string target,
+               uint64_t start_abs_ns);
+
+  RequestTrace(const RequestTrace&) = delete;
+  RequestTrace& operator=(const RequestTrace&) = delete;
+
+  const std::string& request_id() const { return request_id_; }
+  const std::string& target() const { return target_; }
+  int http_status() const { return http_status_; }
+  void set_http_status(int status) { http_status_ = status; }
+
+  /// Opens a span now; returns a handle for EndSpan/Annotate. Spans
+  /// may nest or interleave freely (they are a flat timed list).
+  size_t BeginSpan(const std::string& name);
+  void EndSpan(size_t handle);
+  /// Records a complete span from explicit absolute timestamps.
+  void AddCompleteSpan(const std::string& name, uint64_t start_abs_ns,
+                       uint64_t end_abs_ns);
+  void Annotate(size_t handle, const std::string& key, int64_t value);
+
+  /// Closes the trace; total_ns() is fixed afterwards.
+  void Finish();
+  bool finished() const { return finished_; }
+  uint64_t total_ns() const { return total_ns_; }
+  uint64_t start_abs_ns() const { return start_abs_ns_; }
+
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+  /// Duration of the first span named `name`, 0 when absent.
+  uint64_t SpanDurationNs(const std::string& name) const;
+
+ private:
+  const std::string request_id_;
+  const std::string target_;
+  const uint64_t start_abs_ns_;
+  int http_status_ = 0;
+  bool finished_ = false;
+  uint64_t total_ns_ = 0;
+  std::vector<TraceSpan> spans_;
+};
+
+/// RAII span: ends at scope exit. Safe on a null trace (tracing off).
+class ScopedSpan {
+ public:
+  ScopedSpan(RequestTrace* trace, const char* name)
+      : trace_(trace),
+        handle_(trace != nullptr ? trace->BeginSpan(name) : 0) {}
+  ~ScopedSpan() {
+    if (trace_ != nullptr) trace_->EndSpan(handle_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  void Annotate(const std::string& key, int64_t value) {
+    if (trace_ != nullptr) trace_->Annotate(handle_, key, value);
+  }
+
+ private:
+  RequestTrace* trace_;
+  size_t handle_;
+};
+
+/// Fixed-capacity ring of the most recently finished traces.
+class TraceRing {
+ public:
+  explicit TraceRing(size_t capacity);
+
+  void Push(std::shared_ptr<const RequestTrace> trace);
+  /// Newest first.
+  std::vector<std::shared_ptr<const RequestTrace>> Snapshot() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<const RequestTrace>> ring_;
+  size_t next_ = 0;
+  size_t size_ = 0;
+};
+
+/// One trace as a JSON object (request_id, target, status, total_ns,
+/// spans with annotations) — the /debug/requests element format.
+std::string TraceToJson(const RequestTrace& trace);
+
+}  // namespace vas::obs
+
+#endif  // VAS_OBS_TRACE_H_

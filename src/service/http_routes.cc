@@ -117,7 +117,7 @@ HttpResponse HandleTile(PlotService* service, const HttpRequest& request,
   auto result = service->RenderTile(
       segments[1], tile,
       if_none_match != request.headers.end() ? if_none_match->second : "",
-      style);
+      style, request.trace);
   if (!result.ok()) return ErrorResponse(result.status());
   HttpResponse response;
   response.extra_headers.emplace_back("ETag", result->etag);
@@ -252,10 +252,36 @@ std::string JsonEscape(const std::string& s) {
 
 HttpServer::Handler MakeServiceHandler(
     PlotService* service, std::function<HttpServerStats()> stats_fn) {
+  ServiceHandlerOptions options;
+  options.stats_fn = std::move(stats_fn);
+  return MakeServiceHandler(service, std::move(options));
+}
+
+HttpServer::Handler MakeServiceHandler(PlotService* service,
+                                       ServiceHandlerOptions options) {
   HttpServer::Handler base = MakeServiceHandler(service);
-  return [service, base = std::move(base), stats_fn = std::move(stats_fn)](
+  return [service, base = std::move(base), options = std::move(options)](
              const HttpRequest& request) -> HttpResponse {
-    if (request.path == "/stats" && stats_fn != nullptr) {
+    if (request.path == "/metrics" && options.registry != nullptr) {
+      HttpResponse response;
+      response.content_type = obs::MetricsRegistry::ExpositionContentType();
+      response.body = options.registry->RenderPrometheusText();
+      response.extra_headers.emplace_back("Cache-Control", "no-cache");
+      return response;
+    }
+    if (request.path == "/debug/requests" && options.trace_ring != nullptr) {
+      std::string out = "{\"requests\":[";
+      bool first = true;
+      for (const auto& trace : options.trace_ring->Snapshot()) {
+        if (!first) out += ",";
+        first = false;
+        out += obs::TraceToJson(*trace);
+      }
+      out += "]}\n";
+      return JsonResponse(std::move(out));
+    }
+    if (request.path == "/stats" && options.stats_fn != nullptr) {
+      const std::function<HttpServerStats()>& stats_fn = options.stats_fn;
       HttpServerStats stats = stats_fn();
       PlotService::RenderStats render = service->render_stats();
       std::string out = "{";

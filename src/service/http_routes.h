@@ -27,22 +27,41 @@
 #include <functional>
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/http_server.h"
 #include "service/plot_service.h"
 
 namespace vas {
+
+/// Observability wiring for the full-featured handler overload. All
+/// referenced objects must outlive the handler.
+struct ServiceHandlerOptions {
+  /// Enables `/stats` (transport + render counters, JSON). Typically
+  /// `server.stats()` bound after the server is constructed — the
+  /// handler only calls it per request, so it may be bound late.
+  std::function<HttpServerStats()> stats_fn;
+  /// Enables `GET /metrics` (Prometheus text exposition).
+  obs::MetricsRegistry* registry = nullptr;
+  /// Enables `GET /debug/requests` (recently finished request traces,
+  /// newest first, JSON).
+  obs::TraceRing* trace_ring = nullptr;
+};
 
 /// Builds the request handler serving `service`'s tables. The service
 /// must outlive the returned handler.
 HttpServer::Handler MakeServiceHandler(PlotService* service);
 
 /// Like above, plus a `/stats` endpoint reporting the transport
-/// counters `stats_fn` returns (typically `server.stats()`, wired up
-/// after the server is constructed — the handler only calls `stats_fn`
-/// per request, so it may be bound late). `stats_fn` must be callable
-/// for the handler's lifetime.
+/// counters `stats_fn` returns. Kept for callers that predate the
+/// options overload below.
 HttpServer::Handler MakeServiceHandler(
     PlotService* service, std::function<HttpServerStats()> stats_fn);
+
+/// The full surface: tiles/status/plot plus whichever of /stats,
+/// /metrics, and /debug/requests `options` enables.
+HttpServer::Handler MakeServiceHandler(PlotService* service,
+                                       ServiceHandlerOptions options);
 
 /// Escapes `s` for embedding in a JSON string literal. Exposed for
 /// tests.

@@ -16,6 +16,7 @@
 #include <cstring>
 #include <deque>
 
+#include "obs/log.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
@@ -260,6 +261,23 @@ struct HttpServer::Completion {
   std::shared_ptr<const std::string> shared_body;
   bool include_body = false;
   bool keep_alive = false;
+  /// The request's trace, handed back from the worker. The event
+  /// thread parks it on the connection until the response bytes drain.
+  std::shared_ptr<obs::RequestTrace> trace;
+  /// When the request left the event thread for the pool (0 for
+  /// transport-level direct responses) — feeds the request duration
+  /// histogram.
+  uint64_t dispatch_ns = 0;
+};
+
+/// A trace waiting for its response's last byte to reach the socket.
+struct HttpServer::PendingTrace {
+  std::shared_ptr<obs::RequestTrace> trace;
+  /// Value of Conn::queued_bytes_total at which this response ends;
+  /// once sent_bytes_total passes it, the send_drain span closes.
+  uint64_t end_offset = 0;
+  /// The open send_drain span's handle.
+  size_t drain_span = 0;
 };
 
 /// Per-connection state, owned exclusively by the event thread.
@@ -297,6 +315,15 @@ struct HttpServer::Conn {
   std::deque<OutSeg> out;
   /// Unsent bytes across `out` (the backpressure gauge).
   size_t out_bytes = 0;
+  /// Lifetime byte counters for this connection: everything ever
+  /// queued for output vs everything actually sent. Their difference
+  /// is out_bytes; traces use the absolute values to learn when their
+  /// response has fully drained.
+  uint64_t queued_bytes_total = 0;
+  uint64_t sent_bytes_total = 0;
+  /// Traces of responses still (partially) in the output buffer, in
+  /// response order.
+  std::deque<PendingTrace> pending_traces;
   /// Idle clock: creation time, refreshed whenever the output drains.
   int64_t last_activity_ms = 0;
   /// When the current (incomplete) request head started arriving.
@@ -309,6 +336,30 @@ struct HttpServer::Conn {
 HttpServer::HttpServer(Options options, Handler handler)
     : options_(std::move(options)), handler_(std::move(handler)) {
   VAS_CHECK(handler_ != nullptr);
+  if (options_.registry != nullptr) {
+    registry_ = options_.registry;
+  } else {
+    owned_registry_ = std::make_unique<obs::MetricsRegistry>();
+    registry_ = owned_registry_.get();
+  }
+  requests_served_ = registry_->GetCounter(
+      "vas_http_requests_total", "Requests fully handled (queued to send).");
+  active_connections_ = registry_->GetGauge(
+      "vas_http_active_connections",
+      "Connections currently open (serving or idle in keep-alive).");
+  connections_accepted_ = registry_->GetCounter(
+      "vas_http_connections_accepted_total", "Connections accepted.");
+  connections_refused_ = registry_->GetCounter(
+      "vas_http_connections_refused_total",
+      "Connections refused with 503 at the connection limit.");
+  bytes_received_ = registry_->GetCounter("vas_http_bytes_received_total",
+                                          "Request bytes read from sockets.");
+  bytes_sent_ = registry_->GetCounter("vas_http_bytes_sent_total",
+                                      "Response bytes written to sockets.");
+  request_duration_ns_ = registry_->GetHistogram(
+      "vas_http_request_duration_ns",
+      "Dispatch-to-response-queued latency (queue wait + handler + "
+      "serialize).");
 }
 
 HttpServer::~HttpServer() { Stop(); }
@@ -376,8 +427,8 @@ Status HttpServer::Start() {
   connection_limit_ = options_.max_connections > 0
                           ? options_.max_connections
                           : FdDerivedConnectionLimit();
-  pool_ = std::make_unique<ThreadPool>(std::max<size_t>(1,
-                                                        options_.num_threads));
+  pool_ = std::make_unique<ThreadPool>(
+      std::max<size_t>(1, options_.num_threads), registry_, "http");
   event_thread_ = std::thread([this]() { EventLoop(); });
   return Status::OK();
 }
@@ -492,7 +543,7 @@ void HttpServer::AcceptReady() {
     if (conns_.size() >= connection_limit_) {
       // Refuse, but never block the event loop on a slow or malicious
       // client: one non-blocking send, dropped on EAGAIN, then close.
-      connections_refused_.fetch_add(1);
+      connections_refused_->Increment();
       static const std::string kRefuseWire = [] {
         HttpResponse busy;
         busy.status = 503;
@@ -517,16 +568,22 @@ void HttpServer::AcceptReady() {
     ev.events = EPOLLIN;
     ev.data.u64 = conn->id;
     ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
-    connections_accepted_.fetch_add(1);
-    active_connections_.fetch_add(1);
+    connections_accepted_->Increment();
+    active_connections_->Add(1);
     conns_.emplace(conn->id, std::move(conn));
   }
 }
 
 void HttpServer::DestroyConn(Conn* conn) {
+  // Responses that never fully reached the socket still finish their
+  // traces (marked aborted) so /debug/requests shows the disconnect.
+  while (!conn->pending_traces.empty()) {
+    FinishTrace(std::move(conn->pending_traces.front()), /*aborted=*/true);
+    conn->pending_traces.pop_front();
+  }
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
   ::close(conn->fd);
-  active_connections_.fetch_sub(1);
+  active_connections_->Add(-1);
   conns_.erase(conn->id);  // frees `conn`
 }
 
@@ -541,6 +598,7 @@ bool HttpServer::ReadReady(Conn* conn) {
     if (n > 0) {
       if (conn->in.empty()) conn->head_start_ms = NowMs();
       conn->in.append(buf, static_cast<size_t>(n));
+      bytes_received_->Increment(static_cast<uint64_t>(n));
       continue;
     }
     if (n == 0) {
@@ -606,6 +664,8 @@ bool HttpServer::QueueDirectResponse(Conn* conn,
 }
 
 bool HttpServer::DispatchRequest(Conn* conn, const std::string& head_text) {
+  const uint64_t parse_start_ns =
+      options_.trace_ring != nullptr ? obs::MonotonicNowNs() : 0;
   HttpRequest request;
   bool has_body = false;
   if (!ParseRequestHead(head_text, &request, &has_body)) {
@@ -645,9 +705,43 @@ bool HttpServer::DispatchRequest(Conn* conn, const std::string& head_text) {
   if (!keep_alive) conn->closing = true;
   conn->handling = true;
   bool head_only = request.method == "HEAD";
+
+  // Tracing: accept the client's request id (echoed back) or mint one,
+  // anchor the trace at the parse start, and open the queue_wait span
+  // here — the worker closes it the moment it picks the request up.
+  // The trace object is handed off stage to stage (event thread ->
+  // worker -> event thread) through the existing queues, so exactly
+  // one thread touches it at a time.
+  std::shared_ptr<obs::RequestTrace> trace;
+  size_t queue_span = 0;
+  if (options_.trace_ring != nullptr) {
+    std::string request_id;
+    auto id_header = request.headers.find("x-vas-request-id");
+    if (id_header != request.headers.end() && !id_header->second.empty()) {
+      request_id = id_header->second.substr(0, 64);
+    } else {
+      request_id = obs::MintRequestId();
+    }
+    trace = std::make_shared<obs::RequestTrace>(std::move(request_id),
+                                                request.target,
+                                                parse_start_ns);
+    trace->AddCompleteSpan("parse", parse_start_ns, obs::MonotonicNowNs());
+    queue_span = trace->BeginSpan("queue_wait");
+  }
   pool_->Submit([this, id = conn->id, request = std::move(request), head_only,
-                 keep_alive]() {
+                 keep_alive, trace = std::move(trace), queue_span,
+                 dispatch_ns = obs::MonotonicNowNs()]() mutable {
+    if (trace != nullptr) trace->EndSpan(queue_span);
+    request.trace = trace.get();
+    size_t handle_span =
+        trace != nullptr ? trace->BeginSpan("handle") : 0;
     HttpResponse response = handler_(request);
+    if (trace != nullptr) {
+      trace->EndSpan(handle_span);
+      trace->set_http_status(response.status);
+      response.extra_headers.emplace_back("X-Vas-Request-Id",
+                                          trace->request_id());
+    }
     bool keep = keep_alive && !stopping_.load();
     Completion completion;
     completion.conn_id = id;
@@ -665,6 +759,8 @@ bool HttpServer::DispatchRequest(Conn* conn, const std::string& head_text) {
       }
     }
     completion.keep_alive = keep;
+    completion.trace = std::move(trace);
+    completion.dispatch_ns = dispatch_ns;
     PushCompletion(std::move(completion));
   });
   return true;
@@ -672,20 +768,34 @@ bool HttpServer::DispatchRequest(Conn* conn, const std::string& head_text) {
 
 bool HttpServer::AppendResponse(Conn* conn, Completion completion) {
   bool was_empty = conn->out_bytes == 0;
+  size_t appended = completion.head.size();
   conn->out_bytes += completion.head.size();
   conn->out.push_back({std::move(completion.head), nullptr, 0});
   if (completion.include_body) {
     if (completion.shared_body != nullptr) {
+      appended += completion.shared_body->size();
       conn->out_bytes += completion.shared_body->size();
       conn->out.push_back({std::string(), std::move(completion.shared_body),
                            0});
     } else if (!completion.body.empty()) {
+      appended += completion.body.size();
       conn->out_bytes += completion.body.size();
       conn->out.push_back({std::move(completion.body), nullptr, 0});
     }
   }
+  conn->queued_bytes_total += appended;
   if (was_empty) conn->last_write_ms = NowMs();
-  requests_served_.fetch_add(1);
+  requests_served_->Increment();
+  if (completion.dispatch_ns != 0) {
+    uint64_t now = obs::MonotonicNowNs();
+    request_duration_ns_->Observe(
+        now > completion.dispatch_ns ? now - completion.dispatch_ns : 0);
+  }
+  if (completion.trace != nullptr) {
+    size_t drain_span = completion.trace->BeginSpan("send_drain");
+    conn->pending_traces.push_back({std::move(completion.trace),
+                                    conn->queued_bytes_total, drain_span});
+  }
   if (!completion.keep_alive) conn->closing = true;
   if (options_.max_output_buffer_bytes > 0 &&
       conn->out_bytes > options_.max_output_buffer_bytes) {
@@ -710,6 +820,8 @@ bool HttpServer::FlushOutput(Conn* conn) {
     if (n > 0) {
       seg.offset += static_cast<size_t>(n);
       conn->out_bytes -= static_cast<size_t>(n);
+      conn->sent_bytes_total += static_cast<uint64_t>(n);
+      bytes_sent_->Increment(static_cast<uint64_t>(n));
       conn->last_write_ms = NowMs();
       continue;
     }
@@ -718,13 +830,50 @@ bool HttpServer::FlushOutput(Conn* conn) {
       // Socket buffer full — the slow-reader case. EPOLLOUT gets
       // (re-)armed by UpdateInterest; the event loop resumes here when
       // the client drains.
+      SettleDrainedTraces(conn);
       return true;
     }
     DestroyConn(conn);
     return false;
   }
   conn->last_activity_ms = NowMs();  // response delivered; idle restarts
+  SettleDrainedTraces(conn);
   return true;
+}
+
+void HttpServer::SettleDrainedTraces(Conn* conn) {
+  while (!conn->pending_traces.empty() &&
+         conn->pending_traces.front().end_offset <= conn->sent_bytes_total) {
+    FinishTrace(std::move(conn->pending_traces.front()), /*aborted=*/false);
+    conn->pending_traces.pop_front();
+  }
+}
+
+void HttpServer::FinishTrace(PendingTrace pending, bool aborted) {
+  obs::RequestTrace& trace = *pending.trace;
+  trace.EndSpan(pending.drain_span);
+  if (aborted) {
+    trace.Annotate(pending.drain_span, "aborted", 1);
+  }
+  trace.Finish();
+  if (options_.slow_request_ms > 0 &&
+      trace.total_ns() >=
+          static_cast<uint64_t>(options_.slow_request_ms) * 1000000ull) {
+    obs::LogFields fields;
+    fields.Add("request_id", trace.request_id())
+        .Add("target", trace.target())
+        .Add("status", trace.http_status())
+        .Add("total_ms",
+             static_cast<double>(trace.total_ns()) / 1e6);
+    for (const obs::TraceSpan& span : trace.spans()) {
+      fields.Add(span.name + "_ms",
+                 static_cast<double>(span.duration_ns) / 1e6);
+    }
+    obs::Log(obs::LogLevel::kWarn, "slow request", fields);
+  }
+  if (options_.trace_ring != nullptr) {
+    options_.trace_ring->Push(std::move(pending.trace));
+  }
 }
 
 void HttpServer::UpdateInterest(Conn* conn) {
@@ -750,7 +899,17 @@ void HttpServer::DrainCompletions() {
   }
   for (Completion& completion : batch) {
     auto it = conns_.find(completion.conn_id);
-    if (it == conns_.end()) continue;  // connection died while rendering
+    if (it == conns_.end()) {
+      // Connection died while rendering; the trace still completes so
+      // /debug/requests shows what the orphaned request cost.
+      if (completion.trace != nullptr) {
+        completion.trace->Finish();
+        if (options_.trace_ring != nullptr) {
+          options_.trace_ring->Push(std::move(completion.trace));
+        }
+      }
+      continue;
+    }
     Conn* conn = it->second.get();
     conn->handling = false;
     if (!AppendResponse(conn, std::move(completion))) continue;

@@ -30,6 +30,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -47,6 +49,10 @@ struct HttpRequest {
   std::string version;
   std::map<std::string, std::string> query;
   std::map<std::string, std::string> headers;
+  /// The request's trace (null when tracing is off). Handlers may add
+  /// spans/annotations; the server owns the lifetime — valid only for
+  /// the duration of the handler call.
+  obs::RequestTrace* trace = nullptr;
 };
 
 struct HttpResponse {
@@ -124,6 +130,20 @@ class HttpServer {
     /// the cap exists so a client that pipelines requests but never
     /// reads cannot grow the output buffer without bound.
     size_t max_output_buffer_bytes = 8 * 1024 * 1024;
+    /// Registry the transport counters live in. Null = the server owns
+    /// a private registry (counters still work, /metrics just is not
+    /// shared); serve_main passes one registry to every layer so
+    /// /metrics shows the whole process.
+    obs::MetricsRegistry* registry = nullptr;
+    /// Destination for finished request traces (/debug/requests).
+    /// Null disables per-request tracing entirely — no ids are minted
+    /// and handlers see request.trace == nullptr. Must outlive the
+    /// server.
+    obs::TraceRing* trace_ring = nullptr;
+    /// With tracing on, a request whose total latency (parse through
+    /// last byte drained) is >= this emits one structured warn log
+    /// with its span breakdown. 0 disables slow-request logging.
+    int64_t slow_request_ms = 0;
   };
 
   HttpServer(Options options, Handler handler);
@@ -147,30 +167,41 @@ class HttpServer {
   uint16_t port() const { return port_; }
 
   /// Requests fully handled so far.
-  size_t requests_served() const { return requests_served_.load(); }
+  size_t requests_served() const { return requests_served_->Value(); }
 
   /// Connections currently open (being served or idle in keep-alive).
-  size_t active_connections() const { return active_connections_.load(); }
+  size_t active_connections() const {
+    return static_cast<size_t>(active_connections_->Value());
+  }
 
   /// Connections accepted so far (excludes ones refused with 503).
-  size_t connections_accepted() const { return connections_accepted_.load(); }
+  size_t connections_accepted() const {
+    return connections_accepted_->Value();
+  }
 
   /// Connections refused with 503 because the connection limit was hit.
-  size_t connections_refused() const { return connections_refused_.load(); }
+  size_t connections_refused() const { return connections_refused_->Value(); }
 
-  /// All transport counters in one snapshot.
+  /// All transport counters in one snapshot. These read the same
+  /// registry objects /metrics renders, so the two surfaces agree by
+  /// construction.
   HttpServerStats stats() const {
     HttpServerStats s;
-    s.requests_served = requests_served_.load();
-    s.connections_accepted = connections_accepted_.load();
-    s.connections_refused = connections_refused_.load();
-    s.active_connections = active_connections_.load();
+    s.requests_served = requests_served();
+    s.connections_accepted = connections_accepted();
+    s.connections_refused = connections_refused();
+    s.active_connections = active_connections();
     return s;
   }
+
+  /// The registry the transport counters live in (the Options one, or
+  /// the server's private registry when none was given).
+  obs::MetricsRegistry* metrics_registry() const { return registry_; }
 
  private:
   struct Conn;
   struct Completion;
+  struct PendingTrace;
 
   void EventLoop();
   void AcceptReady();
@@ -187,9 +218,17 @@ class HttpServer {
   void DestroyConn(Conn* conn);
   void PushCompletion(Completion completion);
   void Wake();
+  /// Finishes traces whose response bytes have fully reached the
+  /// socket (ring push + slow-request log), and — on teardown — the
+  /// ones whose connection died first.
+  void SettleDrainedTraces(Conn* conn);
+  void FinishTrace(PendingTrace pending, bool aborted);
 
   const Options options_;
   const Handler handler_;
+  /// Backs the metric pointers below when Options.registry is null.
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  obs::MetricsRegistry* registry_ = nullptr;
   std::unique_ptr<ThreadPool> pool_;
   std::thread event_thread_;
   int listen_fd_ = -1;
@@ -199,10 +238,16 @@ class HttpServer {
   size_t connection_limit_ = 0;
   std::atomic<bool> stopping_{false};
   std::atomic<bool> started_{false};
-  std::atomic<size_t> requests_served_{0};
-  std::atomic<size_t> active_connections_{0};
-  std::atomic<size_t> connections_accepted_{0};
-  std::atomic<size_t> connections_refused_{0};
+  /// Transport metrics, owned by registry_. The registry objects are
+  /// the only storage — stats()/accessors read them, /metrics renders
+  /// them.
+  obs::Counter* requests_served_ = nullptr;
+  obs::Gauge* active_connections_ = nullptr;
+  obs::Counter* connections_accepted_ = nullptr;
+  obs::Counter* connections_refused_ = nullptr;
+  obs::Counter* bytes_received_ = nullptr;
+  obs::Counter* bytes_sent_ = nullptr;
+  obs::Histogram* request_duration_ns_ = nullptr;
 
   /// Everything below `conns_` is owned by the event thread; workers
   /// communicate only through the completion queue + wake_fd_.

@@ -1,9 +1,9 @@
 #include "service/plot_service.h"
 
-#include <chrono>
 #include <utility>
 
 #include "core/density.h"
+#include "obs/trace.h"
 #include "service/http_server.h"  // EtagMatches
 #include "util/logging.h"
 
@@ -29,7 +29,57 @@ PlotService::PlotService(const Options& options)
     : options_(options),
       cache_(TileCache::Options{options.tile_cache_budget_bytes,
                                 options.tile_cache_shards}) {
+  if (options_.registry != nullptr) {
+    registry_ = options_.registry;
+  } else {
+    owned_registry_ = std::make_unique<obs::MetricsRegistry>();
+    registry_ = owned_registry_.get();
+  }
+  metrics_.scatter_tiles = registry_->GetCounter(
+      "vas_tiles_rendered_total", "Cold tile renders (cache hits excluded).",
+      {{"style", "scatter"}});
+  metrics_.heatmap_tiles = registry_->GetCounter(
+      "vas_tiles_rendered_total", "Cold tile renders (cache hits excluded).",
+      {{"style", "heatmap"}});
+  metrics_.partial_loads = registry_->GetCounter(
+      "vas_tile_partial_loads_total",
+      "Cold renders served straight from a spilled table's mmap'd paged "
+      "catalog.");
+  metrics_.partial_load_bytes = registry_->GetCounter(
+      "vas_tile_partial_load_bytes_total",
+      "Page bytes newly faulted in by partial tile materializations.");
+  metrics_.encode_bytes_in = registry_->GetCounter(
+      "vas_tile_encode_bytes_in_total",
+      "Raw RGB pixel bytes fed to the PNG encoder.");
+  metrics_.encode_bytes_out = registry_->GetCounter(
+      "vas_tile_encode_bytes_out_total", "Encoded PNG bytes produced.");
+  metrics_.cache_hits = registry_->GetCounter(
+      "vas_tile_cache_hits_total",
+      "Tile requests answered from the encoded-tile cache (including "
+      "single-flight followers).");
+  metrics_.cache_misses = registry_->GetCounter(
+      "vas_tile_cache_misses_total",
+      "Tile requests that had to render (elected single-flight leaders).");
+  for (const char* style : {"scatter", "heatmap"}) {
+    obs::LabelSet labels{{"style", style}};
+    obs::Histogram* render = registry_->GetHistogram(
+        "vas_tile_render_ns", "Tile rasterization wall time.", labels);
+    obs::Histogram* encode = registry_->GetHistogram(
+        "vas_tile_encode_ns", "Tile PNG encode wall time.", labels);
+    if (std::string(style) == "heatmap") {
+      metrics_.heatmap_render_ns = render;
+      metrics_.heatmap_encode_ns = encode;
+    } else {
+      metrics_.scatter_render_ns = render;
+      metrics_.scatter_encode_ns = encode;
+    }
+  }
   CatalogManager::Options manager_options = options_.catalog;
+  // One registry for the whole serving stack unless the caller split
+  // them deliberately.
+  if (manager_options.registry == nullptr) {
+    manager_options.registry = registry_;
+  }
   // The rung-upgrade hook: the moment a sharper rung lands, every tile
   // of that table rendered from a smaller rung is stale — drop them so
   // the next fetch re-renders at the new fidelity.
@@ -128,29 +178,27 @@ ScatterRenderer::Options PlotService::TileRenderOptions() const {
 }
 
 PlotService::RenderStats PlotService::render_stats() const {
+  // Read back from the registry objects — the same ones /metrics
+  // renders, so the two surfaces agree by construction.
   RenderStats stats;
+  stats.scatter_tiles_rendered = metrics_.scatter_tiles->Value();
+  stats.heatmap_tiles_rendered = metrics_.heatmap_tiles->Value();
   stats.tiles_rendered =
-      render_counters_.tiles_rendered.load(std::memory_order_relaxed);
-  stats.scatter_tiles_rendered =
-      render_counters_.scatter_tiles_rendered.load(std::memory_order_relaxed);
-  stats.heatmap_tiles_rendered =
-      render_counters_.heatmap_tiles_rendered.load(std::memory_order_relaxed);
-  stats.partial_tile_loads =
-      render_counters_.partial_tile_loads.load(std::memory_order_relaxed);
+      stats.scatter_tiles_rendered + stats.heatmap_tiles_rendered;
+  stats.partial_tile_loads = metrics_.partial_loads->Value();
   stats.render_nanos =
-      render_counters_.render_nanos.load(std::memory_order_relaxed);
+      metrics_.scatter_render_ns->Sum() + metrics_.heatmap_render_ns->Sum();
   stats.encode_nanos =
-      render_counters_.encode_nanos.load(std::memory_order_relaxed);
-  stats.encode_bytes_in =
-      render_counters_.encode_bytes_in.load(std::memory_order_relaxed);
-  stats.encode_bytes_out =
-      render_counters_.encode_bytes_out.load(std::memory_order_relaxed);
+      metrics_.scatter_encode_ns->Sum() + metrics_.heatmap_encode_ns->Sum();
+  stats.encode_bytes_in = metrics_.encode_bytes_in->Value();
+  stats.encode_bytes_out = metrics_.encode_bytes_out->Value();
   return stats;
 }
 
 StatusOr<PlotService::TileResult> PlotService::RenderTile(
     const std::string& table, const TileKey& tile,
-    const std::string& if_none_match, TileStyle style) {
+    const std::string& if_none_match, TileStyle style,
+    obs::RequestTrace* trace) {
   if (!TileGrid::IsValid(tile)) {
     return Status::InvalidArgument("tile out of range: " + tile.ToString());
   }
@@ -159,10 +207,17 @@ StatusOr<PlotService::TileResult> PlotService::RenderTile(
   // A spilled table with a paged backing file comes back as a mapped
   // view — choosing the rung and keying the cache need only the rung
   // *sizes*, so no sample data is faulted in unless we actually render.
+  const size_t rung_choice_span =
+      trace != nullptr ? trace->BeginSpan("rung_choice") : 0;
   VAS_ASSIGN_OR_RETURN(CatalogView view, manager_->ViewFor(state.key));
   const size_t rung_index = view.ChooseForTimeBudget(
       options_.tile_time_budget_seconds, options_.viz_model);
   const size_t rung_points = view.rung_size(rung_index);
+  if (trace != nullptr) {
+    trace->EndSpan(rung_choice_span);
+    trace->Annotate(rung_choice_span, "rung_points",
+                    static_cast<int64_t>(rung_points));
+  }
 
   TileResult result;
   result.sample_size = rung_points;
@@ -187,6 +242,7 @@ StatusOr<PlotService::TileResult> PlotService::RenderTile(
   std::string cache_key =
       CacheKeyFor(table, state.generation, tile, rung_points, style);
   if (auto cached = cache_.Get(cache_key)) {
+    metrics_.cache_hits->Increment();
     result.png = std::move(cached);
     result.cache_hit = true;
     return result;
@@ -202,6 +258,7 @@ StatusOr<PlotService::TileResult> PlotService::RenderTile(
     if (it != inflight_.end()) {
       auto pending = it->second;
       lock.unlock();
+      metrics_.cache_hits->Increment();
       result.png = pending.get();
       if (result.png == nullptr) {
         // The elected renderer failed (e.g. a corrupt page surfaced
@@ -214,6 +271,7 @@ StatusOr<PlotService::TileResult> PlotService::RenderTile(
     }
     inflight_.emplace(cache_key, render_promise.get_future().share());
   }
+  metrics_.cache_misses->Increment();
 
   Viewport viewport(state.grid.TileBounds(tile), options_.tile_px,
                     options_.tile_px);
@@ -230,9 +288,13 @@ StatusOr<PlotService::TileResult> PlotService::RenderTile(
   const SampleSet* sample = view.ResidentRung(rung_index);
   SampleSet materialized_storage;
   bool partial_load = false;
+  uint64_t touched_delta = 0;
   if (sample == nullptr) {
     const bool identity_safe =
         style == TileStyle::kHeatmap || !state.dataset->has_values();
+    const size_t materialize_span =
+        trace != nullptr ? trace->BeginSpan("materialize") : 0;
+    const size_t touched_before = manager_->memory_stats().touched_page_bytes;
     auto materialized =
         identity_safe
             ? view.MaterializeForRect(rung_index, state.grid.TileBounds(tile))
@@ -248,9 +310,19 @@ StatusOr<PlotService::TileResult> PlotService::RenderTile(
     materialized_storage = std::move(*materialized);
     sample = &materialized_storage;
     partial_load = identity_safe;
+    const size_t touched_after = manager_->memory_stats().touched_page_bytes;
+    touched_delta =
+        touched_after > touched_before ? touched_after - touched_before : 0;
+    if (trace != nullptr) {
+      trace->EndSpan(materialize_span);
+      trace->Annotate(materialize_span, "points",
+                      static_cast<int64_t>(sample->size()));
+      trace->Annotate(materialize_span, "touched_bytes",
+                      static_cast<int64_t>(touched_delta));
+    }
   }
   ScatterRenderer renderer(TileRenderOptions());
-  auto render_start = std::chrono::steady_clock::now();
+  const uint64_t render_start = obs::MonotonicNowNs();
   Image image = [&] {
     if (style == TileStyle::kHeatmap) {
       // Density tile: the binning pass alone (no dot rasterization),
@@ -266,31 +338,26 @@ StatusOr<PlotService::TileResult> PlotService::RenderTile(
     }
     return renderer.RenderSample(*state.dataset, *sample, viewport);
   }();
-  auto encode_start = std::chrono::steady_clock::now();
+  const uint64_t encode_start = obs::MonotonicNowNs();
   auto png = std::make_shared<const std::string>(image.EncodePng(options_.png));
-  auto encode_end = std::chrono::steady_clock::now();
-  auto nanos_between = [](std::chrono::steady_clock::time_point a,
-                          std::chrono::steady_clock::time_point b) {
-    return static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
-  };
-  render_counters_.tiles_rendered.fetch_add(1, std::memory_order_relaxed);
-  (style == TileStyle::kHeatmap ? render_counters_.heatmap_tiles_rendered
-                                : render_counters_.scatter_tiles_rendered)
-      .fetch_add(1, std::memory_order_relaxed);
+  const uint64_t encode_end = obs::MonotonicNowNs();
+  const bool heatmap = style == TileStyle::kHeatmap;
+  (heatmap ? metrics_.heatmap_tiles : metrics_.scatter_tiles)->Increment();
   if (partial_load) {
-    render_counters_.partial_tile_loads.fetch_add(1,
-                                                  std::memory_order_relaxed);
+    metrics_.partial_loads->Increment();
+    metrics_.partial_load_bytes->Increment(touched_delta);
   }
-  render_counters_.render_nanos.fetch_add(
-      nanos_between(render_start, encode_start), std::memory_order_relaxed);
-  render_counters_.encode_nanos.fetch_add(
-      nanos_between(encode_start, encode_end), std::memory_order_relaxed);
-  render_counters_.encode_bytes_in.fetch_add(
-      static_cast<uint64_t>(image.width()) * image.height() * 3,
-      std::memory_order_relaxed);
-  render_counters_.encode_bytes_out.fetch_add(png->size(),
-                                              std::memory_order_relaxed);
+  (heatmap ? metrics_.heatmap_render_ns : metrics_.scatter_render_ns)
+      ->Observe(encode_start - render_start);
+  (heatmap ? metrics_.heatmap_encode_ns : metrics_.scatter_encode_ns)
+      ->Observe(encode_end - encode_start);
+  metrics_.encode_bytes_in->Increment(
+      static_cast<uint64_t>(image.width()) * image.height() * 3);
+  metrics_.encode_bytes_out->Increment(png->size());
+  if (trace != nullptr) {
+    trace->AddCompleteSpan("render", render_start, encode_start);
+    trace->AddCompleteSpan("encode", encode_start, encode_end);
+  }
   // Publish to the cache before leaving the single-flight window, so a
   // new request always finds the bytes in one place or the other.
   cache_.Put(cache_key, png);

@@ -20,6 +20,8 @@
 
 #include "engine/catalog_manager.h"
 #include "engine/session.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "render/scatter_renderer.h"
 #include "service/tile_cache.h"
 #include "service/tile_math.h"
@@ -84,6 +86,12 @@ class PlotService {
     PngEncodeOptions png;
     /// Colormap for ?style=heatmap tiles.
     ColormapKind heatmap_colormap = ColormapKind::kViridis;
+    /// Registry the render/cache/catalog metrics live in. Null = the
+    /// service owns a private registry; render_stats() works either
+    /// way. Propagated into the owned CatalogManager (unless
+    /// catalog.registry is already set) so one registry covers the
+    /// whole serving stack.
+    obs::MetricsRegistry* registry = nullptr;
   };
 
   /// Counters for the render->encode hot path, served via /stats so
@@ -187,10 +195,13 @@ class PlotService {
   /// unconditional): when it matches the tile's current ETag, the
   /// result comes back with not_modified set and no bytes — the render
   /// and cache lookup are both skipped.
+  /// `trace` (optional) receives rung_choice / materialize / render /
+  /// encode spans with touched-byte annotations.
   StatusOr<TileResult> RenderTile(const std::string& table,
                                   const TileKey& tile,
                                   const std::string& if_none_match = "",
-                                  TileStyle style = TileStyle::kScatter);
+                                  TileStyle style = TileStyle::kScatter,
+                                  obs::RequestTrace* trace = nullptr);
 
   /// Viewport aggregates for /plot; an empty rect means the whole
   /// domain.
@@ -215,6 +226,10 @@ class PlotService {
   TileCache::Stats cache_stats() const { return cache_.stats(); }
   RenderStats render_stats() const;
   const Options& options() const { return options_; }
+
+  /// The registry the render metrics live in (Options.registry, or the
+  /// service's private one).
+  obs::MetricsRegistry* metrics_registry() const { return registry_; }
 
  private:
   struct Table {
@@ -256,19 +271,27 @@ class PlotService {
                      std::shared_ptr<const Dataset> dataset);
 
   const Options options_;
-  /// Backing counters for render_stats(); touched only on the cold
-  /// render path, so relaxed atomics suffice.
-  struct RenderCounters {
-    std::atomic<uint64_t> tiles_rendered{0};
-    std::atomic<uint64_t> scatter_tiles_rendered{0};
-    std::atomic<uint64_t> heatmap_tiles_rendered{0};
-    std::atomic<uint64_t> partial_tile_loads{0};
-    std::atomic<uint64_t> render_nanos{0};
-    std::atomic<uint64_t> encode_nanos{0};
-    std::atomic<uint64_t> encode_bytes_in{0};
-    std::atomic<uint64_t> encode_bytes_out{0};
+  /// Backs registry_ when Options.registry is null.
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  obs::MetricsRegistry* registry_ = nullptr;
+  /// Render-path metrics, owned by registry_. These are the *only*
+  /// storage — render_stats() reads them back, so /stats and /metrics
+  /// can never disagree. Touched only on the cold render path.
+  struct RenderMetrics {
+    obs::Counter* scatter_tiles = nullptr;
+    obs::Counter* heatmap_tiles = nullptr;
+    obs::Counter* partial_loads = nullptr;
+    obs::Counter* partial_load_bytes = nullptr;
+    obs::Counter* encode_bytes_in = nullptr;
+    obs::Counter* encode_bytes_out = nullptr;
+    obs::Counter* cache_hits = nullptr;
+    obs::Counter* cache_misses = nullptr;
+    obs::Histogram* scatter_render_ns = nullptr;
+    obs::Histogram* heatmap_render_ns = nullptr;
+    obs::Histogram* scatter_encode_ns = nullptr;
+    obs::Histogram* heatmap_encode_ns = nullptr;
   };
-  RenderCounters render_counters_;
+  RenderMetrics metrics_;
   /// Declared before manager_: build workers may still fire the
   /// rung-upgrade hook (which touches the cache) while the manager is
   /// shutting down, so the cache must outlive it.

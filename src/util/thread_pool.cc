@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace vas {
@@ -13,7 +14,19 @@ namespace {
 thread_local const ThreadPool* tls_worker_pool = nullptr;
 }  // namespace
 
-ThreadPool::ThreadPool(size_t num_threads) {
+ThreadPool::ThreadPool(size_t num_threads)
+    : ThreadPool(num_threads, nullptr, std::string()) {}
+
+ThreadPool::ThreadPool(size_t num_threads, obs::MetricsRegistry* registry,
+                       const std::string& pool_label) {
+  if (registry != nullptr) {
+    obs::LabelSet labels{{"pool", pool_label}};
+    queue_wait_ns_ = registry->GetHistogram(
+        "vas_pool_queue_wait_ns",
+        "Time tasks spent queued before a worker picked them up.", labels);
+    queue_depth_ = registry->GetGauge(
+        "vas_pool_queue_depth", "Tasks queued but not yet started.", labels);
+  }
   if (num_threads == 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
@@ -33,11 +46,14 @@ size_t ThreadPool::pending() const {
 }
 
 void ThreadPool::Enqueue(std::function<void()> task) {
+  uint64_t enqueue_ns =
+      queue_wait_ns_ != nullptr ? obs::MonotonicNowNs() : 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     VAS_CHECK_MSG(!shutting_down_, "Submit() on a shut-down ThreadPool");
-    queue_.push_back(std::move(task));
+    queue_.push_back({std::move(task), enqueue_ns});
   }
+  if (queue_depth_ != nullptr) queue_depth_->Add(1);
   work_available_.notify_one();
 }
 
@@ -58,7 +74,7 @@ void ThreadPool::Shutdown() {
 void ThreadPool::WorkerLoop() {
   tls_worker_pool = this;
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_available_.wait(
@@ -67,7 +83,13 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    if (queue_depth_ != nullptr) queue_depth_->Add(-1);
+    if (queue_wait_ns_ != nullptr && task.enqueue_ns != 0) {
+      uint64_t now = obs::MonotonicNowNs();
+      queue_wait_ns_->Observe(now > task.enqueue_ns ? now - task.enqueue_ns
+                                                    : 0);
+    }
+    task.fn();
   }
 }
 

@@ -12,10 +12,13 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace vas {
 
@@ -35,6 +38,13 @@ class ThreadPool {
  public:
   /// Starts `num_threads` workers; 0 means hardware concurrency.
   explicit ThreadPool(size_t num_threads = 0);
+
+  /// Instrumented pool: task queue latency lands in
+  /// `vas_pool_queue_wait_ns{pool=<label>}` and live queue depth in
+  /// `vas_pool_queue_depth{pool=<label>}` on `registry` (null =
+  /// uninstrumented, identical to the plain constructor).
+  ThreadPool(size_t num_threads, obs::MetricsRegistry* registry,
+             const std::string& pool_label);
 
   /// Drains the queue and joins the workers.
   ~ThreadPool();
@@ -71,14 +81,24 @@ class ThreadPool {
   void Shutdown();
 
  private:
+  /// One queued task plus its enqueue timestamp (0 = uninstrumented),
+  /// so the worker that dequeues it can observe the queue wait.
+  struct Task {
+    std::function<void()> fn;
+    uint64_t enqueue_ns = 0;
+  };
+
   void Enqueue(std::function<void()> task);
   void WorkerLoop();
 
   mutable std::mutex mu_;
   std::condition_variable work_available_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   std::vector<std::thread> workers_;
   bool shutting_down_ = false;
+  /// Null when the pool was built without a registry.
+  obs::Histogram* queue_wait_ns_ = nullptr;
+  obs::Gauge* queue_depth_ = nullptr;
 };
 
 }  // namespace vas

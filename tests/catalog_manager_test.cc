@@ -86,6 +86,22 @@ SampleCatalog::Options NoDensityLadder(std::vector<size_t> ladder) {
   return opt;
 }
 
+/// Eviction by spill completes asynchronously: the ladder stays
+/// resident (and servable) until the off-lock spill write lands,
+/// possibly on a pool thread. Tests asserting "over budget, therefore
+/// evicted" must wait out that window, not race it.
+bool EvictedWithin(const CatalogManager& manager, const CatalogKey& key,
+                   std::chrono::seconds deadline = std::chrono::seconds(10)) {
+  auto until = std::chrono::steady_clock::now() + deadline;
+  while (std::chrono::steady_clock::now() < until) {
+    auto status = manager.GetStatus(key);
+    if (!status.ok()) return false;
+    if (!status->resident) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return false;
+}
+
 TEST(CatalogManagerTest, RegistrationAndStatusLifecycle) {
   CatalogManager manager(2);
   CatalogKey key{"geo", "x", "y"};
@@ -337,12 +353,10 @@ TEST(CatalogManagerTest, EvictsLruUnderBudgetAndReloadsOnAccess) {
   ASSERT_TRUE(manager.WaitUntilDone(k2).ok());
 
   // Finalizing k2 pushed the total over budget: k1 (least recently
-  // used) must have been spilled.
-  auto s1 = manager.GetStatus(k1);
+  // used) must be spilled — asynchronously, so wait for the write.
+  ASSERT_TRUE(EvictedWithin(manager, k1));
   auto s2 = manager.GetStatus(k2);
-  ASSERT_TRUE(s1.ok());
   ASSERT_TRUE(s2.ok());
-  EXPECT_FALSE(s1->resident);
   EXPECT_TRUE(s2->resident);
   auto stats = manager.memory_stats();
   EXPECT_GE(stats.evictions, 1u);
@@ -388,9 +402,7 @@ TEST(CatalogManagerTest, ManagerBackedSessionSurvivesEvictReloadCycle) {
                   .ok());
   ASSERT_TRUE(manager.WaitUntilDone(other).ok());
   ASSERT_TRUE(manager.Snapshot(other).ok());  // touch: session key is LRU
-  auto evicted = manager.GetStatus(key);
-  ASSERT_TRUE(evicted.ok());
-  ASSERT_FALSE(evicted->resident);
+  ASSERT_TRUE(EvictedWithin(manager, key));
 
   auto again = session.RequestPlot(req);
   EXPECT_EQ(again.catalog_sample_size, first.catalog_sample_size);
@@ -497,12 +509,17 @@ TEST(CatalogManagerTest, CollidingSanitizedKeysSpillToDistinctFiles) {
             (*underscore_before)->samples()[0].ids);
 
   // Bounce both through spill + reload a few times; each must always
-  // come back with its own ids.
+  // come back with its own ids. Spill writes land asynchronously, so
+  // wait for each eviction before snapshotting — otherwise a slow
+  // write (TSan) lets the snapshot serve the still-resident ladder
+  // and the round never exercises the reload at all.
   for (int round = 0; round < 3; ++round) {
+    ASSERT_TRUE(EvictedWithin(manager, colon));
     auto colon_after = manager.Snapshot(colon);
     ASSERT_TRUE(colon_after.ok());
     EXPECT_EQ((*colon_after)->samples()[0].ids,
               (*colon_before)->samples()[0].ids);
+    ASSERT_TRUE(EvictedWithin(manager, underscore));
     auto underscore_after = manager.Snapshot(underscore);
     ASSERT_TRUE(underscore_after.ok());
     EXPECT_EQ((*underscore_after)->samples()[0].ids,

@@ -14,12 +14,15 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/http_routes.h"
 #include "service/http_server.h"
 #include "service/plot_service.h"
@@ -1013,6 +1016,206 @@ TEST_F(ServiceEndpointTest, PlotReturnsViewportCounts) {
 TEST_F(ServiceEndpointTest, UnknownRouteIs404) {
   EXPECT_EQ(Get("/").status, 404);
   EXPECT_EQ(Get("/tiles/geo/1/0.png").status, 404) << "wrong segment count";
+}
+
+/// The fully observed deployment shape: one shared registry and trace
+/// ring wired through the service, the transport, and the handler —
+/// the same wiring serve_main does.
+class ObservedServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    PlotService::Options service_options;
+    service_options.registry = &registry_;
+    service_ = std::make_unique<PlotService>(service_options);
+    auto dataset = std::make_shared<Dataset>(test::Skewed(4000));
+    dataset->CacheBounds();
+    ASSERT_TRUE(service_
+                    ->RegisterTable(
+                        "geo", dataset,
+                        []() {
+                          return std::make_unique<UniformReservoirSampler>(3);
+                        },
+                        [] {
+                          SampleCatalog::Options options;
+                          options.ladder = {200, 800};
+                          options.embed_density = false;
+                          return options;
+                        }())
+                    .ok());
+    ASSERT_TRUE(service_->manager().WaitUntilDone(CatalogKey{"geo"}).ok());
+    HttpServer::Options server_options = EphemeralPort();
+    server_options.registry = &registry_;
+    server_options.trace_ring = &ring_;
+    ServiceHandlerOptions handler_options;
+    handler_options.stats_fn = [this]() { return server_->stats(); };
+    handler_options.registry = &registry_;
+    handler_options.trace_ring = &ring_;
+    server_ = std::make_unique<HttpServer>(
+        server_options,
+        MakeServiceHandler(service_.get(), std::move(handler_options)));
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  HttpFetchResult Get(const std::string& target) {
+    auto result = HttpGet(server_->port(), target);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.ok() ? *result : HttpFetchResult{};
+  }
+
+  /// /debug/requests for `request_id`, retried briefly: the trace only
+  /// reaches the ring after the response bytes drain, which races the
+  /// client seeing the body.
+  std::string DebugEntryFor(const std::string& request_id) {
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      auto debug = Get("/debug/requests");
+      EXPECT_EQ(debug.status, 200);
+      size_t at = debug.body.find(request_id);
+      if (at != std::string::npos) {
+        // The entry runs from its opening brace to the next one (each
+        // trace object is emitted on one line of the array).
+        size_t begin = debug.body.rfind('{', at);
+        size_t end = debug.body.find("{\"request_id\"", at);
+        return debug.body.substr(
+            begin, end == std::string::npos ? std::string::npos : end - begin);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return "";
+  }
+
+  /// duration_ns of the named span inside one /debug/requests entry,
+  /// or -1 when the span is absent.
+  static int64_t SpanDurationIn(const std::string& entry,
+                                const std::string& span_name) {
+    size_t at = entry.find("\"name\":\"" + span_name + "\"");
+    if (at == std::string::npos) return -1;
+    at = entry.find("\"duration_ns\":", at);
+    if (at == std::string::npos) return -1;
+    return std::strtoll(entry.c_str() + at + 14, nullptr, 10);
+  }
+
+  obs::MetricsRegistry registry_;
+  obs::TraceRing ring_{8};
+  std::unique_ptr<PlotService> service_;
+  std::unique_ptr<HttpServer> server_;
+};
+
+TEST_F(ObservedServiceTest, MetricsEndpointSpeaksPrometheusText) {
+  ASSERT_EQ(Get("/tiles/geo/1/0/1.png").status, 200);
+  ASSERT_EQ(Get("/tiles/geo/1/0/1.png").status, 200) << "second hit caches";
+  auto result = Get("/metrics");
+  EXPECT_EQ(result.status, 200);
+  EXPECT_EQ(result.headers["content-type"],
+            "text/plain; version=0.0.4; charset=utf-8");
+  EXPECT_EQ(result.headers["cache-control"], "no-cache");
+  const std::string& body = result.body;
+  // Transport, pool, render, and cache series all land in one scrape.
+  EXPECT_NE(body.find("# TYPE vas_http_requests_total counter"),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find("vas_http_requests_total "), std::string::npos);
+  EXPECT_NE(body.find("vas_pool_queue_wait_ns_count{pool=\"http\"}"),
+            std::string::npos);
+  EXPECT_NE(body.find("vas_tiles_rendered_total{style=\"scatter\"} 1"),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find("vas_tile_cache_hits_total 1"), std::string::npos);
+  EXPECT_NE(body.find("vas_tile_render_ns_count{style=\"scatter\"} 1"),
+            std::string::npos);
+  EXPECT_NE(body.find("vas_tile_render_ns_bucket{style=\"scatter\",le="),
+            std::string::npos);
+  EXPECT_NE(body.find("vas_catalog_resident_bytes"), std::string::npos)
+      << "manager callback gauges must appear in the shared registry";
+  // Zero-valued render counters must not leak the disabled state: the
+  // histogram count equals the counter by construction.
+  EXPECT_EQ(body.find("vas_tiles_rendered_total{style=\"scatter\"} 0"),
+            std::string::npos);
+}
+
+TEST_F(ObservedServiceTest, SuppliedRequestIdIsEchoed) {
+  auto client = HttpClient::Connect(server_->port());
+  ASSERT_TRUE(client.ok());
+  auto result = client->Get("/tiles/geo/1/0/1.png",
+                            {{"X-Vas-Request-Id", "caller-trace-77"}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->status, 200);
+  EXPECT_EQ(result->headers["x-vas-request-id"], "caller-trace-77");
+  EXPECT_NE(DebugEntryFor("caller-trace-77"), "")
+      << "the caller's id names the ring entry";
+}
+
+TEST_F(ObservedServiceTest, MintedRequestIdReachesDebugRing) {
+  auto result = Get("/tiles/geo/1/1/0.png");
+  ASSERT_EQ(result.status, 200);
+  std::string id = result.headers["x-vas-request-id"];
+  ASSERT_EQ(id.substr(0, 4), "vas-") << "minted ids carry the vas- prefix";
+
+  std::string entry = DebugEntryFor(id);
+  ASSERT_NE(entry, "") << "traced request never reached /debug/requests";
+  // The span chain covers transport and render stages with real time.
+  // A resident ladder renders in place, so no materialize span here;
+  // the span list is the transport chain plus the in-memory render.
+  for (const char* span : {"parse", "queue_wait", "handle", "rung_choice",
+                           "render", "encode", "send_drain"}) {
+    EXPECT_NE(entry.find("\"name\":\"" + std::string(span) + "\""),
+              std::string::npos)
+        << span << " missing from " << entry;
+  }
+  // The acceptance bar: queue-wait, render, and encode all cost real,
+  // attributed time on a cold tile.
+  EXPECT_GT(SpanDurationIn(entry, "queue_wait"), 0) << entry;
+  EXPECT_GT(SpanDurationIn(entry, "render"), 0) << entry;
+  EXPECT_GT(SpanDurationIn(entry, "encode"), 0) << entry;
+  EXPECT_NE(entry.find("\"status\":200"), std::string::npos) << entry;
+}
+
+TEST_F(ObservedServiceTest, StatsAndMetricsAgreeByConstruction) {
+  ASSERT_EQ(Get("/tiles/geo/0/0/0.png").status, 200);
+  ASSERT_EQ(Get("/tiles/geo/0/0/0.png?style=heatmap").status, 200);
+  auto stats = Get("/stats");
+  EXPECT_EQ(stats.status, 200);
+  // The JSON fields are read back from the same registry objects the
+  // exposition renders, so the two surfaces cannot drift.
+  auto scatter = registry_.GetCounter(
+      "vas_tiles_rendered_total", "Cold tile renders (cache hits excluded).",
+      {{"style", "scatter"}});
+  auto heatmap = registry_.GetCounter(
+      "vas_tiles_rendered_total", "Cold tile renders (cache hits excluded).",
+      {{"style", "heatmap"}});
+  EXPECT_NE(stats.body.find("\"tiles_rendered\":" +
+                            std::to_string(scatter->Value() +
+                                           heatmap->Value())),
+            std::string::npos)
+      << stats.body;
+  EXPECT_NE(stats.body.find("\"scatter_tiles_rendered\":" +
+                            std::to_string(scatter->Value())),
+            std::string::npos);
+  // Back-compat: the pre-registry field names survive the rebuild.
+  for (const char* field :
+       {"\"requests_served\":", "\"connections_accepted\":",
+        "\"connections_refused\":", "\"active_connections\":",
+        "\"render\":{", "\"render_nanos\":", "\"encode_nanos\":"}) {
+    EXPECT_NE(stats.body.find(field), std::string::npos)
+        << field << " missing from " << stats.body;
+  }
+}
+
+TEST_F(ObservedServiceTest, DebugRequestsIsBoundedAndNewestFirst) {
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_EQ(Get("/healthz").status, 200);
+  }
+  // All twelve traces eventually drain into the 8-slot ring.
+  auto debug = Get("/debug/requests");
+  EXPECT_EQ(debug.status, 200);
+  EXPECT_EQ(debug.headers["cache-control"], "no-cache");
+  size_t count = 0;
+  for (size_t at = debug.body.find("\"request_id\"");
+       at != std::string::npos;
+       at = debug.body.find("\"request_id\"", at + 1)) {
+    ++count;
+  }
+  EXPECT_LE(count, 8u) << "ring must stay bounded at its capacity";
+  EXPECT_GE(count, 1u);
 }
 
 }  // namespace

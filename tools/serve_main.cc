@@ -27,6 +27,9 @@
 
 #include "core/vas.h"
 #include "data/dataset_io.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/http_routes.h"
 #include "service/http_server.h"
 #include "service/plot_service.h"
@@ -42,7 +45,7 @@ std::atomic<bool> g_stop_requested{false};
 void HandleStopSignal(int) { g_stop_requested.store(true); }
 
 int FailServe(const Status& status) {
-  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  obs::Log(obs::LogLevel::kError, status.ToString());
   return 1;
 }
 
@@ -131,10 +134,17 @@ int ServeMain(int argc, char** argv) {
                "with --png-compression=stored)");
   flags.Define("heatmap-colormap", "viridis",
                "colormap for ?style=heatmap tiles: viridis | grayscale");
+  flags.Define("slow-request-ms", "1000",
+               "requests slower than this (parse to last byte drained) "
+               "emit one structured warn log line (0 = disabled)");
+  flags.Define("log-format", "text",
+               "structured log sink format: text | json");
+  flags.Define("trace-ring-size", "256",
+               "finished request traces kept for GET /debug/requests");
   Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
-    std::fprintf(stderr, "%s\n%s", parsed.ToString().c_str(),
-                 flags.Usage(argv[0]).c_str());
+    obs::Log(obs::LogLevel::kError, parsed.ToString());
+    std::fprintf(stderr, "%s", flags.Usage(argv[0]).c_str());
     return 1;
   }
   if (flags.help_requested()) {
@@ -146,8 +156,28 @@ int ServeMain(int argc, char** argv) {
     return FailServe(Status::InvalidArgument(
         "--data is required (comma-separated dataset paths)"));
   }
+  const std::string log_format = flags.GetString("log-format");
+  if (log_format == "json") {
+    obs::SetLogFormat(obs::LogFormat::kJson);
+  } else if (log_format != "text") {
+    return FailServe(
+        Status::InvalidArgument("unknown --log-format=" + log_format));
+  }
+
+  // One registry for the whole stack (transport, pools, render,
+  // catalog residency), so GET /metrics is the single pane of glass.
+  // Declared before the service/server so the components' metric
+  // pointers never outlive it.
+  obs::MetricsRegistry registry;
+  const int64_t ring_size = flags.GetInt("trace-ring-size");
+  if (ring_size <= 0) {
+    return FailServe(
+        Status::InvalidArgument("--trace-ring-size must be positive"));
+  }
+  obs::TraceRing trace_ring(static_cast<size_t>(ring_size));
 
   PlotService::Options options;
+  options.registry = &registry;
   options.catalog.num_threads = static_cast<size_t>(flags.GetInt("threads"));
   options.catalog.memory_budget_bytes =
       static_cast<size_t>(flags.GetInt("memory-budget"));
@@ -246,21 +276,28 @@ int ServeMain(int argc, char** argv) {
       static_cast<size_t>(flags.GetInt("max-connections"));
   server_options.max_output_buffer_bytes =
       static_cast<size_t>(flags.GetInt("max-output-buffer"));
+  server_options.registry = &registry;
+  server_options.trace_ring = &trace_ring;
+  server_options.slow_request_ms = flags.GetInt("slow-request-ms");
   // The handler is built before the server it reports on, so /stats
   // reads through a pointer slot filled in right after construction.
   auto server_slot = std::make_shared<HttpServer*>(nullptr);
-  HttpServer server(
-      server_options,
-      MakeServiceHandler(&service, [server_slot]() {
-        return *server_slot != nullptr ? (*server_slot)->stats()
-                                       : HttpServerStats{};
-      }));
+  ServiceHandlerOptions handler_options;
+  handler_options.stats_fn = [server_slot]() {
+    return *server_slot != nullptr ? (*server_slot)->stats()
+                                   : HttpServerStats{};
+  };
+  handler_options.registry = &registry;
+  handler_options.trace_ring = &trace_ring;
+  HttpServer server(server_options,
+                    MakeServiceHandler(&service, std::move(handler_options)));
   *server_slot = &server;
   Status started = server.Start();
   if (!started.ok()) return FailServe(started);
   std::printf("vas_serve listening on %s:%u\n",
               server_options.bind_address.c_str(), server.port());
-  std::printf("  GET /healthz | /catalogs | /stats | /status/{table} | "
+  std::printf("  GET /healthz | /catalogs | /stats | /metrics | "
+              "/debug/requests | /status/{table} | "
               "/tiles/{table}/{z}/{x}/{y}.png[?style=heatmap] | "
               "/plot?table=...\n");
   std::fflush(stdout);

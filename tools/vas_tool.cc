@@ -43,6 +43,7 @@
 #include "engine/catalog_manager.h"
 #include "engine/catalog_store.h"
 #include "engine/session.h"
+#include "obs/log.h"
 #include "render/scatter_renderer.h"
 #include "serve_main.h"
 #include "util/flags.h"
@@ -61,7 +62,7 @@
 namespace vas::tool {
 
 int Fail(const Status& status) {
-  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  obs::Log(obs::LogLevel::kError, status.ToString());
   return 1;
 }
 
@@ -136,7 +137,8 @@ int CmdGenerate(FlagSet& flags, int argc, char** argv) {
         static_cast<int>(flags.GetInt("clusters")), 0, n, seed);
     d = GaussianMixtureGenerator(opt).Generate();
   } else {
-    std::fprintf(stderr, "unknown --kind=%s\n", kind.c_str());
+    obs::Log(obs::LogLevel::kError, "unknown --kind",
+             obs::LogFields().Add("kind", kind));
     return 1;
   }
   std::string out = flags.GetString("out");
@@ -622,11 +624,12 @@ int CmdInfo(FlagSet& flags, int argc, char** argv) {
 
 int Main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: %s <generate|ingest|build-catalog|save-catalog|"
-                 "load-catalog|catalog-info|convert-catalog|sample|render|"
-                 "loss|info|serve> [flags]\n",
-                 argv[0]);
+    obs::Log(obs::LogLevel::kError, "missing command",
+             obs::LogFields().Add(
+                 "usage", std::string(argv[0]) +
+                              " <generate|ingest|build-catalog|save-catalog|"
+                              "load-catalog|catalog-info|convert-catalog|"
+                              "sample|render|loss|info|serve> [flags]"));
     return 1;
   }
   std::string cmd = argv[1];
@@ -656,7 +659,8 @@ int Main(int argc, char** argv) {
   if (cmd == "loss") return CmdLoss(flags, sub_argc, sub_argv);
   if (cmd == "info") return CmdInfo(flags, sub_argc, sub_argv);
   if (cmd == "serve") return ServeMain(sub_argc, sub_argv);
-  std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
+  obs::Log(obs::LogLevel::kError, "unknown command",
+           obs::LogFields().Add("command", cmd));
   return 1;
 }
 
